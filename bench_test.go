@@ -1,0 +1,419 @@
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation section, plus ablations over QCC's design choices and
+// micro-benchmarks of the substrates. Each evaluation bench regenerates the
+// corresponding table/figure data and reports the headline numbers as
+// benchmark metrics; run with -v to see the formatted rows.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFigure10 -v   # includes the printed figure
+package fedqcc_test
+
+import (
+	"testing"
+
+	fedqcc "repro"
+)
+
+const (
+	benchScale     = 50
+	benchInstances = 5
+)
+
+func benchOpts() fedqcc.ExperimentOptions {
+	return fedqcc.ExperimentOptions{Scale: benchScale, Instances: benchInstances}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// BenchmarkFigure9QTx regenerate the per-query-type load-sensitivity series
+// of Figure 9 (a)–(d) and report the S3 load blow-up factor — the paper's
+// headline observation per panel.
+func benchmarkFigure9(b *testing.B, qt string) {
+	b.Helper()
+	var last []fedqcc.SensitivityResult
+	for i := 0; i < b.N; i++ {
+		res, err := fedqcc.RunSensitivityStudy(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, r := range last {
+		if r.QT != qt {
+			continue
+		}
+		b.ReportMetric(mean(r.Low["S3"]), "s3_low_ms")
+		b.ReportMetric(mean(r.High["S3"]), "s3_high_ms")
+		b.ReportMetric(mean(r.High["S3"])/mean(r.Low["S3"]), "s3_blowup_x")
+		if b.N > 0 {
+			b.Logf("\n%s", fedqcc.FormatFigure9([]fedqcc.SensitivityResult{r}))
+		}
+	}
+}
+
+func BenchmarkFigure9QT1(b *testing.B) { benchmarkFigure9(b, "QT1") }
+func BenchmarkFigure9QT2(b *testing.B) { benchmarkFigure9(b, "QT2") }
+func BenchmarkFigure9QT3(b *testing.B) { benchmarkFigure9(b, "QT3") }
+func BenchmarkFigure9QT4(b *testing.B) { benchmarkFigure9(b, "QT4") }
+
+// BenchmarkTable1Phases regenerates the Table 1 load matrix by applying all
+// eight phases to a live federation (load levels plus update bursts).
+func BenchmarkTable1Phases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range fed.ServerIDs() {
+			h, err := fed.Server(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.SetLoad(1)
+			if err := h.ApplyUpdateBurst("orders", 10, 1); err != nil {
+				b.Fatal(err)
+			}
+			h.SetLoad(0)
+		}
+	}
+	b.Logf("\n%s", fedqcc.FormatTable1())
+}
+
+func runGainStudy(b *testing.B, opts fedqcc.ExperimentOptions) []fedqcc.PhaseOutcome {
+	b.Helper()
+	var last []fedqcc.PhaseOutcome
+	for i := 0; i < b.N; i++ {
+		out, err := fedqcc.RunGainStudy(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out
+	}
+	return last
+}
+
+// BenchmarkTable2Assignments regenerates the fixed-vs-dynamic assignment
+// table and reports how often dynamic routing deviated from the static
+// registration.
+func BenchmarkTable2Assignments(b *testing.B) {
+	out := runGainStudy(b, benchOpts())
+	deviations := 0
+	fixed := map[string]string{"QT1": "S1", "QT2": "S2", "QT3": "S1", "QT4": "S3"}
+	for _, o := range out {
+		for qt, s := range o.Assignments {
+			if s != fixed[qt] {
+				deviations++
+			}
+		}
+	}
+	b.ReportMetric(float64(deviations), "deviations")
+	b.Logf("\n%s", fedqcc.FormatTable2(out))
+}
+
+// BenchmarkFigure10GainVsFixed regenerates Figure 10 and reports QCC's
+// average gain over the typical fixed registration (paper: ≈50%).
+func BenchmarkFigure10GainVsFixed(b *testing.B) {
+	out := runGainStudy(b, benchOpts())
+	g1, _ := fedqcc.AverageGains(out)
+	b.ReportMetric(g1*100, "avg_gain_pct")
+	b.ReportMetric(out[7].Gain1*100, "all_loaded_gain_pct")
+	b.Logf("\n%s", fedqcc.FormatFigure10(out))
+}
+
+// BenchmarkFigure11GainVsBestServer regenerates Figure 11 and reports QCC's
+// average gain over always-S3 routing in the S3-loaded phases (paper: ≈20%).
+func BenchmarkFigure11GainVsBestServer(b *testing.B) {
+	out := runGainStudy(b, benchOpts())
+	var loaded []float64
+	for _, o := range out {
+		if o.Phase.Loaded["S3"] && !(o.Phase.Loaded["S1"] && o.Phase.Loaded["S2"]) {
+			loaded = append(loaded, o.Gain2*100)
+		}
+	}
+	b.ReportMetric(mean(loaded), "s3_loaded_gain_pct")
+	_, g2 := fedqcc.AverageGains(out)
+	b.ReportMetric(g2*100, "avg_gain_pct")
+	b.Logf("\n%s", fedqcc.FormatFigure11(out))
+}
+
+// ---- Ablations over QCC design choices ----
+
+// BenchmarkAblationCalibrationGranularity compares per-(server,fragment)
+// factors (the paper's "and query fragment if runtime statistics is
+// available") against server-only factors.
+func BenchmarkAblationCalibrationGranularity(b *testing.B) {
+	off := false
+	for _, cfg := range []struct {
+		name string
+		opts fedqcc.ExperimentOptions
+	}{
+		{"per-fragment", benchOpts()},
+		{"server-only", func() fedqcc.ExperimentOptions {
+			o := benchOpts()
+			o.CalibrationPerFragment = &off
+			return o
+		}()},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			out := runGainStudy(b, cfg.opts)
+			g1, _ := fedqcc.AverageGains(out)
+			b.ReportMetric(g1*100, "avg_gain_pct")
+		})
+	}
+}
+
+// BenchmarkAblationLBLevel compares §4.1 fragment-level and §4.2
+// global-level load distribution against no load distribution, measuring
+// how evenly executions spread across the replicas of the §4 scenario.
+func BenchmarkAblationLBLevel(b *testing.B) {
+	const q = `SELECT o.o_id, l.l_price FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > 9500 AND l.l_qty < 5`
+	for _, mode := range []fedqcc.LBMode{fedqcc.LBOff, fedqcc.LBFragment, fedqcc.LBGlobal} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			spreadSum := 0.0
+			for i := 0; i < b.N; i++ {
+				fed, err := fedqcc.NewReplicaFederation(fedqcc.FederationOptions{Scale: benchScale})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fed.EnableQCC(fedqcc.QCCOptions{
+					DisableDaemons: true,
+					LoadBalance:    mode,
+					LBCloseness:    0.5,
+				})
+				for j := 0; j < 12; j++ {
+					if _, err := fed.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				used := 0
+				for _, id := range fed.ServerIDs() {
+					h, _ := fed.Server(id)
+					if h.Executed() > 0 {
+						used++
+					}
+				}
+				spreadSum += float64(used)
+			}
+			b.ReportMetric(spreadSum/float64(b.N), "servers_used")
+		})
+	}
+}
+
+// BenchmarkAblationCloseness sweeps the §4 closeness band: 0 pins the
+// cheapest plan, the paper's 20%, and a generous 50%.
+func BenchmarkAblationCloseness(b *testing.B) {
+	const q = "SELECT SUM(o.o_amount) FROM orders AS o WHERE o.o_amount > 100"
+	for _, cl := range []struct {
+		name string
+		v    float64
+	}{{"0pct", 0.0001}, {"20pct", 0.2}, {"50pct", 3.0}} {
+		cl := cl
+		b.Run(cl.name, func(b *testing.B) {
+			rotations := 0.0
+			for i := 0; i < b.N; i++ {
+				fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cal := fed.EnableQCC(fedqcc.QCCOptions{
+					DisableDaemons: true,
+					LoadBalance:    fedqcc.LBGlobal,
+					LBCloseness:    cl.v,
+				})
+				for j := 0; j < 9; j++ {
+					if _, err := fed.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rotations += float64(cal.Rotations())
+			}
+			b.ReportMetric(rotations/float64(b.N), "rotations")
+		})
+	}
+}
+
+// BenchmarkAblationRecalibrationCycle compares a fixed recalibration cycle
+// against the §3.4 dynamic cycle under a load step, measuring how quickly
+// the published factor catches up (queries until reroute).
+func BenchmarkAblationRecalibrationCycle(b *testing.B) {
+	const q = "SELECT SUM(o.o_amount) FROM customer AS c JOIN orders AS o ON o.o_custkey = c.c_id WHERE c.c_discount > 0.01"
+	for _, cfg := range []struct {
+		name  string
+		fixed bool
+		ms    float64
+	}{{"fixed-slow", true, 2000}, {"fixed-fast", true, 50}, {"dynamic", false, 500}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			reroutes := 0.0
+			for i := 0; i < b.N; i++ {
+				fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fed.EnableQCC(fedqcc.QCCOptions{
+					RecalibrationMS: cfg.ms,
+					FixedCycle:      cfg.fixed,
+				})
+				res, err := fed.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				busy := res.Route["QF1"]
+				h, _ := fed.Server(busy)
+				h.SetLoad(1)
+				queries := 0.0
+				for j := 0; j < 20; j++ {
+					r, err := fed.Query(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					queries++
+					if r.Route["QF1"] != busy {
+						break
+					}
+				}
+				reroutes += queries
+			}
+			b.ReportMetric(reroutes/float64(b.N), "queries_to_reroute")
+		})
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+func BenchmarkQueryEndToEnd(b *testing.B) {
+	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fed.EnableQCC(fedqcc.QCCOptions{DisableDaemons: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Query("SELECT COUNT(*) FROM orders AS o WHERE o.o_amount > 5000"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExplainOnly(b *testing.B) {
+	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Explain("SELECT SUM(l.l_price) FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > 9000"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWhatIfEnumeration(b *testing.B) {
+	fed, err := fedqcc.NewReplicaFederation(fedqcc.FederationOptions{Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal := fed.EnableQCC(fedqcc.QCCOptions{DisableDaemons: true})
+	wi, err := cal.WhatIf()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const q = "SELECT o.o_id, l.l_price FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > 9500"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wi.EnumeratePlans(q, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFederationBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkAwareness regenerates the congestion sweep: QCC's
+// calibration absorbs network degradation exactly like processing latency,
+// the "network aware" half of the paper's title.
+func BenchmarkNetworkAwareness(b *testing.B) {
+	var last []fedqcc.NetworkOutcome
+	for i := 0; i < b.N; i++ {
+		out, err := fedqcc.RunNetworkStudy(benchOpts(), []float64{1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out
+	}
+	heavy := last[len(last)-1]
+	b.ReportMetric(heavy.Gain*100, "gain_at_16x_pct")
+	b.ReportMetric(heavy.FixedAvgMS/last[0].FixedAvgMS, "pinned_blowup_x")
+	b.ReportMetric(heavy.QCCAvgMS/last[0].QCCAvgMS, "qcc_blowup_x")
+	b.Logf("\n%s", fedqcc.FormatNetworkStudy(last))
+}
+
+// BenchmarkRuntimeReroute measures the long-running-query extension: the
+// per-dispatch overhead of re-checking calibrated costs, and how often it
+// saves a stale plan under churning load.
+func BenchmarkRuntimeReroute(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "off"
+		if enabled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cal := fed.EnableQCC(fedqcc.QCCOptions{DisableDaemons: true, RuntimeReroute: enabled})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Query("SELECT COUNT(*) FROM orders AS o WHERE o.o_amount > 5000"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			switched, checked := cal.RerouteStats()
+			b.ReportMetric(float64(switched), "switched")
+			b.ReportMetric(float64(checked), "checked")
+		})
+	}
+}
+
+// BenchmarkLoadDistribution regenerates the §4 rotation study under
+// query-induced hot-spotting and reports rotation's improvement over
+// pinning.
+func BenchmarkLoadDistribution(b *testing.B) {
+	var last []fedqcc.LBOutcome
+	for i := 0; i < b.N; i++ {
+		out, err := fedqcc.RunLoadBalanceStudy(benchOpts(), 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out
+	}
+	byMode := map[string]fedqcc.LBOutcome{}
+	for _, o := range last {
+		byMode[o.Mode] = o
+	}
+	off, glob := byMode["off"], byMode["global"]
+	if off.AvgMS > 0 {
+		b.ReportMetric((off.AvgMS-glob.AvgMS)/off.AvgMS*100, "rotation_gain_pct")
+	}
+	b.ReportMetric(float64(glob.ServersUsed), "servers_used")
+	b.Logf("\n%s", fedqcc.FormatLoadBalanceStudy(last))
+}

@@ -1,0 +1,320 @@
+package fedqcc
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/catalog"
+	"repro/internal/integrator"
+	"repro/internal/metawrapper"
+	"repro/internal/network"
+	"repro/internal/remote"
+	"repro/internal/scenario"
+	"repro/internal/simclock"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+	"repro/internal/wrapper"
+)
+
+func parseSQL(sql string) (*sqlparser.SelectStmt, error) { return sqlparser.Parse(sql) }
+
+// ServerProfile names a hardware/contention preset for AddServer.
+type ServerProfile int
+
+const (
+	// ProfileModest is an older machine: modest CPU, spinning disks, small
+	// memory (the paper's S1).
+	ProfileModest ServerProfile = iota
+	// ProfileMidrange is a mid-range machine (S2).
+	ProfileMidrange
+	// ProfilePowerful is a fast machine with a large but churn-prone buffer
+	// pool (S3).
+	ProfilePowerful
+)
+
+func profileConfig(p ServerProfile, id string) remote.Config {
+	switch p {
+	case ProfilePowerful:
+		return remote.ProfileS3(id)
+	case ProfileMidrange:
+		return remote.ProfileS2(id)
+	default:
+		return remote.ProfileS1(id)
+	}
+}
+
+// LinkSpec describes the network path to a server.
+type LinkSpec struct {
+	// LatencyMS is the one-way latency (default 5).
+	LatencyMS float64
+	// BandwidthKBps is the throughput (default 2000; 0 keeps the default,
+	// negative means unlimited).
+	BandwidthKBps float64
+	// JitterFrac adds ±JitterFrac·latency noise.
+	JitterFrac float64
+}
+
+// TableSpec describes a synthetic table for AddGeneratedTable. Use the
+// workload tables via StandardSchema for the paper's schema.
+type TableSpec = storage.TableGen
+
+// StandardSchema returns the paper's sample schema generators at the given
+// scale divisor (1 = 100k-row large tables).
+func StandardSchema(scale int) []TableSpec { return storage.SampleSchema(scale) }
+
+// Builder assembles arbitrary federations.
+type Builder struct {
+	clock   *simclock.Clock
+	topo    *network.Topology
+	servers map[string]*remote.Server
+	kinds   map[string]string // serverID → wrapper kind
+	seed    int64
+	err     error
+}
+
+// NewBuilder starts a federation definition. Seed drives data generation;
+// servers generating the same table with the same seed hold identical
+// replicas.
+func NewBuilder(seed int64) *Builder {
+	if seed == 0 {
+		seed = 42
+	}
+	return &Builder{
+		clock:   simclock.New(),
+		topo:    network.NewTopology(),
+		servers: map[string]*remote.Server{},
+		kinds:   map[string]string{},
+		seed:    seed,
+	}
+}
+
+func (b *Builder) fail(err error) *Builder {
+	if b.err == nil {
+		b.err = err
+	}
+	return b
+}
+
+// AddServer registers a remote relational server with the given profile and
+// link.
+func (b *Builder) AddServer(id string, profile ServerProfile, link LinkSpec) *Builder {
+	return b.addServer(id, profile, link, "relational")
+}
+
+// AddFileServer registers a file-wrapped source: it can be scanned but
+// provides no cost estimates, exercising QCC's seeding path.
+func (b *Builder) AddFileServer(id string, profile ServerProfile, link LinkSpec) *Builder {
+	return b.addServer(id, profile, link, "file")
+}
+
+func (b *Builder) addServer(id string, profile ServerProfile, link LinkSpec, kind string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.servers[id]; dup {
+		return b.fail(fmt.Errorf("fedqcc: duplicate server %q", id))
+	}
+	srv := remote.NewServer(profileConfig(profile, id))
+	b.servers[id] = srv
+	b.kinds[id] = kind
+	lat := link.LatencyMS
+	if lat == 0 {
+		lat = 5
+	}
+	bw := link.BandwidthKBps
+	if bw == 0 {
+		bw = 2000
+	}
+	if bw < 0 {
+		bw = 0 // unlimited
+	}
+	b.topo.AddLink(id, network.NewLink(network.LinkConfig{
+		LatencyMS:     lat,
+		BandwidthKBps: bw,
+		JitterFrac:    link.JitterFrac,
+		Seed:          b.seed + int64(len(b.servers)),
+	}))
+	return b
+}
+
+// AddGeneratedTable generates the table on the named server using the
+// builder's seed.
+func (b *Builder) AddGeneratedTable(serverID string, spec TableSpec) *Builder {
+	if b.err != nil {
+		return b
+	}
+	srv, ok := b.servers[serverID]
+	if !ok {
+		return b.fail(fmt.Errorf("fedqcc: unknown server %q", serverID))
+	}
+	tab, err := spec.Generate(b.seed)
+	if err != nil {
+		return b.fail(err)
+	}
+	srv.AddTable(tab)
+	return b
+}
+
+// AddCSVTable loads a table from CSV (typed header "name:KIND", see
+// storage.ReadCSV) onto the named server.
+func (b *Builder) AddCSVTable(serverID, tableName string, r io.Reader) *Builder {
+	if b.err != nil {
+		return b
+	}
+	srv, ok := b.servers[serverID]
+	if !ok {
+		return b.fail(fmt.Errorf("fedqcc: unknown server %q", serverID))
+	}
+	tab, err := storage.ReadCSV(tableName, r)
+	if err != nil {
+		return b.fail(err)
+	}
+	srv.AddTable(tab)
+	return b
+}
+
+// AddIndex creates an index on a previously-added table. Sorted indexes
+// serve range probes; hash indexes serve equality only.
+func (b *Builder) AddIndex(serverID, table, indexName, column string, sorted bool) *Builder {
+	if b.err != nil {
+		return b
+	}
+	srv, ok := b.servers[serverID]
+	if !ok {
+		return b.fail(fmt.Errorf("fedqcc: unknown server %q", serverID))
+	}
+	tab := srv.Table(table)
+	if tab == nil {
+		return b.fail(fmt.Errorf("fedqcc: server %q has no table %q", serverID, table))
+	}
+	kind := storage.IndexHash
+	if sorted {
+		kind = storage.IndexSorted
+	}
+	if _, err := tab.CreateIndex(indexName, column, kind); err != nil {
+		return b.fail(err)
+	}
+	return b
+}
+
+// Build wires the catalog (nicknames inferred from table placement: every
+// table name becomes a nickname hosted by all servers that generated it),
+// the meta-wrapper, and the integrator.
+func (b *Builder) Build() (*Federation, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.servers) == 0 {
+		return nil, fmt.Errorf("fedqcc: federation needs at least one server")
+	}
+	cat := catalog.New()
+	// Deterministic nickname discovery: walk servers sorted by ID.
+	ids := make([]string, 0, len(b.servers))
+	for id := range b.servers {
+		ids = append(ids, id)
+	}
+	sortStrings(ids)
+	nicknames := map[string]*catalog.Nickname{}
+	var order []string
+	for _, id := range ids {
+		srv := b.servers[id]
+		for _, tname := range srv.Tables() {
+			n, ok := nicknames[tname]
+			if !ok {
+				n = &catalog.Nickname{Name: tname, Schema: srv.Table(tname).Schema()}
+				nicknames[tname] = n
+				order = append(order, tname)
+			}
+			n.Placements = append(n.Placements, catalog.Placement{
+				ServerID:    id,
+				RemoteTable: tname,
+				Replica:     len(n.Placements) > 0,
+			})
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("fedqcc: federation has no tables")
+	}
+	for _, name := range order {
+		if err := cat.Register(nicknames[name]); err != nil {
+			return nil, err
+		}
+	}
+	var wrappers []wrapper.Wrapper
+	for _, id := range ids {
+		if b.kinds[id] == "file" {
+			wrappers = append(wrappers, wrapper.NewFile(b.servers[id], b.topo))
+		} else {
+			wrappers = append(wrappers, wrapper.NewRelational(b.servers[id], b.topo))
+		}
+	}
+	mw := metawrapper.New(wrappers...)
+	iiNode := remote.NewServer(remote.Config{
+		ID: "II",
+		Hardware: remote.HardwareProfile{
+			CPUOpsPerMS:      3000,
+			IOPagesPerMS:     100,
+			CachedPagesPerMS: 3000,
+			FixedOverheadMS:  0.5,
+		},
+		Contention: remote.ContentionProfile{CPU: 0.5, IO: 0.5, BufferChurn: 0.2, QueueAmp: 0.5},
+	})
+	ii := integrator.New(integrator.Config{
+		Catalog: cat,
+		MW:      mw,
+		Node:    iiNode,
+		Clock:   b.clock,
+	})
+	return fromScenario(&scenario.Scenario{
+		Clock:   b.clock,
+		Servers: b.servers,
+		Topo:    b.topo,
+		Catalog: cat,
+		MW:      mw,
+		IINode:  iiNode,
+		II:      ii,
+	}), nil
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ExportCSV writes a server's table as CSV with a typed header.
+func (f *Federation) ExportCSV(serverID, table string, w io.Writer) error {
+	srv, ok := f.servers[serverID]
+	if !ok {
+		return fmt.Errorf("fedqcc: unknown server %q", serverID)
+	}
+	tab := srv.Table(table)
+	if tab == nil {
+		return fmt.Errorf("fedqcc: server %q has no table %q", serverID, table)
+	}
+	return tab.WriteCSV(w)
+}
+
+// Schema returns the registered schema of a nickname.
+func (f *Federation) Schema(nickname string) (*sqltypes.Schema, error) {
+	n, err := f.catalog.Lookup(nickname)
+	if err != nil {
+		return nil, err
+	}
+	return n.Schema, nil
+}
+
+// Nicknames lists the registered nicknames.
+func (f *Federation) Nicknames() []string { return f.catalog.Names() }
+
+// PlacementsOf lists the servers hosting a nickname.
+func (f *Federation) PlacementsOf(nickname string) ([]string, error) {
+	n, err := f.catalog.Lookup(nickname)
+	if err != nil {
+		return nil, err
+	}
+	return n.Servers(), nil
+}

@@ -1,0 +1,47 @@
+// Command fedsql runs ad-hoc federated SQL against the paper's three-server
+// demo federation, printing results, routing, and timing. Queries come from
+// arguments or, with no arguments, from stdin (one statement per line; lines
+// starting with "\" are commands — see \help).
+//
+//	fedsql "SELECT COUNT(*) FROM orders AS o WHERE o.o_amount > 5000"
+//	echo 'SELECT SUM(l.l_price) FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > 9000' | fedsql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	fedqcc "repro"
+	"repro/internal/repl"
+)
+
+func main() {
+	scale := flag.Int("scale", 50, "table-size divisor (1 = paper scale)")
+	noQCC := flag.Bool("no-qcc", false, "run without the query cost calibrator")
+	flag.Parse()
+
+	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedsql:", err)
+		os.Exit(1)
+	}
+	var cal *fedqcc.Calibrator
+	if !*noQCC {
+		cal = fed.EnableQCC(fedqcc.QCCOptions{})
+	}
+	session := &repl.Session{Fed: fed, Cal: cal, Out: os.Stdout}
+
+	if flag.NArg() > 0 {
+		for _, sql := range flag.Args() {
+			session.Execute(sql)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		session.Execute(sc.Text())
+	}
+}

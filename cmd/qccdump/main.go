@@ -1,0 +1,89 @@
+// Command qccdump runs a scripted load scenario against the demo federation
+// with QCC attached and dumps the calibrator's internal state after each
+// step: per-server factors, reliability, fencing, the adaptive recalibration
+// interval, and the query patroller log. It demonstrates the full §3
+// machinery end to end in a few hundred milliseconds of wall time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	fedqcc "repro"
+)
+
+func main() {
+	scale := flag.Int("scale", 50, "table-size divisor")
+	flag.Parse()
+
+	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qccdump:", err)
+		os.Exit(1)
+	}
+	cal := fed.EnableQCC(fedqcc.QCCOptions{})
+
+	const q = "SELECT SUM(o.o_amount) FROM customer AS c JOIN orders AS o ON o.o_custkey = c.c_id WHERE c.c_discount > 0.01"
+
+	step(fed, cal, "warm-up: 3 calm queries", func() {
+		for i := 0; i < 3; i++ {
+			must(fed.Query(q))
+		}
+	})
+
+	step(fed, cal, "load spike on S3 + 4 queries", func() {
+		h, _ := fed.Server("S3")
+		h.SetLoad(1)
+		for i := 0; i < 4; i++ {
+			must(fed.Query(q))
+		}
+		cal.PublishNow()
+	})
+
+	step(fed, cal, "S1 goes down; daemon probes detect it", func() {
+		h, _ := fed.Server("S1")
+		h.SetDown(true)
+		cal.ProbeNow()
+		must(fed.Query(q))
+	})
+
+	step(fed, cal, "S1 recovers; load on S3 clears", func() {
+		h1, _ := fed.Server("S1")
+		h1.SetDown(false)
+		h3, _ := fed.Server("S3")
+		h3.SetLoad(0)
+		cal.ProbeNow()
+		for i := 0; i < 3; i++ {
+			must(fed.Query(q))
+		}
+		cal.PublishNow()
+	})
+
+	fmt.Println("query log:")
+	for _, e := range fed.QueryLog() {
+		status := "ok"
+		if e.Err != "" {
+			status = "ERR"
+		}
+		fmt.Printf("  [%8s] %-3s %.2fms\n", e.SubmitAt, status, float64(e.ResponseTime))
+	}
+}
+
+func step(fed *fedqcc.Federation, cal *fedqcc.Calibrator, title string, fn func()) {
+	fmt.Printf("== %s ==\n", title)
+	fn()
+	for _, id := range fed.ServerIDs() {
+		fmt.Printf("  %s: factor=%.3f reliability=%.3f fenced=%v\n",
+			id, cal.ServerFactor(id), cal.ReliabilityFactor(id), cal.IsFenced(id))
+	}
+	compiles, runs, errs := cal.Stats()
+	fmt.Printf("  cycle=%s compiles=%d runs=%d errors=%d t=%s\n\n",
+		cal.RecalibrationInterval(), compiles, runs, errs, fed.Now())
+}
+
+func must(res *fedqcc.QueryResult, err error) {
+	if err != nil {
+		fmt.Println("  query error:", err)
+	}
+}

@@ -1,0 +1,84 @@
+package fedqcc_test
+
+import (
+	"fmt"
+	"log"
+
+	fedqcc "repro"
+)
+
+// ExampleNewPaperFederation shows the minimal query loop: build the paper's
+// three-server federation and run federated SQL against it.
+func ExampleNewPaperFederation() {
+	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fed.Query("SELECT COUNT(*) FROM parts AS p")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Rows.Rows[0][0].Int())
+	// Output: 5
+}
+
+// ExampleFederation_EnableQCC demonstrates transparent calibration: load a
+// server, let QCC observe the estimated/actual gap, and watch the published
+// factor rise above 1.
+func ExampleFederation_EnableQCC() {
+	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal := fed.EnableQCC(fedqcc.QCCOptions{DisableDaemons: true})
+
+	const q = "SELECT SUM(o.o_amount) FROM customer AS c JOIN orders AS o ON o.o_custkey = c.c_id WHERE c.c_discount > 0.01"
+	res, _ := fed.Query(q)
+	busy := res.Route["QF1"]
+	h, _ := fed.Server(busy)
+	h.SetLoad(1.0)
+	for i := 0; i < 3; i++ {
+		fed.Query(q) //nolint:errcheck
+	}
+	cal.PublishNow()
+	fmt.Println(cal.ServerFactor(busy) > 1.2)
+	// Output: true
+}
+
+// ExampleBuilder assembles a custom two-server federation from generated
+// and CSV tables.
+func ExampleBuilder() {
+	fed, err := fedqcc.NewBuilder(7).
+		AddServer("east", fedqcc.ProfileMidrange, fedqcc.LinkSpec{LatencyMS: 3}).
+		AddServer("west", fedqcc.ProfilePowerful, fedqcc.LinkSpec{LatencyMS: 12}).
+		AddGeneratedTable("east", fedqcc.StandardSchema(200)[3]). // parts
+		AddGeneratedTable("west", fedqcc.StandardSchema(200)[3]). // replica
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hosts, _ := fed.PlacementsOf("parts")
+	fmt.Println(len(hosts))
+	// Output: 2
+}
+
+// ExampleCalibrator_WhatIf derives alternative plans on the statistics-only
+// simulated federation without executing anything in production.
+func ExampleCalibrator_WhatIf() {
+	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal := fed.EnableQCC(fedqcc.QCCOptions{DisableDaemons: true})
+	wi, err := cal.WhatIf()
+	if err != nil {
+		log.Fatal(err)
+	}
+	plans, err := wi.EnumeratePlans("SELECT COUNT(*) FROM orders AS o WHERE o.o_amount > 100", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, _ := fed.Server("S1")
+	fmt.Println(len(plans) >= 3, h.Executed())
+	// Output: true 0
+}

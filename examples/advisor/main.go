@@ -1,0 +1,85 @@
+// Advisor demonstrates the paper's data-placement future-work item: QCC
+// mines the explain table and its calibration factors, notices that a
+// persistently-loaded server exclusively hosts a hot table, and recommends
+// replicating it to a cool server. Applying the recommendation gives the
+// optimizer an equivalent data source — and makes the workload survive the
+// hot server's outage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	fedqcc "repro"
+)
+
+const hotQuery = `SELECT COUNT(*), SUM(l.l_price)
+	FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey
+	WHERE o.o_amount > 1000`
+
+func main() {
+	// Build a federation where "lineitem" lives ONLY on the powerful server:
+	// every join touching it is pinned there.
+	specs := fedqcc.StandardSchema(50)
+	b := fedqcc.NewBuilder(42).
+		AddServer("S1", fedqcc.ProfileModest, fedqcc.LinkSpec{}).
+		AddServer("S2", fedqcc.ProfileMidrange, fedqcc.LinkSpec{}).
+		AddServer("S3", fedqcc.ProfilePowerful, fedqcc.LinkSpec{})
+	for _, spec := range specs {
+		if spec.Name == "lineitem" {
+			b.AddGeneratedTable("S3", spec)
+			continue
+		}
+		for _, s := range []string{"S1", "S2", "S3"} {
+			b.AddGeneratedTable(s, spec)
+		}
+	}
+	fed, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal := fed.EnableQCC(fedqcc.QCCOptions{DisableDaemons: true})
+
+	hosts, _ := fed.PlacementsOf("lineitem")
+	fmt.Printf("lineitem hosts: %s\n", strings.Join(hosts, ", "))
+
+	// S3 is under sustained heavy load; the workload keeps hammering it
+	// because nothing else can serve lineitem.
+	h, _ := fed.Server("S3")
+	h.SetLoad(1.0)
+	for i := 0; i < 5; i++ {
+		res, err := fed.Query(hotQuery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  run %d: %.2fms on %v\n", i+1, float64(res.ResponseTime), res.Route)
+	}
+	cal.PublishNow()
+
+	recs := cal.AdvisePlacement(1.3)
+	if len(recs) == 0 {
+		fmt.Println("no recommendations (unexpected)")
+		return
+	}
+	fmt.Println("\nplacement advisor says:")
+	for _, r := range recs {
+		fmt.Printf("  replicate %q: %s -> %s\n    because %s\n", r.Nickname, r.From, r.To, r.Reason)
+	}
+
+	if err := fed.ApplyReplication(recs[0]); err != nil {
+		log.Fatal(err)
+	}
+	hosts, _ = fed.PlacementsOf("lineitem")
+	fmt.Printf("\napplied: lineitem hosts are now %s\n", strings.Join(hosts, ", "))
+
+	// The decisive benefit: the workload now survives S3 going down.
+	h.SetDown(true)
+	cal.ProbeNow()
+	res, err := fed.Query(hotQuery)
+	if err != nil {
+		log.Fatalf("query should survive the outage: %v", err)
+	}
+	fmt.Printf("S3 is down; query still answered by %v in %.2fms\n",
+		res.Route, float64(res.ResponseTime))
+}

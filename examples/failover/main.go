@@ -1,0 +1,76 @@
+// Failover demonstrates §3.3: the availability daemon probes remote sources
+// through the meta-wrapper, fences a crashed server off by calibrating its
+// cost to infinity (queries keep flowing to the replicas with zero retries),
+// penalizes a flaky-but-up server through the reliability factor, and
+// restores everything once the probes succeed again.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fedqcc "repro"
+)
+
+const q = "SELECT SUM(o.o_amount) FROM orders AS o WHERE o.o_amount > 1000"
+
+func main() {
+	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal := fed.EnableQCC(fedqcc.QCCOptions{ProbeIntervalMS: 100})
+
+	res, err := fed.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preferred := res.Route["QF1"]
+	fmt.Printf("calm system routes to %s (%.2fms)\n", preferred, float64(res.ResponseTime))
+
+	// Crash the preferred server. Advancing the virtual clock lets the
+	// availability daemon's next probe discover the outage.
+	h, _ := fed.Server(preferred)
+	h.SetDown(true)
+	fed.Clock().Advance(250)
+	fmt.Printf("\n%s crashed; daemon probe fenced it: %v\n", preferred, cal.IsFenced(preferred))
+
+	for i := 0; i < 3; i++ {
+		r, err := fed.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  query -> %s in %.2fms (retries: %d)\n",
+			r.Route["QF1"], float64(r.ResponseTime), r.Retried)
+	}
+
+	// Recovery: the next probe marks it up and the optimizer may use it
+	// again.
+	h.SetDown(false)
+	fed.Clock().Advance(250)
+	fmt.Printf("\n%s recovered; fenced: %v\n", preferred, cal.IsFenced(preferred))
+	r, err := fed.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  query -> %s in %.2fms\n", r.Route["QF1"], float64(r.ResponseTime))
+
+	// A flaky (up, but failing) server: reliability calibration makes it
+	// unattractive even though its raw cost estimate stays the lowest.
+	flaky := r.Route["QF1"]
+	fh, _ := fed.Server(flaky)
+	fmt.Printf("\n%s now fails transiently; watch the reliability factor:\n", flaky)
+	for i := 0; i < 6; i++ {
+		fh.InjectFailures(1)
+		if _, err := fed.Query(q); err != nil {
+			fmt.Println("  query failed outright:", err)
+		}
+		fmt.Printf("  reliability(%s) = %.2f\n", flaky, cal.ReliabilityFactor(flaky))
+	}
+	r, err = fed.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flaky server avoided: query -> %s (fenced=%v, factor=%.2f)\n",
+		r.Route["QF1"], cal.IsFenced(flaky), cal.ReliabilityFactor(flaky))
+}

@@ -1,0 +1,282 @@
+// Package fedqcc is a federated query engine with a Query Cost Calibrator
+// (QCC), reproducing "Load and Network Aware Query Routing for Information
+// Integration" (Li, Batra, Raman, Han, Candan, Narang — ICDE 2005).
+//
+// The library builds federations of simulated remote database servers behind
+// an information integrator (II). Federated SQL is decomposed into per-source
+// fragments, fragments are costed and executed through per-source wrappers,
+// and results are merged at the integrator. The QCC attaches transparently —
+// it never modifies the optimizer — and:
+//
+//   - learns per-server and per-fragment cost calibration factors from
+//     (estimated, observed) pairs, so the optimizer's costs track remote
+//     load and network conditions;
+//   - probes source availability and fences off down servers;
+//   - folds a reliability factor from observed errors into costs;
+//   - adapts its own recalibration cycle to factor drift; and
+//   - rotates near-optimal plans round-robin for load distribution.
+//
+// # Quick start
+//
+//	fed, _ := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: 50})
+//	cal := fed.EnableQCC(fedqcc.QCCOptions{})
+//	res, _ := fed.Query("SELECT COUNT(*) FROM orders AS o WHERE o.o_amount > 100")
+//	fmt.Println(res.Rows, res.ResponseTime, res.Route)
+//	_ = cal
+//
+// Arbitrary topologies are assembled with Builder. The experiments of the
+// paper's §5 are exposed through RunSensitivityStudy and RunGainStudy.
+package fedqcc
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/integrator"
+	"repro/internal/metawrapper"
+	"repro/internal/network"
+	"repro/internal/optimizer"
+	"repro/internal/qcc"
+	"repro/internal/remote"
+	"repro/internal/scenario"
+	"repro/internal/simclock"
+	"repro/internal/sqltypes"
+)
+
+// Re-exported fundamental types. These are stable aliases into the engine's
+// value layer so callers can consume query results without extra imports.
+type (
+	// Value is a single SQL value.
+	Value = sqltypes.Value
+	// Row is a tuple of values.
+	Row = sqltypes.Row
+	// Relation is a materialized result set.
+	Relation = sqltypes.Relation
+	// Time is simulated time in milliseconds.
+	Time = simclock.Time
+)
+
+// Federation is a fully-wired federated system: remote servers, network,
+// catalog, meta-wrapper and integrator, all on one virtual clock.
+type Federation struct {
+	clock   *simclock.Clock
+	servers map[string]*remote.Server
+	topo    *network.Topology
+	catalog *catalog.Catalog
+	mw      *metawrapper.MetaWrapper
+	iiNode  *remote.Server
+	ii      *integrator.II
+	qcc     *qcc.QCC
+}
+
+// FederationOptions configures the canned paper federation.
+type FederationOptions struct {
+	// Scale divides the paper's table sizes (1 = 100k-row large tables).
+	Scale int
+	// Seed drives deterministic data generation.
+	Seed int64
+}
+
+// NewPaperFederation builds the paper's evaluation scenario: servers S1, S2
+// and S3 with the sample schema fully replicated, plus the integrator node.
+func NewPaperFederation(opts FederationOptions) (*Federation, error) {
+	sc, err := scenario.BuildThreeServer(scenario.Options{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return fromScenario(sc), nil
+}
+
+// NewReplicaFederation builds the §4 load-distribution scenario: origin
+// servers S1 and S2 plus replicas R1 and R2, with each source group hosting
+// half the schema so cross-source joins are unavoidable.
+func NewReplicaFederation(opts FederationOptions) (*Federation, error) {
+	sc, err := scenario.BuildReplicaPair(scenario.ReplicaOptions{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return fromScenario(sc), nil
+}
+
+func fromScenario(sc *scenario.Scenario) *Federation {
+	return &Federation{
+		clock:   sc.Clock,
+		servers: sc.Servers,
+		topo:    sc.Topo,
+		catalog: sc.Catalog,
+		mw:      sc.MW,
+		iiNode:  sc.IINode,
+		ii:      sc.II,
+	}
+}
+
+// Clock returns the federation's virtual clock.
+func (f *Federation) Clock() *simclock.Clock { return f.clock }
+
+// Now returns the current simulated time.
+func (f *Federation) Now() Time { return f.clock.Now() }
+
+// ServerIDs lists the remote servers.
+func (f *Federation) ServerIDs() []string { return f.mw.Servers() }
+
+// Server returns a control handle for a remote server.
+func (f *Federation) Server(id string) (*ServerHandle, error) {
+	srv, ok := f.servers[id]
+	if !ok {
+		return nil, fmt.Errorf("fedqcc: unknown server %q", id)
+	}
+	return &ServerHandle{srv: srv, link: f.topo.Link(id)}, nil
+}
+
+// QueryResult is the outcome of a federated query.
+type QueryResult struct {
+	// Rows is the merged result.
+	Rows *Relation
+	// ResponseTime is the end-user response time in simulated ms.
+	ResponseTime Time
+	// Route maps fragment IDs to the servers they executed on.
+	Route map[string]string
+	// FragmentTimes maps fragment IDs to their observed response times.
+	FragmentTimes map[string]Time
+	// MergeTime is the integrator-side merge time.
+	MergeTime Time
+	// Retried counts re-optimizations after fragment failures.
+	Retried int
+}
+
+// Query compiles and executes a federated SQL statement, advancing the
+// virtual clock by the query's response time.
+func (f *Federation) Query(sql string) (*QueryResult, error) {
+	res, err := f.ii.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	route := map[string]string{}
+	for _, frag := range res.Plan.Fragments {
+		route[frag.Spec.ID] = frag.ServerID
+	}
+	// Runtime rerouting may have moved fragments after compilation.
+	for id, s := range res.ExecutedServers {
+		route[id] = s
+	}
+	return &QueryResult{
+		Rows:          res.Rel,
+		ResponseTime:  res.ResponseTime,
+		Route:         route,
+		FragmentTimes: res.FragmentTimes,
+		MergeTime:     res.MergeTime,
+		Retried:       res.Retried,
+	}, nil
+}
+
+// PlanInfo summarizes a compiled (but not executed) global plan.
+type PlanInfo struct {
+	// Query is the statement text.
+	Query string
+	// Route maps fragment IDs to chosen servers.
+	Route map[string]string
+	// FragmentCostMS maps fragment IDs to calibrated estimates.
+	FragmentCostMS map[string]float64
+	// TotalCostMS is the calibrated global estimate.
+	TotalCostMS float64
+	// FragmentPlans maps fragment IDs to physical plan text.
+	FragmentPlans map[string]string
+}
+
+// Explain compiles a statement in explain mode: the winner is recorded in
+// the explain table and summarized, nothing executes.
+func (f *Federation) Explain(sql string) (*PlanInfo, error) {
+	gp, err := f.ii.Compile(sql)
+	if err != nil {
+		return nil, err
+	}
+	return planInfo(gp), nil
+}
+
+func planInfo(gp *optimizer.GlobalPlan) *PlanInfo {
+	info := &PlanInfo{
+		Query:          gp.Query,
+		Route:          map[string]string{},
+		FragmentCostMS: map[string]float64{},
+		FragmentPlans:  map[string]string{},
+		TotalCostMS:    gp.TotalEstMS,
+	}
+	for _, frag := range gp.Fragments {
+		info.Route[frag.Spec.ID] = frag.ServerID
+		info.FragmentCostMS[frag.Spec.ID] = frag.Plan.Est.TotalMS
+		info.FragmentPlans[frag.Spec.ID] = frag.Plan.Explain()
+	}
+	return info
+}
+
+// EnumeratePlans returns up to topK alternative global plans ranked by
+// calibrated cost (topK <= 0 returns all enumerated combinations).
+func (f *Federation) EnumeratePlans(sql string, topK int) ([]*PlanInfo, error) {
+	stmt, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := f.ii.Optimizer().Enumerate(stmt, topK)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*PlanInfo, len(plans))
+	for i, gp := range plans {
+		out[i] = planInfo(gp)
+	}
+	return out, nil
+}
+
+// QueryLog returns the patroller's log entries.
+func (f *Federation) QueryLog() []integrator.LogEntry { return f.ii.Patroller().Log() }
+
+// ExplainLog returns the stored compilation winners.
+func (f *Federation) ExplainLog() []optimizer.ExplainEntry { return f.ii.ExplainTable().Entries() }
+
+// ServerHandle controls one remote server for fault and load injection.
+type ServerHandle struct {
+	srv  *remote.Server
+	link *network.Link
+}
+
+// ID returns the server identifier.
+func (h *ServerHandle) ID() string { return h.srv.ID() }
+
+// SetLoad sets the background load level in [0,1].
+func (h *ServerHandle) SetLoad(level float64) { h.srv.SetLoadLevel(level) }
+
+// Load returns the current load level.
+func (h *ServerHandle) Load() float64 { return h.srv.LoadLevel() }
+
+// SetDown marks the server unavailable (down=true) or restores it.
+func (h *ServerHandle) SetDown(down bool) { h.srv.SetDown(down) }
+
+// Down reports the availability state.
+func (h *ServerHandle) Down() bool { return h.srv.Down() }
+
+// InjectFailures makes the next n executions fail transiently.
+func (h *ServerHandle) InjectFailures(n int) { h.srv.InjectFailures(n) }
+
+// SetCongestion sets the network congestion multiplier toward this server
+// (1 = calm).
+func (h *ServerHandle) SetCongestion(c float64) {
+	if h.link != nil {
+		h.link.SetCongestion(c)
+	}
+}
+
+// PartitionNetwork cuts (true) or restores (false) the network path.
+func (h *ServerHandle) PartitionNetwork(cut bool) {
+	if h.link != nil {
+		h.link.SetDown(cut)
+	}
+}
+
+// Executed reports how many fragments the server has executed.
+func (h *ServerHandle) Executed() int64 { return h.srv.Executed() }
+
+// ApplyUpdateBurst mutates n random rows of the named table, dirtying pages
+// and drifting statistics.
+func (h *ServerHandle) ApplyUpdateBurst(table string, n int, seed int64) error {
+	return h.srv.ApplyUpdateBurst(table, n, seed)
+}

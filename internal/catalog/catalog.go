@@ -1,0 +1,169 @@
+// Package catalog implements the federation's global catalog: nicknames
+// (the local names under which remote tables are registered at the
+// integrator, per DB2 II) with their schemas and placements — which remote
+// servers host the table, including replicas. The optimizer's decomposer
+// consults the catalog to group query tables into co-located fragments and
+// to enumerate equivalent data sources for each fragment.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sqltypes"
+)
+
+// Placement locates one copy of a nickname's data.
+type Placement struct {
+	// ServerID names the remote server.
+	ServerID string
+	// RemoteTable is the table name at that server.
+	RemoteTable string
+	// Replica marks placements registered as replicas of an origin server
+	// (informational; all placements are equivalent data sources).
+	Replica bool
+}
+
+// Nickname is one registered remote table.
+type Nickname struct {
+	// Name is the global name used in federated queries.
+	Name string
+	// Schema is the registered column layout.
+	Schema *sqltypes.Schema
+	// Placements lists every server hosting the data, origin first.
+	Placements []Placement
+}
+
+// Servers returns the IDs of all hosting servers, in registration order.
+func (n *Nickname) Servers() []string {
+	out := make([]string, len(n.Placements))
+	for i, p := range n.Placements {
+		out[i] = p.ServerID
+	}
+	return out
+}
+
+// PlacementOn returns the placement on the given server, or nil.
+func (n *Nickname) PlacementOn(serverID string) *Placement {
+	for i := range n.Placements {
+		if n.Placements[i].ServerID == serverID {
+			return &n.Placements[i]
+		}
+	}
+	return nil
+}
+
+// Catalog is the integrator's nickname registry. It is safe for concurrent
+// use.
+type Catalog struct {
+	mu        sync.RWMutex
+	nicknames map[string]*Nickname
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{nicknames: map[string]*Nickname{}}
+}
+
+// Register adds a nickname. Registering an existing name replaces it.
+func (c *Catalog) Register(n *Nickname) error {
+	if n.Name == "" {
+		return fmt.Errorf("catalog: nickname must have a name")
+	}
+	if n.Schema == nil || n.Schema.Len() == 0 {
+		return fmt.Errorf("catalog: nickname %q must have a schema", n.Name)
+	}
+	if len(n.Placements) == 0 {
+		return fmt.Errorf("catalog: nickname %q must have at least one placement", n.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nicknames[n.Name] = n
+	return nil
+}
+
+// AddPlacement registers an additional replica for an existing nickname.
+func (c *Catalog) AddPlacement(name string, p Placement) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nicknames[name]
+	if !ok {
+		return fmt.Errorf("catalog: unknown nickname %q", name)
+	}
+	if n.PlacementOn(p.ServerID) != nil {
+		return fmt.Errorf("catalog: nickname %q already placed on %s", name, p.ServerID)
+	}
+	n.Placements = append(n.Placements, p)
+	return nil
+}
+
+// Lookup returns the nickname or an error.
+func (c *Catalog) Lookup(name string) (*Nickname, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n, ok := c.nicknames[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown nickname %q", name)
+	}
+	return n, nil
+}
+
+// Names lists registered nicknames, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.nicknames))
+	for n := range c.nicknames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServersFor returns the set of servers hosting every one of the given
+// nicknames — the candidate destinations for a fragment covering them.
+func (c *Catalog) ServersFor(names ...string) ([]string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var acc map[string]bool
+	for _, name := range names {
+		n, ok := c.nicknames[name]
+		if !ok {
+			return nil, fmt.Errorf("catalog: unknown nickname %q", name)
+		}
+		cur := map[string]bool{}
+		for _, p := range n.Placements {
+			cur[p.ServerID] = true
+		}
+		if acc == nil {
+			acc = cur
+			continue
+		}
+		for s := range acc {
+			if !cur[s] {
+				delete(acc, s)
+			}
+		}
+	}
+	out := make([]string, 0, len(acc))
+	for s := range acc {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Clone returns a deep-enough copy for the simulated federated system: the
+// nickname set and placements are copied; schemas are shared (immutable).
+func (c *Catalog) Clone() *Catalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := New()
+	for name, n := range c.nicknames {
+		cp := &Nickname{Name: n.Name, Schema: n.Schema}
+		cp.Placements = append([]Placement(nil), n.Placements...)
+		out.nicknames[name] = cp
+	}
+	return out
+}

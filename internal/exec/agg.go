@@ -1,0 +1,285 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// Aggregate groups its input on the GroupBy expressions and computes the
+// listed aggregates. The output schema is the group keys (named g0..gN-1 or
+// the column name when the key is a bare column) followed by one column per
+// aggregate (named a0..aM-1). Callers rewrite downstream expressions with
+// RewriteAggregates to reference the aggregate columns.
+type Aggregate struct {
+	Input   Operator
+	GroupBy []sqlparser.Expr
+	Aggs    []*sqlparser.AggExpr
+}
+
+// KeyName returns the output column name of group key i.
+func (a *Aggregate) KeyName(i int) string {
+	if ref, ok := a.GroupBy[i].(*sqlparser.ColumnRef); ok {
+		return ref.Name
+	}
+	return fmt.Sprintf("g%d", i)
+}
+
+// AggName returns the output column name of aggregate i.
+func (a *Aggregate) AggName(i int) string { return fmt.Sprintf("a%d", i) }
+
+// Schema implements Operator.
+func (a *Aggregate) Schema() *sqltypes.Schema {
+	in := a.Input.Schema()
+	var cols []sqltypes.Column
+	for i, g := range a.GroupBy {
+		cols = append(cols, sqltypes.Column{Name: a.KeyName(i), Type: inferType(g, in)})
+	}
+	for i, agg := range a.Aggs {
+		cols = append(cols, sqltypes.Column{Name: a.AggName(i), Type: inferType(agg, in)})
+	}
+	return sqltypes.NewSchema(cols...)
+}
+
+type aggState struct {
+	count   int64
+	sum     float64
+	sumInt  int64
+	intOnly bool
+	min     sqltypes.Value
+	max     sqltypes.Value
+	seen    bool
+}
+
+func newAggState() *aggState { return &aggState{intOnly: true} }
+
+func (s *aggState) add(v sqltypes.Value) {
+	if v.IsNull() {
+		return
+	}
+	s.count++
+	s.seen = true
+	if v.Kind() == sqltypes.KindInt {
+		s.sumInt += v.Int()
+	} else {
+		s.intOnly = false
+	}
+	s.sum += v.Float()
+	if s.min.IsNull() || sqltypes.Compare(v, s.min) < 0 {
+		s.min = v
+	}
+	if s.max.IsNull() || sqltypes.Compare(v, s.max) > 0 {
+		s.max = v
+	}
+}
+
+func (s *aggState) result(fn sqlparser.AggFunc) sqltypes.Value {
+	switch fn {
+	case sqlparser.AggCount:
+		return sqltypes.NewInt(s.count)
+	case sqlparser.AggSum:
+		if !s.seen {
+			return sqltypes.Null
+		}
+		if s.intOnly {
+			return sqltypes.NewInt(s.sumInt)
+		}
+		return sqltypes.NewFloat(s.sum)
+	case sqlparser.AggAvg:
+		if s.count == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(s.sum / float64(s.count))
+	case sqlparser.AggMin:
+		return s.min
+	case sqlparser.AggMax:
+		return s.max
+	default:
+		return sqltypes.Null
+	}
+}
+
+// Execute implements Operator.
+func (a *Aggregate) Execute(ctx *Context) (*sqltypes.Relation, error) {
+	in, err := a.Input.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		keys   sqltypes.Row
+		states []*aggState
+		// countStar counts all rows in the group for COUNT(*).
+		countStar int64
+	}
+	groups := map[uint64][]*group{}
+	var order []*group
+
+	for _, row := range in.Rows {
+		keys := make(sqltypes.Row, len(a.GroupBy))
+		for i, g := range a.GroupBy {
+			v, err := sqlparser.Eval(g, row, in.Schema)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		h := rowHash(keys)
+		var grp *group
+		for _, g := range groups[h] {
+			if rowsIdentical(g.keys, keys) {
+				grp = g
+				break
+			}
+		}
+		if grp == nil {
+			grp = &group{keys: keys, states: make([]*aggState, len(a.Aggs))}
+			for i := range grp.states {
+				grp.states[i] = newAggState()
+			}
+			groups[h] = append(groups[h], grp)
+			order = append(order, grp)
+		}
+		grp.countStar++
+		for i, agg := range a.Aggs {
+			if agg.Arg == nil {
+				continue // COUNT(*): handled by countStar
+			}
+			v, err := sqlparser.Eval(agg.Arg, row, in.Schema)
+			if err != nil {
+				return nil, err
+			}
+			grp.states[i].add(v)
+		}
+	}
+	// Scalar aggregation over an empty input still yields one row.
+	if len(a.GroupBy) == 0 && len(order) == 0 {
+		grp := &group{states: make([]*aggState, len(a.Aggs))}
+		for i := range grp.states {
+			grp.states[i] = newAggState()
+		}
+		order = append(order, grp)
+	}
+	out := sqltypes.NewRelation(a.Schema())
+	for _, grp := range order {
+		row := make(sqltypes.Row, 0, len(a.GroupBy)+len(a.Aggs))
+		row = append(row, grp.keys...)
+		for i, agg := range a.Aggs {
+			if agg.Func == sqlparser.AggCount && agg.Arg == nil {
+				row = append(row, sqltypes.NewInt(grp.countStar))
+				continue
+			}
+			row = append(row, grp.states[i].result(agg.Func))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	ctx.Res.CPUOps += float64(len(in.Rows)) * float64(1+len(a.Aggs))
+	return out, nil
+}
+
+// Explain implements Operator.
+func (a *Aggregate) Explain() string {
+	var parts []string
+	for _, g := range a.GroupBy {
+		parts = append(parts, g.String())
+	}
+	var aggs []string
+	for _, ag := range a.Aggs {
+		aggs = append(aggs, ag.String())
+	}
+	return fmt.Sprintf("AGGREGATE [%s] BY [%s]", strings.Join(aggs, ", "), strings.Join(parts, ", "))
+}
+
+// Children implements Operator.
+func (a *Aggregate) Children() []Operator { return []Operator{a.Input} }
+
+// CollectAggregates walks e appending every distinct aggregate call
+// (deduplicated by rendering) to aggs, returning the extended list.
+func CollectAggregates(e sqlparser.Expr, aggs []*sqlparser.AggExpr) []*sqlparser.AggExpr {
+	switch x := e.(type) {
+	case *sqlparser.AggExpr:
+		for _, prev := range aggs {
+			if prev.String() == x.String() {
+				return aggs
+			}
+		}
+		return append(aggs, x)
+	case *sqlparser.BinaryExpr:
+		aggs = CollectAggregates(x.Left, aggs)
+		return CollectAggregates(x.Right, aggs)
+	case *sqlparser.NotExpr:
+		return CollectAggregates(x.Inner, aggs)
+	case *sqlparser.IsNullExpr:
+		return CollectAggregates(x.Inner, aggs)
+	case *sqlparser.InExpr:
+		aggs = CollectAggregates(x.Needle, aggs)
+		for _, it := range x.List {
+			aggs = CollectAggregates(it, aggs)
+		}
+		return aggs
+	case *sqlparser.BetweenExpr:
+		aggs = CollectAggregates(x.Subject, aggs)
+		aggs = CollectAggregates(x.Lo, aggs)
+		return CollectAggregates(x.Hi, aggs)
+	case *sqlparser.LikeExpr:
+		return CollectAggregates(x.Subject, aggs)
+	case *sqlparser.FuncExpr:
+		for _, a := range x.Args {
+			aggs = CollectAggregates(a, aggs)
+		}
+		return aggs
+	default:
+		return aggs
+	}
+}
+
+// RewriteAggregates replaces aggregate calls in e with column references
+// into the Aggregate operator's output, using the mapping from rendered
+// aggregate text to output column name. Group-key columns keep their bare
+// names (qualifiers are stripped since Aggregate outputs unqualified keys).
+func RewriteAggregates(e sqlparser.Expr, mapping map[string]string) sqlparser.Expr {
+	switch x := e.(type) {
+	case *sqlparser.AggExpr:
+		if name, ok := mapping[x.String()]; ok {
+			return &sqlparser.ColumnRef{Name: name}
+		}
+		return x
+	case *sqlparser.ColumnRef:
+		// After aggregation, keys are unqualified.
+		return &sqlparser.ColumnRef{Name: x.Name}
+	case *sqlparser.BinaryExpr:
+		return &sqlparser.BinaryExpr{
+			Op:    x.Op,
+			Left:  RewriteAggregates(x.Left, mapping),
+			Right: RewriteAggregates(x.Right, mapping),
+		}
+	case *sqlparser.NotExpr:
+		return &sqlparser.NotExpr{Inner: RewriteAggregates(x.Inner, mapping)}
+	case *sqlparser.IsNullExpr:
+		return &sqlparser.IsNullExpr{Inner: RewriteAggregates(x.Inner, mapping), Negate: x.Negate}
+	case *sqlparser.InExpr:
+		list := make([]sqlparser.Expr, len(x.List))
+		for i, it := range x.List {
+			list[i] = RewriteAggregates(it, mapping)
+		}
+		return &sqlparser.InExpr{Needle: RewriteAggregates(x.Needle, mapping), List: list, Negate: x.Negate}
+	case *sqlparser.BetweenExpr:
+		return &sqlparser.BetweenExpr{
+			Subject: RewriteAggregates(x.Subject, mapping),
+			Lo:      RewriteAggregates(x.Lo, mapping),
+			Hi:      RewriteAggregates(x.Hi, mapping),
+			Negate:  x.Negate,
+		}
+	case *sqlparser.LikeExpr:
+		return &sqlparser.LikeExpr{Subject: RewriteAggregates(x.Subject, mapping), Pattern: x.Pattern, Negate: x.Negate}
+	case *sqlparser.FuncExpr:
+		args := make([]sqlparser.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = RewriteAggregates(a, mapping)
+		}
+		return &sqlparser.FuncExpr{Name: x.Name, Args: args}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// BuildPlan compiles a SELECT statement into an operator tree over the given
+// leaf operators, keyed by effective (aliased) table name. The same builder
+// serves both sides of the federation: remote servers pass scans/index scans
+// chosen by their local planner; the integrator passes Values operators
+// wrapping fragment results.
+//
+// The builder: pushes single-table conjuncts down onto their leaf, picks
+// equi-join keys for hash joins (falling back to nested loops), applies
+// remaining predicates, then aggregation, HAVING, projection, DISTINCT,
+// ORDER BY and LIMIT.
+func BuildPlan(stmt *sqlparser.SelectStmt, leaves map[string]Operator) (Operator, error) {
+	tables := stmt.Tables()
+	for _, tr := range tables {
+		if leaves[tr.EffectiveName()] == nil {
+			return nil, fmt.Errorf("exec: no leaf operator for table %q", tr.EffectiveName())
+		}
+	}
+
+	// Pool every predicate: WHERE conjuncts plus all JOIN ON conjuncts.
+	var pool []sqlparser.Expr
+	pool = append(pool, sqlparser.SplitConjuncts(stmt.Where)...)
+	for _, j := range stmt.Joins {
+		pool = append(pool, sqlparser.SplitConjuncts(j.On)...)
+	}
+	pool = dropTrueLiterals(pool)
+
+	// Push single-table conjuncts onto leaves.
+	planFor := map[string]Operator{}
+	for _, tr := range tables {
+		planFor[tr.EffectiveName()] = leaves[tr.EffectiveName()]
+	}
+	var crossTable []sqlparser.Expr
+	for _, c := range pool {
+		placed := false
+		for _, tr := range tables {
+			name := tr.EffectiveName()
+			if exprResolves(c, planFor[name].Schema()) {
+				planFor[name] = &Filter{Input: planFor[name], Pred: c}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			crossTable = append(crossTable, c)
+		}
+	}
+
+	// Join left-to-right in FROM order.
+	current := planFor[tables[0].EffectiveName()]
+	for _, tr := range tables[1:] {
+		right := planFor[tr.EffectiveName()]
+		lk, rk, rest, ok := ExtractEquiJoinKeys(crossTable, current.Schema(), right.Schema())
+		if ok {
+			// Additional conjuncts now resolvable over the joined schema
+			// become the residual.
+			joined := current.Schema().Concat(right.Schema())
+			var residuals, remaining []sqlparser.Expr
+			for _, c := range rest {
+				if exprResolves(c, joined) {
+					residuals = append(residuals, c)
+				} else {
+					remaining = append(remaining, c)
+				}
+			}
+			current = &HashJoin{
+				Build:    current,
+				Probe:    right,
+				BuildKey: lk,
+				ProbeKey: rk,
+				Residual: sqlparser.JoinConjuncts(residuals),
+			}
+			crossTable = remaining
+			continue
+		}
+		// No equi key: nested loop with whatever predicates now resolve.
+		joined := current.Schema().Concat(right.Schema())
+		var preds, remaining []sqlparser.Expr
+		for _, c := range crossTable {
+			if exprResolves(c, joined) {
+				preds = append(preds, c)
+			} else {
+				remaining = append(remaining, c)
+			}
+		}
+		current = &NestedLoopJoin{Outer: current, Inner: right, Pred: sqlparser.JoinConjuncts(preds)}
+		crossTable = remaining
+	}
+	if len(crossTable) > 0 {
+		current = &Filter{Input: current, Pred: sqlparser.JoinConjuncts(crossTable)}
+	}
+	return BuildTop(stmt, current)
+}
+
+// BuildTop applies the non-join tail of a SELECT statement — aggregation,
+// HAVING, projection, ORDER BY, DISTINCT and LIMIT — on top of an input
+// operator that already produces the joined, filtered rows. The remote
+// planner reuses this after assembling its own join tree.
+func BuildTop(stmt *sqlparser.SelectStmt, current Operator) (Operator, error) {
+	// Aggregation.
+	selectItems := stmt.Select
+	having := stmt.Having
+	orderBy := stmt.OrderBy
+	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
+		var aggs []*sqlparser.AggExpr
+		for _, item := range selectItems {
+			if item.Star {
+				return nil, fmt.Errorf("exec: SELECT * cannot be combined with aggregation")
+			}
+			aggs = CollectAggregates(item.Expr, aggs)
+		}
+		if having != nil {
+			aggs = CollectAggregates(having, aggs)
+		}
+		for _, o := range orderBy {
+			aggs = CollectAggregates(o.Expr, aggs)
+		}
+		aggOp := &Aggregate{Input: current, GroupBy: stmt.GroupBy, Aggs: aggs}
+		mapping := map[string]string{}
+		for i, a := range aggs {
+			mapping[a.String()] = aggOp.AggName(i)
+		}
+		current = aggOp
+		rewritten := make([]sqlparser.SelectItem, len(selectItems))
+		for i, item := range selectItems {
+			rewritten[i] = sqlparser.SelectItem{
+				Expr:  RewriteAggregates(item.Expr, mapping),
+				Alias: item.Alias,
+			}
+			// Preserve output naming for bare aggregates without aliases.
+			if rewritten[i].Alias == "" {
+				rewritten[i].Alias = aggOutputName(item)
+			}
+		}
+		selectItems = rewritten
+		if having != nil {
+			current = &Filter{Input: current, Pred: RewriteAggregates(having, mapping)}
+		}
+		newOrder := make([]sqlparser.OrderItem, len(orderBy))
+		for i, o := range orderBy {
+			newOrder[i] = sqlparser.OrderItem{Expr: RewriteAggregates(o.Expr, mapping), Desc: o.Desc}
+		}
+		orderBy = newOrder
+	}
+
+	// ORDER BY before projection when keys reference pre-projection columns;
+	// we conservatively sort first (all keys still resolvable), then project.
+	if len(orderBy) > 0 {
+		resolvable := true
+		for _, o := range orderBy {
+			if !exprResolves(o.Expr, current.Schema()) {
+				resolvable = false
+				break
+			}
+		}
+		if resolvable {
+			current = &Sort{Input: current, Keys: orderBy}
+			orderBy = nil
+		}
+	}
+
+	current = &Project{Input: current, Items: selectItems}
+
+	// Any ORDER BY keys that reference projection aliases sort here.
+	if len(orderBy) > 0 {
+		current = &Sort{Input: current, Keys: orderBy}
+	}
+	if stmt.Distinct {
+		current = &Distinct{Input: current}
+	}
+	if stmt.Limit >= 0 {
+		current = &Limit{Input: current, N: stmt.Limit}
+	}
+	return current, nil
+}
+
+// aggOutputName gives an aggregate select item a stable output name derived
+// from its SQL text, e.g. "SUM(x.v)".
+func aggOutputName(item sqlparser.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if _, ok := item.Expr.(*sqlparser.ColumnRef); ok {
+		return "" // projection derives the bare name itself
+	}
+	return item.Expr.String()
+}
+
+func dropTrueLiterals(list []sqlparser.Expr) []sqlparser.Expr {
+	out := list[:0]
+	for _, e := range list {
+		if lit, ok := e.(*sqlparser.Literal); ok && lit.Val.Kind() == sqltypes.KindBool && lit.Val.Bool() {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// exprResolves reports whether every column reference in e resolves in the
+// schema.
+func exprResolves(e sqlparser.Expr, schema *sqltypes.Schema) bool {
+	for _, ref := range sqlparser.CollectColumnRefs(e, nil) {
+		if _, err := schema.ColumnIndex(ref.Table, ref.Name); err != nil {
+			return false
+		}
+	}
+	return true
+}

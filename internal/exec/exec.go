@@ -1,0 +1,111 @@
+// Package exec implements the physical operators shared by the remote
+// servers' engines and the integrator's local merge layer: scans, filters,
+// projections, joins, aggregation, sort, distinct and limit.
+//
+// Every operator charges its true resource consumption (CPU operations,
+// sequential IO pages, and cache-friendly page touches) to the execution
+// Context. The remote server's load model converts those resources into
+// simulated response time; the same formulas over *estimated* cardinalities
+// produce the optimizer's cost estimate. The difference between the two —
+// amplified by load and network conditions — is exactly the signal the
+// paper's Query Cost Calibrator learns.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// Resources accumulates the resource consumption of an execution.
+type Resources struct {
+	// CPUOps counts tuple-processing operations (comparisons, hashes,
+	// arithmetic) in abstract units.
+	CPUOps float64
+	// IOPages counts sequential page reads that always hit the disk arm
+	// (large scans); insensitive to buffer-pool pressure.
+	IOPages float64
+	// CachedPages counts page touches that normally hit the buffer pool
+	// (index probes, small-table rereads). Under heavy update load these
+	// degrade toward real IO — the mechanism behind Figure 9's QT2 collapse.
+	CachedPages float64
+	// OutBytes is the byte volume of the final result, for the network model.
+	OutBytes int
+}
+
+// Add accumulates other into r.
+func (r *Resources) Add(other Resources) {
+	r.CPUOps += other.CPUOps
+	r.IOPages += other.IOPages
+	r.CachedPages += other.CachedPages
+	r.OutBytes += other.OutBytes
+}
+
+// String renders the consumption compactly.
+func (r Resources) String() string {
+	return fmt.Sprintf("cpu=%.0f io=%.0f cached=%.0f out=%dB", r.CPUOps, r.IOPages, r.CachedPages, r.OutBytes)
+}
+
+// Context carries per-execution state. Executions are single-goroutine.
+type Context struct {
+	Res Resources
+}
+
+// Operator is a physical operator producing a materialized relation.
+type Operator interface {
+	// Schema returns the output schema without executing.
+	Schema() *sqltypes.Schema
+	// Execute runs the operator, charging resources to ctx.
+	Execute(ctx *Context) (*sqltypes.Relation, error)
+	// Explain renders this node (children indented by the caller).
+	Explain() string
+	// Children returns input operators, for plan display.
+	Children() []Operator
+}
+
+// ExplainTree renders an operator tree.
+func ExplainTree(op Operator) string {
+	var b strings.Builder
+	explainInto(&b, op, 0)
+	return b.String()
+}
+
+func explainInto(b *strings.Builder, op Operator, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(op.Explain())
+	b.WriteString("\n")
+	for _, c := range op.Children() {
+		explainInto(b, c, depth+1)
+	}
+}
+
+// Values is a leaf operator over an already-materialized relation — the
+// integrator wraps remote fragment results in Values before merging them.
+type Values struct {
+	Rel *sqltypes.Relation
+	// Label names the source in EXPLAIN output.
+	Label string
+}
+
+// Schema implements Operator.
+func (v *Values) Schema() *sqltypes.Schema { return v.Rel.Schema }
+
+// Execute implements Operator. It charges one CPU op per row (cursor
+// iteration) and no IO: the data is already local.
+func (v *Values) Execute(ctx *Context) (*sqltypes.Relation, error) {
+	ctx.Res.CPUOps += float64(len(v.Rel.Rows))
+	return v.Rel, nil
+}
+
+// Explain implements Operator.
+func (v *Values) Explain() string {
+	label := v.Label
+	if label == "" {
+		label = "values"
+	}
+	return fmt.Sprintf("VALUES %s [%d rows]", label, len(v.Rel.Rows))
+}
+
+// Children implements Operator.
+func (v *Values) Children() []Operator { return nil }

@@ -1,0 +1,182 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// HashJoin joins two inputs on equality of key expressions, building a hash
+// table on the (smaller, by convention left) build side.
+type HashJoin struct {
+	Build, Probe       Operator
+	BuildKey, ProbeKey sqlparser.Expr
+	// Residual, when non-nil, is applied to joined rows (non-equi conjuncts).
+	Residual sqlparser.Expr
+}
+
+// Schema implements Operator. Output is build columns followed by probe
+// columns.
+func (j *HashJoin) Schema() *sqltypes.Schema {
+	return j.Build.Schema().Concat(j.Probe.Schema())
+}
+
+// Execute implements Operator.
+func (j *HashJoin) Execute(ctx *Context) (*sqltypes.Relation, error) {
+	build, err := j.Build.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := j.Probe.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := build.Schema.Concat(probe.Schema)
+	out := sqltypes.NewRelation(outSchema)
+
+	ht := make(map[uint64][]sqltypes.Row, len(build.Rows))
+	keys := make(map[uint64][]sqltypes.Value)
+	for _, row := range build.Rows {
+		k, err := sqlparser.Eval(j.BuildKey, row, build.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if k.IsNull() {
+			continue
+		}
+		h := k.Hash()
+		ht[h] = append(ht[h], row)
+		keys[h] = append(keys[h], k)
+	}
+	for _, prow := range probe.Rows {
+		k, err := sqlparser.Eval(j.ProbeKey, prow, probe.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if k.IsNull() {
+			continue
+		}
+		h := k.Hash()
+		bucket := ht[h]
+		bkeys := keys[h]
+		for i, brow := range bucket {
+			if sqltypes.Compare(bkeys[i], k) != 0 {
+				continue
+			}
+			joined := brow.Concat(prow)
+			if j.Residual != nil {
+				ok, err := sqlparser.EvalBool(j.Residual, joined, outSchema)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out.Rows = append(out.Rows, joined)
+		}
+	}
+	ctx.Res.CPUOps += float64(len(build.Rows))*2 + float64(len(probe.Rows))*2 + float64(len(out.Rows))
+	return out, nil
+}
+
+// Explain implements Operator.
+func (j *HashJoin) Explain() string {
+	s := fmt.Sprintf("HASHJOIN %s = %s", j.BuildKey, j.ProbeKey)
+	if j.Residual != nil {
+		s += " RESIDUAL " + j.Residual.String()
+	}
+	return s
+}
+
+// Children implements Operator.
+func (j *HashJoin) Children() []Operator { return []Operator{j.Build, j.Probe} }
+
+// NestedLoopJoin joins two inputs on an arbitrary predicate. A nil predicate
+// produces the cross product.
+type NestedLoopJoin struct {
+	Outer, Inner Operator
+	Pred         sqlparser.Expr
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() *sqltypes.Schema {
+	return j.Outer.Schema().Concat(j.Inner.Schema())
+}
+
+// Execute implements Operator.
+func (j *NestedLoopJoin) Execute(ctx *Context) (*sqltypes.Relation, error) {
+	outer, err := j.Outer.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := j.Inner.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := outer.Schema.Concat(inner.Schema)
+	out := sqltypes.NewRelation(outSchema)
+	for _, orow := range outer.Rows {
+		for _, irow := range inner.Rows {
+			joined := orow.Concat(irow)
+			if j.Pred != nil {
+				ok, err := sqlparser.EvalBool(j.Pred, joined, outSchema)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out.Rows = append(out.Rows, joined)
+		}
+	}
+	ctx.Res.CPUOps += float64(len(outer.Rows)) * float64(len(inner.Rows))
+	return out, nil
+}
+
+// Explain implements Operator.
+func (j *NestedLoopJoin) Explain() string {
+	if j.Pred == nil {
+		return "NLJOIN CROSS"
+	}
+	return "NLJOIN " + j.Pred.String()
+}
+
+// Children implements Operator.
+func (j *NestedLoopJoin) Children() []Operator { return []Operator{j.Outer, j.Inner} }
+
+// ExtractEquiJoinKeys finds a conjunct of the form leftCol = rightCol where
+// the two sides reference columns resolvable in the left and right schemas
+// respectively (in either order). It returns the left key, right key, the
+// remaining conjuncts and whether a key pair was found.
+func ExtractEquiJoinKeys(conjuncts []sqlparser.Expr, left, right *sqltypes.Schema) (lk, rk sqlparser.Expr, rest []sqlparser.Expr, ok bool) {
+	for i, c := range conjuncts {
+		be, isBin := c.(*sqlparser.BinaryExpr)
+		if !isBin || be.Op != sqlparser.OpEq {
+			continue
+		}
+		lref, lok := be.Left.(*sqlparser.ColumnRef)
+		rref, rok := be.Right.(*sqlparser.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		switch {
+		case resolves(lref, left) && resolves(rref, right):
+			lk, rk = be.Left, be.Right
+		case resolves(rref, left) && resolves(lref, right):
+			lk, rk = be.Right, be.Left
+		default:
+			continue
+		}
+		rest = append(append([]sqlparser.Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
+		return lk, rk, rest, true
+	}
+	return nil, nil, conjuncts, false
+}
+
+func resolves(ref *sqlparser.ColumnRef, schema *sqltypes.Schema) bool {
+	_, err := schema.ColumnIndex(ref.Table, ref.Name)
+	return err == nil
+}

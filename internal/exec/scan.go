@@ -1,0 +1,272 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// SeqScan reads an entire table sequentially. It charges the table's full
+// page count as sequential IO — large scans stream from disk and are largely
+// insensitive to buffer-pool pressure.
+type SeqScan struct {
+	Table *storage.Table
+	// As qualifies output columns (the table alias in the query).
+	As string
+}
+
+// Schema implements Operator.
+func (s *SeqScan) Schema() *sqltypes.Schema {
+	return s.Table.Schema().WithQualifier(s.effectiveName())
+}
+
+func (s *SeqScan) effectiveName() string {
+	if s.As != "" {
+		return s.As
+	}
+	return s.Table.Name()
+}
+
+// Execute implements Operator.
+func (s *SeqScan) Execute(ctx *Context) (*sqltypes.Relation, error) {
+	out := sqltypes.NewRelation(s.Schema())
+	err := s.Table.Scan(func(row sqltypes.Row) error {
+		out.Rows = append(out.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.Res.IOPages += float64(s.Table.Pages())
+	ctx.Res.CPUOps += float64(len(out.Rows))
+	return out, nil
+}
+
+// Explain implements Operator.
+func (s *SeqScan) Explain() string {
+	return fmt.Sprintf("SEQSCAN %s AS %s [%d rows, %d pages]", s.Table.Name(), s.effectiveName(), s.Table.RowCount(), s.Table.Pages())
+}
+
+// Children implements Operator.
+func (s *SeqScan) Children() []Operator { return nil }
+
+// IndexProbe describes the key condition an IndexScan serves.
+type IndexProbe struct {
+	// Eq, when non-nil, probes for key = Eq.
+	Eq *sqltypes.Value
+	// Lo/Hi bound a range probe (nil = open); inclusive flags apply.
+	Lo, Hi                   *sqltypes.Value
+	LoInclusive, HiInclusive bool
+}
+
+// String renders the probe for EXPLAIN.
+func (p IndexProbe) String() string {
+	if p.Eq != nil {
+		return "= " + p.Eq.String()
+	}
+	lo, hi := "-inf", "+inf"
+	lob, hib := "(", ")"
+	if p.Lo != nil {
+		lo = p.Lo.String()
+		if p.LoInclusive {
+			lob = "["
+		}
+	}
+	if p.Hi != nil {
+		hi = p.Hi.String()
+		if p.HiInclusive {
+			hib = "]"
+		}
+	}
+	return lob + lo + ".." + hi + hib
+}
+
+// IndexScan probes an index and fetches matching rows. Index traversal and
+// row fetches are charged as cache-friendly page touches: with a warm buffer
+// pool they are nearly free, but under update-induced buffer churn the
+// server's load model turns them into real IO.
+type IndexScan struct {
+	Table *storage.Table
+	Index *storage.Index
+	Probe IndexProbe
+	As    string
+}
+
+// Schema implements Operator.
+func (s *IndexScan) Schema() *sqltypes.Schema {
+	return s.Table.Schema().WithQualifier(s.effectiveName())
+}
+
+func (s *IndexScan) effectiveName() string {
+	if s.As != "" {
+		return s.As
+	}
+	return s.Table.Name()
+}
+
+// Execute implements Operator.
+func (s *IndexScan) Execute(ctx *Context) (*sqltypes.Relation, error) {
+	var positions []int
+	if s.Probe.Eq != nil {
+		positions = s.Index.LookupEq(*s.Probe.Eq)
+	} else {
+		positions = s.Index.LookupRange(s.Probe.Lo, s.Probe.Hi, s.Probe.LoInclusive, s.Probe.HiInclusive)
+		if positions == nil && s.Index.Kind() == storage.IndexHash {
+			return nil, fmt.Errorf("exec: hash index %s cannot serve range probe", s.Index.Name())
+		}
+	}
+	out := sqltypes.NewRelation(s.Schema())
+	for _, pos := range positions {
+		row, err := s.Table.Row(pos)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	// Index descent (~log2 of entries) plus one page touch per fetched row,
+	// capped by the table's page count.
+	n := float64(s.Index.Len())
+	descent := 1.0
+	if n > 2 {
+		descent += math.Log2(n) / 4
+	}
+	// Every fetched row is one buffer-pool page touch: random access does
+	// not get sequential-scan batching.
+	fetched := float64(len(positions))
+	ctx.Res.CachedPages += descent + fetched
+	ctx.Res.CPUOps += descent + fetched
+	return out, nil
+}
+
+// Explain implements Operator.
+func (s *IndexScan) Explain() string {
+	return fmt.Sprintf("IDXSCAN %s.%s(%s) %s AS %s", s.Table.Name(), s.Index.Name(), s.Index.Column(), s.Probe, s.effectiveName())
+}
+
+// Children implements Operator.
+func (s *IndexScan) Children() []Operator { return nil }
+
+// ProbeFromPredicate derives an index probe from a conjunct of the form
+// col op literal for the given indexed column (qualified by alias). It
+// returns the probe, the remaining conjuncts that the probe does not cover,
+// and whether a probe was found.
+func ProbeFromPredicate(conjuncts []sqlparser.Expr, alias, column string) (IndexProbe, []sqlparser.Expr, bool) {
+	var probe IndexProbe
+	found := false
+	rest := make([]sqlparser.Expr, 0, len(conjuncts))
+	for _, c := range conjuncts {
+		if found {
+			rest = append(rest, c)
+			continue
+		}
+		be, ok := c.(*sqlparser.BinaryExpr)
+		if ok {
+			col, lit, op := matchColLit(be, alias, column)
+			if col {
+				v := lit
+				switch op {
+				case sqlparser.OpEq:
+					probe = IndexProbe{Eq: &v}
+					found = true
+					continue
+				case sqlparser.OpGt:
+					probe = IndexProbe{Lo: &v}
+					found = true
+					continue
+				case sqlparser.OpGe:
+					probe = IndexProbe{Lo: &v, LoInclusive: true}
+					found = true
+					continue
+				case sqlparser.OpLt:
+					probe = IndexProbe{Hi: &v}
+					found = true
+					continue
+				case sqlparser.OpLe:
+					probe = IndexProbe{Hi: &v, HiInclusive: true}
+					found = true
+					continue
+				}
+			}
+		}
+		if bt, ok := c.(*sqlparser.BetweenExpr); ok && !bt.Negate {
+			if ref, okc := bt.Subject.(*sqlparser.ColumnRef); okc && refMatches(ref, alias, column) {
+				lo, okLo := bt.Lo.(*sqlparser.Literal)
+				hi, okHi := bt.Hi.(*sqlparser.Literal)
+				if okLo && okHi {
+					lv, hv := lo.Val, hi.Val
+					probe = IndexProbe{Lo: &lv, Hi: &hv, LoInclusive: true, HiInclusive: true}
+					found = true
+					continue
+				}
+			}
+		}
+		rest = append(rest, c)
+	}
+	if !found {
+		return IndexProbe{}, conjuncts, false
+	}
+	return probe, rest, true
+}
+
+// matchColLit matches be as (column op literal) or (literal op column),
+// normalizing the operator to put the column on the left.
+func matchColLit(be *sqlparser.BinaryExpr, alias, column string) (bool, sqltypes.Value, sqlparser.BinaryOp) {
+	if !be.Op.IsComparison() {
+		return false, sqltypes.Null, be.Op
+	}
+	if ref, ok := be.Left.(*sqlparser.ColumnRef); ok && refMatches(ref, alias, column) {
+		if lit, ok := be.Right.(*sqlparser.Literal); ok {
+			return true, lit.Val, be.Op
+		}
+	}
+	if ref, ok := be.Right.(*sqlparser.ColumnRef); ok && refMatches(ref, alias, column) {
+		if lit, ok := be.Left.(*sqlparser.Literal); ok {
+			return true, lit.Val, flip(be.Op)
+		}
+	}
+	return false, sqltypes.Null, be.Op
+}
+
+func flip(op sqlparser.BinaryOp) sqlparser.BinaryOp {
+	switch op {
+	case sqlparser.OpLt:
+		return sqlparser.OpGt
+	case sqlparser.OpLe:
+		return sqlparser.OpGe
+	case sqlparser.OpGt:
+		return sqlparser.OpLt
+	case sqlparser.OpGe:
+		return sqlparser.OpLe
+	default:
+		return op
+	}
+}
+
+func refMatches(ref *sqlparser.ColumnRef, alias, column string) bool {
+	if !strEqualFold(ref.Name, column) {
+		return false
+	}
+	return ref.Table == "" || strEqualFold(ref.Table, alias)
+}
+
+func strEqualFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/qcc"
+	"repro/internal/remote"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+// LBOutcome is one load-distribution policy's measurement.
+type LBOutcome struct {
+	// Mode names the policy.
+	Mode string
+	// AvgMS is the mean response time over the query burst.
+	AvgMS float64
+	// P95MS approximates the 95th-percentile response time.
+	P95MS float64
+	// ServersUsed counts servers that executed at least one fragment.
+	ServersUsed int
+	// MaxShare is the largest per-server share of executions (1.0 = all on
+	// one server; 1/n = perfectly even).
+	MaxShare float64
+}
+
+// LoadBalanceStudy quantifies §4's claim: with servers that heat up under
+// their own query traffic (induced load), pinning a hot query's "cheapest"
+// plan overloads one server, while QCC's round-robin rotation over
+// close-cost plans spreads the burst and lowers response times. The study
+// fires a burst of identical QT2-shaped queries under three policies:
+// no load distribution, fragment-level rotation (§4.1) and global-level
+// rotation (§4.2).
+func LoadBalanceStudy(opts Options, burst int) ([]LBOutcome, error) {
+	opts.fill()
+	if burst <= 0 {
+		burst = 30
+	}
+	modes := []struct {
+		name string
+		mode qcc.LBMode
+	}{
+		{"off", qcc.LBOff},
+		{"fragment", qcc.LBFragment},
+		{"global", qcc.LBGlobal},
+	}
+	var out []LBOutcome
+	for _, m := range modes {
+		o, err := runLBBurst(opts, m.mode, m.name, burst)
+		if err != nil {
+			return nil, fmt.Errorf("lb study %s: %w", m.name, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func runLBBurst(opts Options, mode qcc.LBMode, name string, burst int) (LBOutcome, error) {
+	sc, err := scenario.BuildThreeServer(scenario.Options{
+		Scale: opts.Scale,
+		Seed:  opts.Seed,
+		// §4's setting: true equivalent data sources (uniform replicas)
+		// that heat up under their own query traffic.
+		Uniform:     true,
+		InducedLoad: remote.InducedLoadProfile{WindowMS: 1000, Gain: 12},
+	})
+	if err != nil {
+		return LBOutcome{}, err
+	}
+	qcc.Attach(qcc.Config{
+		Clock: sc.Clock,
+		MW:    sc.MW,
+		LB: qcc.LBConfig{
+			Mode:      mode,
+			Closeness: 0.2, // the paper's "within 20%" band
+		},
+		DisableDaemons: true,
+	}, sc.II)
+
+	// A moderately expensive query so the burst actually heats servers.
+	qt, err := workload.TypeByName("QT2")
+	if err != nil {
+		return LBOutcome{}, err
+	}
+	var times []float64
+	for i := 0; i < burst; i++ {
+		res, err := sc.II.Query(qt.Make(i % 10))
+		if err != nil {
+			return LBOutcome{}, err
+		}
+		times = append(times, float64(res.ResponseTime))
+	}
+	used := 0
+	var maxExec, totalExec int64
+	for _, srv := range sc.Servers {
+		n := srv.Executed()
+		totalExec += n
+		if n > 0 {
+			used++
+		}
+		if n > maxExec {
+			maxExec = n
+		}
+	}
+	maxShare := 0.0
+	if totalExec > 0 {
+		maxShare = float64(maxExec) / float64(totalExec)
+	}
+	return LBOutcome{
+		Mode:        name,
+		AvgMS:       Mean(times),
+		P95MS:       percentile(times, 0.95),
+		ServersUsed: used,
+		MaxShare:    maxShare,
+	}, nil
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// FormatLoadBalanceStudy renders the §4 study.
+func FormatLoadBalanceStudy(outcomes []LBOutcome) string {
+	out := "Load distribution study — burst of identical queries, servers heat up under traffic\n"
+	out += "  policy      avg(ms)    p95(ms)  servers  max share\n"
+	for _, o := range outcomes {
+		out += fmt.Sprintf("  %-9s %9.1f %10.1f  %7d  %8.0f%%\n",
+			o.Mode, o.AvgMS, o.P95MS, o.ServersUsed, o.MaxShare*100)
+	}
+	return out
+}

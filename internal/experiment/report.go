@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// FormatFigure9 renders the sensitivity study as per-query-type blocks with
+// one row per server×load series and one column per instance — the series
+// plotted in Figure 9(a)–(d).
+func FormatFigure9(results []SensitivityResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "Figure 9 — %s: response time (ms) per instance\n", r.QT)
+		header := "  series  "
+		n := 0
+		for _, ts := range r.Low {
+			if len(ts) > n {
+				n = len(ts)
+			}
+		}
+		for i := 0; i < n; i++ {
+			header += fmt.Sprintf("%9s", fmt.Sprintf("q%d", i+1))
+		}
+		b.WriteString(header + "\n")
+		for _, server := range Servers {
+			writeSeries(&b, server+"-low ", r.Low[server])
+			writeSeries(&b, server+"-high", r.High[server])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func writeSeries(b *strings.Builder, label string, ts []float64) {
+	fmt.Fprintf(b, "  %-8s", label)
+	for _, t := range ts {
+		fmt.Fprintf(b, "%9.1f", t)
+	}
+	b.WriteString("\n")
+}
+
+// FormatTable1 renders the phase/load matrix of Table 1.
+func FormatTable1() string {
+	phases := workload.Phases()
+	var b strings.Builder
+	b.WriteString("Table 1 — Combinations of Server Load Conditions\n")
+	b.WriteString("  Server")
+	for _, p := range phases {
+		fmt.Fprintf(&b, "%8s", strings.TrimPrefix(p.Name, "Phase"))
+	}
+	b.WriteString("\n")
+	for _, s := range Servers {
+		fmt.Fprintf(&b, "  %-6s", s)
+		for _, p := range phases {
+			if p.Loaded[s] {
+				b.WriteString("    Load")
+			} else {
+				b.WriteString("    Base")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the fixed vs dynamic assignment comparison of
+// Table 2: the static registration next to QCC's per-phase modal routing.
+func FormatTable2(outcomes []PhaseOutcome) string {
+	fixed := workload.FixedAssignment1()
+	var b strings.Builder
+	b.WriteString("Table 2 — Fixed Server Assignment vs Dynamic Assignment (per phase)\n")
+	b.WriteString("  QType  Fixed")
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "%8s", strings.TrimPrefix(o.Phase.Name, "Phase"))
+	}
+	b.WriteString("\n")
+	for _, qt := range []string{"QT1", "QT2", "QT3", "QT4"} {
+		fmt.Fprintf(&b, "  %-6s %-5s", qt, fixed[qt])
+		for _, o := range outcomes {
+			fmt.Fprintf(&b, "%8s", o.Assignments[qt])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatFigure10 renders the per-phase response times and gain of QCC vs
+// fixed assignment 1.
+func FormatFigure10(outcomes []PhaseOutcome) string {
+	var b strings.Builder
+	b.WriteString("Figure 10 — Benefits of QCC vs Fixed Assignment 1 (typical registration)\n")
+	b.WriteString("  Phase     Fixed1(ms)     QCC(ms)    Gain\n")
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "  %-8s %11.1f %11.1f  %5.1f%%\n",
+			o.Phase.Name, o.Fixed1AvgMS, o.QCCAvgMS, o.Gain1*100)
+	}
+	g1, _ := AverageGains(outcomes)
+	fmt.Fprintf(&b, "  average gain: %.1f%%\n", g1*100)
+	return b.String()
+}
+
+// FormatFigure11 renders the per-phase response times and gain of QCC vs
+// fixed assignment 2 (everything on the most powerful server, S3).
+func FormatFigure11(outcomes []PhaseOutcome) string {
+	var b strings.Builder
+	b.WriteString("Figure 11 — Benefits of QCC vs Fixed Assignment 2 (always S3)\n")
+	b.WriteString("  Phase     Fixed2(ms)     QCC(ms)    Gain\n")
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "  %-8s %11.1f %11.1f  %5.1f%%\n",
+			o.Phase.Name, o.Fixed2AvgMS, o.QCCAvgMS, o.Gain2*100)
+	}
+	_, g2 := AverageGains(outcomes)
+	fmt.Fprintf(&b, "  average gain: %.1f%%\n", g2*100)
+	return b.String()
+}

@@ -1,0 +1,302 @@
+// Package integrator implements the Information Integrator (II): the
+// federated query processor at the center of the paper's architecture. It
+// parses federated SQL, decomposes it via the global optimizer, dispatches
+// fragment execution descriptors through the meta-wrapper, merges fragment
+// results locally (joins, aggregation, ordering), charges the merge work to
+// the II node's own load model, and logs everything through the query
+// patroller. All timing is virtual: every completed query advances the
+// shared simulated clock by its response time.
+package integrator
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/metawrapper"
+	"repro/internal/optimizer"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// RoutePolicy lets QCC substitute an alternative global plan for load
+// distribution (§4: the round-robin rotation sets). Implementations return
+// the winner unchanged when no rotation applies.
+type RoutePolicy interface {
+	ChooseGlobal(queryText string, winner *optimizer.GlobalPlan) *optimizer.GlobalPlan
+}
+
+// IIMergeObserver receives (estimated, observed) pairs for II-side merge
+// work; QCC uses them to maintain the workload cost calibration factor
+// (§3.2). Nil is allowed.
+type IIMergeObserver interface {
+	ObserveIIMerge(estMS float64, observed simclock.Time)
+}
+
+// RuntimeRerouter implements the paper's long-running-query extension
+// ("periodically re-check the load and switch data sources if needed"): it
+// is consulted immediately before each fragment dispatches, after compile
+// time, and may substitute a different (server, plan) choice when conditions
+// changed since compilation. Returning nil keeps the compiled choice.
+type RuntimeRerouter interface {
+	RerouteFragment(choice optimizer.FragmentChoice) *optimizer.FragmentChoice
+}
+
+// Config wires an II instance.
+type Config struct {
+	Catalog *catalog.Catalog
+	MW      *metawrapper.MetaWrapper
+	// Node models the II machine (merge costing and load).
+	Node *remote.Server
+	// Clock is the shared virtual clock.
+	Clock *simclock.Clock
+	// IICalib is QCC's workload calibrator for merge estimates (may be nil).
+	IICalib optimizer.IICalibrator
+	// Route is QCC's load-distribution hook (may be nil).
+	Route RoutePolicy
+	// MergeObs receives II merge observations (may be nil).
+	MergeObs IIMergeObserver
+	// Reroute, when non-nil, is consulted before each fragment dispatch
+	// (the long-running-query extension).
+	Reroute RuntimeRerouter
+	// Retries is the number of re-optimize attempts after a fragment
+	// execution failure (default 2).
+	Retries int
+}
+
+// II is the information integrator.
+type II struct {
+	cfg       Config
+	opt       *optimizer.Optimizer
+	explain   *optimizer.ExplainTable
+	patroller *Patroller
+}
+
+// New builds an II.
+func New(cfg Config) *II {
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	return &II{
+		cfg: cfg,
+		opt: &optimizer.Optimizer{
+			Catalog: cfg.Catalog,
+			MW:      cfg.MW,
+			IINode:  cfg.Node,
+			IICalib: cfg.IICalib,
+		},
+		explain:   optimizer.NewExplainTable(),
+		patroller: NewPatroller(),
+	}
+}
+
+// Optimizer exposes the global optimizer (QCC's what-if analysis drives it
+// directly with masking).
+func (ii *II) Optimizer() *optimizer.Optimizer { return ii.opt }
+
+// ExplainTable exposes the stored winners.
+func (ii *II) ExplainTable() *optimizer.ExplainTable { return ii.explain }
+
+// Patroller exposes the query log.
+func (ii *II) Patroller() *Patroller { return ii.patroller }
+
+// Clock exposes the shared clock.
+func (ii *II) Clock() *simclock.Clock { return ii.cfg.Clock }
+
+// SetRoute installs or replaces the routing policy.
+func (ii *II) SetRoute(r RoutePolicy) { ii.cfg.Route = r }
+
+// SetMergeObserver installs the II merge observer (QCC's §3.2 input).
+func (ii *II) SetMergeObserver(o IIMergeObserver) { ii.cfg.MergeObs = o }
+
+// SetRerouter installs the runtime fragment rerouter.
+func (ii *II) SetRerouter(r RuntimeRerouter) { ii.cfg.Reroute = r }
+
+// SetIICalibrator installs the II workload calibrator used when costing
+// merge work during optimization.
+func (ii *II) SetIICalibrator(c optimizer.IICalibrator) { ii.opt.IICalib = c }
+
+// QueryResult is the outcome of one federated query.
+type QueryResult struct {
+	// Rel is the merged result.
+	Rel *sqltypes.Relation
+	// Plan is the executed global plan.
+	Plan *optimizer.GlobalPlan
+	// FragmentTimes maps fragment IDs to observed response times.
+	FragmentTimes map[string]simclock.Time
+	// ExecutedServers maps fragment IDs to the servers that actually ran
+	// them — identical to the plan's routing unless a runtime rerouter
+	// substituted a fragment.
+	ExecutedServers map[string]string
+	// MergeTime is the observed II-side merge time.
+	MergeTime simclock.Time
+	// ResponseTime is the end-user response time: parallel remote phase
+	// (max fragment time) plus merge.
+	ResponseTime simclock.Time
+	// Retried counts re-optimizations after fragment failures.
+	Retried int
+}
+
+// Query compiles and executes a federated SQL statement.
+func (ii *II) Query(sql string) (*QueryResult, error) {
+	logID := ii.patroller.Submit(sql, ii.cfg.Clock.Now())
+	res, err := ii.run(sql)
+	ii.cfg.Clock.AdvanceTo(ii.cfg.Clock.Now()) // flush due events
+	if err != nil {
+		ii.patroller.Complete(logID, ii.cfg.Clock.Now(), err)
+		return nil, err
+	}
+	ii.cfg.Clock.Advance(res.ResponseTime)
+	ii.patroller.Complete(logID, ii.cfg.Clock.Now(), nil)
+	return res, nil
+}
+
+// Compile optimizes without executing and records the winner in the explain
+// table — the paper's "explain mode".
+func (ii *II) Compile(sql string) (*optimizer.GlobalPlan, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	gp, err := ii.opt.Optimize(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if ii.cfg.Route != nil {
+		gp = ii.cfg.Route.ChooseGlobal(gp.Query, gp)
+	}
+	ii.explain.Record(gp, ii.cfg.Clock.Now())
+	return gp, nil
+}
+
+func (ii *II) run(sql string) (*QueryResult, error) {
+	var lastErr error
+	retried := 0
+	for attempt := 0; attempt <= ii.cfg.Retries; attempt++ {
+		gp, err := ii.Compile(sql)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ii.Execute(gp)
+		if err == nil {
+			res.Retried = retried
+			return res, nil
+		}
+		lastErr = err
+		retried++
+	}
+	return nil, fmt.Errorf("integrator: query failed after %d retries: %w", retried-1, lastErr)
+}
+
+// Execute runs a compiled global plan: fragments in parallel through MW,
+// then the local merge.
+func (ii *II) Execute(gp *optimizer.GlobalPlan) (*QueryResult, error) {
+	fragTimes := map[string]simclock.Time{}
+	executed := map[string]string{}
+	fragRels := make([]*sqltypes.Relation, len(gp.Fragments))
+	var remotePhase simclock.Time
+	for i, f := range gp.Fragments {
+		if ii.cfg.Reroute != nil {
+			if alt := ii.cfg.Reroute.RerouteFragment(f); alt != nil {
+				f = *alt
+			}
+		}
+		out, err := ii.cfg.MW.ExecuteFragment(f.ServerID, f.Spec.Stmt.String(), f.Plan, f.RawEst)
+		if err != nil {
+			return nil, fmt.Errorf("integrator: fragment %s at %s: %w", f.Spec.ID, f.ServerID, err)
+		}
+		fragRels[i] = out.Result.Rel
+		fragTimes[f.Spec.ID] = out.ResponseTime
+		executed[f.Spec.ID] = f.ServerID
+		if out.ResponseTime > remotePhase {
+			remotePhase = out.ResponseTime
+		}
+	}
+
+	rel, mergeTime, err := ii.merge(gp, fragRels)
+	if err != nil {
+		return nil, err
+	}
+	if ii.cfg.MergeObs != nil {
+		ii.cfg.MergeObs.ObserveIIMerge(gp.MergeEstMS, mergeTime)
+	}
+	return &QueryResult{
+		Rel:             rel,
+		Plan:            gp,
+		FragmentTimes:   fragTimes,
+		ExecutedServers: executed,
+		MergeTime:       mergeTime,
+		ResponseTime:    remotePhase + mergeTime,
+	}, nil
+}
+
+// merge combines fragment results at the II node.
+func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation) (*sqltypes.Relation, simclock.Time, error) {
+	ctx := &exec.Context{}
+	if gp.Decomp.SingleFragment {
+		rel := fragRels[0]
+		ctx.Res.CPUOps = float64(rel.Cardinality())
+		return rel, ii.cfg.Node.Observe(ctx.Res), nil
+	}
+	// Join fragments left-to-right on the cross-source conjuncts.
+	cross := append([]sqlparser.Expr(nil), gp.Decomp.Cross...)
+	var current exec.Operator = &exec.Values{Rel: fragRels[0], Label: gp.Fragments[0].Spec.ID}
+	for i := 1; i < len(fragRels); i++ {
+		right := &exec.Values{Rel: fragRels[i], Label: gp.Fragments[i].Spec.ID}
+		lk, rk, rest, ok := exec.ExtractEquiJoinKeys(cross, current.Schema(), right.Schema())
+		if ok {
+			joined := current.Schema().Concat(right.Schema())
+			var residuals, remaining []sqlparser.Expr
+			for _, c := range rest {
+				if exprResolves(c, joined) {
+					residuals = append(residuals, c)
+				} else {
+					remaining = append(remaining, c)
+				}
+			}
+			current = &exec.HashJoin{
+				Build:    current,
+				Probe:    right,
+				BuildKey: lk,
+				ProbeKey: rk,
+				Residual: sqlparser.JoinConjuncts(residuals),
+			}
+			cross = remaining
+			continue
+		}
+		joined := current.Schema().Concat(right.Schema())
+		var preds, remaining []sqlparser.Expr
+		for _, c := range cross {
+			if exprResolves(c, joined) {
+				preds = append(preds, c)
+			} else {
+				remaining = append(remaining, c)
+			}
+		}
+		current = &exec.NestedLoopJoin{Outer: current, Inner: right, Pred: sqlparser.JoinConjuncts(preds)}
+		cross = remaining
+	}
+	if len(cross) > 0 {
+		current = &exec.Filter{Input: current, Pred: sqlparser.JoinConjuncts(cross)}
+	}
+	top, err := exec.BuildTop(gp.Stmt, current)
+	if err != nil {
+		return nil, 0, fmt.Errorf("integrator: building merge plan: %w", err)
+	}
+	rel, err := top.Execute(ctx)
+	if err != nil {
+		return nil, 0, fmt.Errorf("integrator: merging: %w", err)
+	}
+	return rel, ii.cfg.Node.Observe(ctx.Res), nil
+}
+
+func exprResolves(e sqlparser.Expr, schema *sqltypes.Schema) bool {
+	for _, ref := range sqlparser.CollectColumnRefs(e, nil) {
+		if _, err := schema.ColumnIndex(ref.Table, ref.Name); err != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package integrator
+
+import (
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// LogEntry is one query patroller record: statement, submission time and
+// completion time (§1: "the user query statement and query submission time
+// are recorded ... Query Patroller records the query completion time in the
+// log for future use").
+type LogEntry struct {
+	ID         int64
+	Query      string
+	SubmitAt   simclock.Time
+	CompleteAt simclock.Time
+	Completed  bool
+	// Err is the failure text for unsuccessful queries; QCC mines these for
+	// down-event detection.
+	Err string
+	// ResponseTime is CompleteAt - SubmitAt for completed queries.
+	ResponseTime simclock.Time
+}
+
+// Patroller is the query patroller: the intercepting logger in front of the
+// integrator.
+type Patroller struct {
+	mu      sync.Mutex
+	nextID  int64
+	entries map[int64]*LogEntry
+	order   []int64
+}
+
+// NewPatroller returns an empty patroller.
+func NewPatroller() *Patroller {
+	return &Patroller{entries: map[int64]*LogEntry{}}
+}
+
+// Submit records a query submission and returns its log ID.
+func (p *Patroller) Submit(query string, at simclock.Time) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	id := p.nextID
+	p.entries[id] = &LogEntry{ID: id, Query: query, SubmitAt: at}
+	p.order = append(p.order, id)
+	return id
+}
+
+// Complete records a query completion (or failure).
+func (p *Patroller) Complete(id int64, at simclock.Time, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	if !ok {
+		return
+	}
+	e.Completed = true
+	e.CompleteAt = at
+	e.ResponseTime = at - e.SubmitAt
+	if err != nil {
+		e.Err = err.Error()
+	}
+}
+
+// Log returns a snapshot of all entries in submission order.
+func (p *Patroller) Log() []LogEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]LogEntry, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, *p.entries[id])
+	}
+	return out
+}
+
+// Len returns the number of log entries.
+func (p *Patroller) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.order)
+}

@@ -1,0 +1,58 @@
+package integrator
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPatrollerSubmitComplete(t *testing.T) {
+	p := NewPatroller()
+	id1 := p.Submit("Q1", 10)
+	id2 := p.Submit("Q2", 20)
+	if id1 == id2 {
+		t.Fatal("ids must be unique")
+	}
+	p.Complete(id1, 35, nil)
+	p.Complete(id2, 50, errors.New("boom"))
+	log := p.Log()
+	if len(log) != 2 || p.Len() != 2 {
+		t.Fatalf("log size: %d", len(log))
+	}
+	e1, e2 := log[0], log[1]
+	if e1.Query != "Q1" || !e1.Completed || e1.Err != "" {
+		t.Fatalf("e1: %+v", e1)
+	}
+	if e1.ResponseTime != 25 {
+		t.Fatalf("e1 response: %v", e1.ResponseTime)
+	}
+	if e2.Err != "boom" || e2.ResponseTime != 30 {
+		t.Fatalf("e2: %+v", e2)
+	}
+}
+
+func TestPatrollerUnknownCompleteIsNoop(t *testing.T) {
+	p := NewPatroller()
+	p.Complete(999, 5, nil)
+	if p.Len() != 0 {
+		t.Fatal("ghost completion must not create entries")
+	}
+}
+
+func TestPatrollerIncompleteEntries(t *testing.T) {
+	p := NewPatroller()
+	p.Submit("Q", 1)
+	log := p.Log()
+	if log[0].Completed || log[0].ResponseTime != 0 {
+		t.Fatalf("incomplete entry: %+v", log[0])
+	}
+}
+
+func TestPatrollerLogIsSnapshot(t *testing.T) {
+	p := NewPatroller()
+	id := p.Submit("Q", 1)
+	snap := p.Log()
+	p.Complete(id, 9, nil)
+	if snap[0].Completed {
+		t.Fatal("snapshot must not see later completion")
+	}
+}

@@ -1,0 +1,102 @@
+package metawrapper
+
+import "sync"
+
+// The paper's §2 assigns MW its own bookkeeping: at compile time it records
+// (a) the incoming federated query statements, (b) the estimated cost of the
+// federated queries, (c) the outgoing query fragments, and (d) their
+// mappings to the remote servers; during run time it records (e) the
+// response time of each query fragment. Beyond forwarding these to QCC, MW
+// keeps bounded in-memory logs so operators (and tests) can audit exactly
+// what the calibrator saw.
+
+// logLimit bounds each MW log.
+const logLimit = 4096
+
+// CompileLogEntry is one compile-time record (items a–d).
+type CompileLogEntry struct {
+	// Fragment is the outgoing fragment statement text.
+	Fragment string
+	// ServerID is the mapping target.
+	ServerID string
+	// PlanSig is the candidate's physical signature.
+	PlanSig string
+	// EstMS is the wrapper's estimate; CalibratedMS what the integrator saw.
+	EstMS, CalibratedMS float64
+	// CostKnown is false for no-estimate (file) sources.
+	CostKnown bool
+}
+
+// RunLogEntry is one runtime record (item e).
+type RunLogEntry struct {
+	Fragment string
+	ServerID string
+	PlanSig  string
+	// EstMS is the compile-time estimate of the executed plan.
+	EstMS float64
+	// ObservedMS is the wrapper-visible response time.
+	ObservedMS float64
+	// OutBytes is the result volume.
+	OutBytes int
+}
+
+// ErrorLogEntry is one failed interaction.
+type ErrorLogEntry struct {
+	ServerID string
+	Err      string
+}
+
+type mwLog struct {
+	mu       sync.Mutex
+	compiles []CompileLogEntry
+	runs     []RunLogEntry
+	errors   []ErrorLogEntry
+}
+
+func (l *mwLog) addCompile(e CompileLogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compiles = append(l.compiles, e)
+	if len(l.compiles) > logLimit {
+		l.compiles = l.compiles[len(l.compiles)-logLimit:]
+	}
+}
+
+func (l *mwLog) addRun(e RunLogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.runs = append(l.runs, e)
+	if len(l.runs) > logLimit {
+		l.runs = l.runs[len(l.runs)-logLimit:]
+	}
+}
+
+func (l *mwLog) addError(e ErrorLogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.errors = append(l.errors, e)
+	if len(l.errors) > logLimit {
+		l.errors = l.errors[len(l.errors)-logLimit:]
+	}
+}
+
+// CompileLog returns a snapshot of the compile-time records.
+func (mw *MetaWrapper) CompileLog() []CompileLogEntry {
+	mw.log.mu.Lock()
+	defer mw.log.mu.Unlock()
+	return append([]CompileLogEntry(nil), mw.log.compiles...)
+}
+
+// RunLog returns a snapshot of the runtime records.
+func (mw *MetaWrapper) RunLog() []RunLogEntry {
+	mw.log.mu.Lock()
+	defer mw.log.mu.Unlock()
+	return append([]RunLogEntry(nil), mw.log.runs...)
+}
+
+// ErrorLog returns a snapshot of the error records.
+func (mw *MetaWrapper) ErrorLog() []ErrorLogEntry {
+	mw.log.mu.Lock()
+	defer mw.log.mu.Unlock()
+	return append([]ErrorLogEntry(nil), mw.log.errors...)
+}

@@ -1,0 +1,252 @@
+// Package metawrapper implements the paper's Meta-Wrapper (MW): the
+// middleware between the information integrator and the per-source wrappers
+// (§2). At compile time MW records the incoming fragment statements, the
+// estimated costs, and the fragment→server mappings, and — crucially —
+// applies QCC's calibration to the estimates before they reach the
+// integrator's optimizer (Figure 5). At run time MW forwards execution
+// descriptors, records per-fragment response times, and reports both
+// observations and errors to QCC.
+package metawrapper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/remote"
+	"repro/internal/simclock"
+	"repro/internal/sqlparser"
+	"repro/internal/wrapper"
+)
+
+// FragmentKey identifies a fragment for calibration purposes: the paper
+// keeps per-source factors and, when runtime statistics are available,
+// per-(source, fragment) factors.
+type FragmentKey struct {
+	ServerID string
+	// Signature is the fragment statement text (not the physical plan): the
+	// identity under which costs are compared across compilations.
+	Signature string
+}
+
+// CompileRecord is what MW hands QCC at compile time (items a–d in §2).
+type CompileRecord struct {
+	Key       FragmentKey
+	PlanSig   string
+	Est       remote.CostEstimate
+	CostKnown bool
+	// Calibrated is the estimate MW returned to the integrator after
+	// applying QCC's factor.
+	Calibrated remote.CostEstimate
+}
+
+// RunRecord is what MW hands QCC at run time (item e in §2).
+type RunRecord struct {
+	Key     FragmentKey
+	PlanSig string
+	// Est is the compile-time (uncalibrated) estimate of the executed plan.
+	Est remote.CostEstimate
+	// Observed is the wrapper-visible response time.
+	Observed simclock.Time
+	// OutBytes is the actual result volume.
+	OutBytes int
+}
+
+// Observer receives MW's records; QCC implements it. A nil observer is
+// allowed (a plain federation without QCC).
+type Observer interface {
+	ObserveCompile(rec CompileRecord)
+	ObserveRun(rec RunRecord)
+	ObserveError(serverID string, err error)
+	ObserveProbe(serverID string, rtt simclock.Time, err error)
+}
+
+// Calibrator adjusts estimates; QCC implements it. A nil calibrator leaves
+// estimates untouched.
+type Calibrator interface {
+	// CalibrateFragment scales a fragment estimate by the learned factor
+	// for the (server, fragment) pair. Unavailable servers return +Inf.
+	CalibrateFragment(key FragmentKey, est remote.CostEstimate, costKnown bool) remote.CostEstimate
+}
+
+// MetaWrapper multiplexes wrappers and instruments every interaction.
+type MetaWrapper struct {
+	mu       sync.RWMutex
+	wrappers map[string]wrapper.Wrapper
+	observer Observer
+	calib    Calibrator
+	masked   map[string]bool
+	log      mwLog
+}
+
+// New builds a MetaWrapper over the given wrappers.
+func New(wrappers ...wrapper.Wrapper) *MetaWrapper {
+	mw := &MetaWrapper{wrappers: map[string]wrapper.Wrapper{}, masked: map[string]bool{}}
+	for _, w := range wrappers {
+		mw.wrappers[w.ServerID()] = w
+	}
+	return mw
+}
+
+// SetObserver installs the observer (QCC).
+func (mw *MetaWrapper) SetObserver(o Observer) {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	mw.observer = o
+}
+
+// SetCalibrator installs the calibrator (QCC).
+func (mw *MetaWrapper) SetCalibrator(c Calibrator) {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	mw.calib = c
+}
+
+// Wrapper returns the wrapper for a server, or nil.
+func (mw *MetaWrapper) Wrapper(serverID string) wrapper.Wrapper {
+	mw.mu.RLock()
+	defer mw.mu.RUnlock()
+	return mw.wrappers[serverID]
+}
+
+// Servers lists wrapped server IDs, sorted.
+func (mw *MetaWrapper) Servers() []string {
+	mw.mu.RLock()
+	defer mw.mu.RUnlock()
+	out := make([]string, 0, len(mw.wrappers))
+	for id := range mw.wrappers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mask hides a server from Explain: its plans are not offered to the
+// integrator. QCC's simulated federated system uses masking to force the
+// optimizer through alternative plan combinations (§4.2's "adjusting cost
+// functions of R1 and R2 to infinity"), and the availability machinery uses
+// it to fence off down servers.
+func (mw *MetaWrapper) Mask(serverID string, masked bool) {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	mw.masked[serverID] = masked
+}
+
+// Masked reports whether a server is currently masked.
+func (mw *MetaWrapper) Masked(serverID string) bool {
+	mw.mu.RLock()
+	defer mw.mu.RUnlock()
+	return mw.masked[serverID]
+}
+
+func (mw *MetaWrapper) observerAndCalib() (Observer, Calibrator) {
+	mw.mu.RLock()
+	defer mw.mu.RUnlock()
+	return mw.observer, mw.calib
+}
+
+// ExplainFragment asks one server's wrapper for candidate plans, records the
+// compile-time information, and returns candidates with CALIBRATED costs.
+func (mw *MetaWrapper) ExplainFragment(serverID string, stmt *sqlparser.SelectStmt) ([]wrapper.Candidate, error) {
+	if mw.Masked(serverID) {
+		return nil, fmt.Errorf("metawrapper: server %s is masked", serverID)
+	}
+	w := mw.Wrapper(serverID)
+	if w == nil {
+		return nil, fmt.Errorf("metawrapper: unknown server %q", serverID)
+	}
+	obs, calib := mw.observerAndCalib()
+	cands, err := w.Explain(stmt)
+	if err != nil {
+		if obs != nil {
+			obs.ObserveError(serverID, err)
+		}
+		mw.log.addError(ErrorLogEntry{ServerID: serverID, Err: err.Error()})
+		return nil, err
+	}
+	key := FragmentKey{ServerID: serverID, Signature: sqlparser.CanonicalizeSQL(stmt.String())}
+	out := make([]wrapper.Candidate, len(cands))
+	for i, c := range cands {
+		calibrated := c.Plan.Est
+		if calib != nil {
+			calibrated = calib.CalibrateFragment(key, c.Plan.Est, c.CostKnown)
+		}
+		if obs != nil {
+			obs.ObserveCompile(CompileRecord{
+				Key:        key,
+				PlanSig:    c.Plan.Signature,
+				Est:        c.Plan.Est,
+				CostKnown:  c.CostKnown,
+				Calibrated: calibrated,
+			})
+		}
+		mw.log.addCompile(CompileLogEntry{
+			Fragment:     key.Signature,
+			ServerID:     serverID,
+			PlanSig:      c.Plan.Signature,
+			EstMS:        c.Plan.Est.TotalMS,
+			CalibratedMS: calibrated.TotalMS,
+			CostKnown:    c.CostKnown,
+		})
+		// Hand the integrator a copy carrying the calibrated estimate; the
+		// raw estimate stays on record for calibration updates.
+		cp := *c.Plan
+		cp.Est = calibrated
+		out[i] = wrapper.Candidate{Plan: &cp, RawEst: c.Plan.Est, CostKnown: c.CostKnown}
+	}
+	return out, nil
+}
+
+// ExecuteFragment forwards an execution descriptor, records the observed
+// response time against the original (uncalibrated) estimate, and reports
+// errors.
+//
+// rawEst must be the wrapper's uncalibrated estimate for the executed plan;
+// fragSig the fragment statement text.
+func (mw *MetaWrapper) ExecuteFragment(serverID, fragSig string, plan *remote.Plan, rawEst remote.CostEstimate) (*wrapper.ExecOutcome, error) {
+	w := mw.Wrapper(serverID)
+	if w == nil {
+		return nil, fmt.Errorf("metawrapper: unknown server %q", serverID)
+	}
+	obs, _ := mw.observerAndCalib()
+	out, err := w.Execute(plan)
+	if err != nil {
+		if obs != nil {
+			obs.ObserveError(serverID, err)
+		}
+		mw.log.addError(ErrorLogEntry{ServerID: serverID, Err: err.Error()})
+		return nil, err
+	}
+	if obs != nil {
+		obs.ObserveRun(RunRecord{
+			Key:      FragmentKey{ServerID: serverID, Signature: sqlparser.CanonicalizeSQL(fragSig)},
+			PlanSig:  plan.Signature,
+			Est:      rawEst,
+			Observed: out.ResponseTime,
+			OutBytes: out.Result.Rel.ByteSize(),
+		})
+	}
+	mw.log.addRun(RunLogEntry{
+		Fragment:   sqlparser.CanonicalizeSQL(fragSig),
+		ServerID:   serverID,
+		PlanSig:    plan.Signature,
+		EstMS:      rawEst.TotalMS,
+		ObservedMS: float64(out.ResponseTime),
+		OutBytes:   out.Result.Rel.ByteSize(),
+	})
+	return out, nil
+}
+
+// Probe checks one source's availability and reports the outcome to QCC.
+func (mw *MetaWrapper) Probe(serverID string) (simclock.Time, error) {
+	w := mw.Wrapper(serverID)
+	if w == nil {
+		return 0, fmt.Errorf("metawrapper: unknown server %q", serverID)
+	}
+	obs, _ := mw.observerAndCalib()
+	rtt, err := w.Probe()
+	if obs != nil {
+		obs.ObserveProbe(serverID, rtt, err)
+	}
+	return rtt, err
+}

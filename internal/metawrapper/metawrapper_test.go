@@ -1,0 +1,217 @@
+package metawrapper
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/wrapper"
+)
+
+type recordingObserver struct {
+	compiles []CompileRecord
+	runs     []RunRecord
+	errs     []string
+	probes   []string
+}
+
+func (r *recordingObserver) ObserveCompile(rec CompileRecord) { r.compiles = append(r.compiles, rec) }
+func (r *recordingObserver) ObserveRun(rec RunRecord)         { r.runs = append(r.runs, rec) }
+func (r *recordingObserver) ObserveError(serverID string, err error) {
+	r.errs = append(r.errs, serverID)
+}
+func (r *recordingObserver) ObserveProbe(serverID string, rtt simclock.Time, err error) {
+	r.probes = append(r.probes, serverID)
+}
+
+type doublingCalibrator struct{}
+
+func (doublingCalibrator) CalibrateFragment(key FragmentKey, est remote.CostEstimate, costKnown bool) remote.CostEstimate {
+	est.TotalMS *= 2
+	est.FirstTupleMS *= 2
+	est.NextTupleMS *= 2
+	return est
+}
+
+func newMW(t *testing.T) (*MetaWrapper, *remote.Server) {
+	t.Helper()
+	s := remote.NewServer(remote.ProfileS1("S1"))
+	for _, g := range storage.SampleSchema(200) {
+		tab, err := g.Generate(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddTable(tab)
+	}
+	topo := network.NewTopology()
+	topo.AddLink("S1", network.NewLink(network.LinkConfig{LatencyMS: 5}))
+	return New(wrapper.NewRelational(s, topo)), s
+}
+
+func TestExplainRecordsAndCalibrates(t *testing.T) {
+	mw, _ := newMW(t)
+	obs := &recordingObserver{}
+	mw.SetObserver(obs)
+	mw.SetCalibrator(doublingCalibrator{})
+	stmt := sqlparser.MustParse("SELECT p.p_id FROM parts AS p")
+	cands, err := mw.ExplainFragment("S1", stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.compiles) != len(cands) {
+		t.Fatalf("compile records: %d vs %d candidates", len(obs.compiles), len(cands))
+	}
+	rec := obs.compiles[0]
+	if rec.Key.ServerID != "S1" || rec.Key.Signature != sqlparser.CanonicalizeSQL(stmt.String()) {
+		t.Fatalf("key: %+v", rec.Key)
+	}
+	if rec.Calibrated.TotalMS != rec.Est.TotalMS*2 {
+		t.Fatalf("calibration not recorded: %+v", rec)
+	}
+	if cands[0].Plan.Est.TotalMS != rec.Calibrated.TotalMS {
+		t.Fatal("integrator must see calibrated cost")
+	}
+}
+
+func TestExplainWithoutQCCPassesThrough(t *testing.T) {
+	mw, _ := newMW(t)
+	stmt := sqlparser.MustParse("SELECT p.p_id FROM parts AS p")
+	cands, err := mw.ExplainFragment("S1", stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].Plan.Est.TotalMS <= 0 {
+		t.Fatal("uncalibrated estimate must pass through")
+	}
+}
+
+func TestExecuteFragmentRecordsRun(t *testing.T) {
+	mw, _ := newMW(t)
+	obs := &recordingObserver{}
+	mw.SetObserver(obs)
+	stmt := sqlparser.MustParse("SELECT p.p_id FROM parts AS p")
+	cands, err := mw.ExplainFragment("S1", stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mw.ExecuteFragment("S1", stmt.String(), cands[0].Plan, cands[0].Plan.Est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Rel.Cardinality() == 0 {
+		t.Fatal("no rows")
+	}
+	if len(obs.runs) != 1 {
+		t.Fatalf("run records: %d", len(obs.runs))
+	}
+	if obs.runs[0].Observed != out.ResponseTime {
+		t.Fatal("observed time mismatch")
+	}
+}
+
+func TestErrorsReported(t *testing.T) {
+	mw, srv := newMW(t)
+	obs := &recordingObserver{}
+	mw.SetObserver(obs)
+	stmt := sqlparser.MustParse("SELECT p.p_id FROM parts AS p")
+	cands, err := mw.ExplainFragment("S1", stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetDown(true)
+	if _, err := mw.ExecuteFragment("S1", stmt.String(), cands[0].Plan, cands[0].Plan.Est); err == nil {
+		t.Fatal("down server must fail")
+	}
+	if _, err := mw.ExplainFragment("S1", stmt); err == nil {
+		t.Fatal("down server explain must fail")
+	}
+	if len(obs.errs) != 2 {
+		t.Fatalf("errors reported: %v", obs.errs)
+	}
+}
+
+func TestMasking(t *testing.T) {
+	mw, _ := newMW(t)
+	stmt := sqlparser.MustParse("SELECT p.p_id FROM parts AS p")
+	mw.Mask("S1", true)
+	if !mw.Masked("S1") {
+		t.Fatal("mask state")
+	}
+	if _, err := mw.ExplainFragment("S1", stmt); err == nil {
+		t.Fatal("masked server must not explain")
+	}
+	mw.Mask("S1", false)
+	if _, err := mw.ExplainFragment("S1", stmt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownServer(t *testing.T) {
+	mw, _ := newMW(t)
+	stmt := sqlparser.MustParse("SELECT p.p_id FROM parts AS p")
+	if _, err := mw.ExplainFragment("S9", stmt); err == nil {
+		t.Fatal("unknown server explain")
+	}
+	if _, err := mw.ExecuteFragment("S9", "", nil, remote.CostEstimate{}); err == nil {
+		t.Fatal("unknown server execute")
+	}
+	if _, err := mw.Probe("S9"); err == nil {
+		t.Fatal("unknown server probe")
+	}
+}
+
+func TestProbeReportsToObserver(t *testing.T) {
+	mw, srv := newMW(t)
+	obs := &recordingObserver{}
+	mw.SetObserver(obs)
+	if _, err := mw.Probe("S1"); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetDown(true)
+	if _, err := mw.Probe("S1"); err == nil {
+		t.Fatal("down probe must fail")
+	}
+	if len(obs.probes) != 2 {
+		t.Fatalf("probe records: %d", len(obs.probes))
+	}
+	if len(mw.Servers()) != 1 || mw.Servers()[0] != "S1" {
+		t.Fatal("servers list")
+	}
+}
+
+func TestMWLogsRecordCompileRunError(t *testing.T) {
+	mw, srv := newMW(t)
+	stmt := sqlparser.MustParse("SELECT p.p_id FROM parts AS p WHERE p.p_id < 4")
+	cands, err := mw.ExplainFragment("S1", stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mw.ExecuteFragment("S1", stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetDown(true)
+	mw.ExecuteFragment("S1", stmt.String(), cands[0].Plan, cands[0].RawEst) //nolint:errcheck
+
+	compiles := mw.CompileLog()
+	if len(compiles) == 0 {
+		t.Fatal("compile log empty")
+	}
+	c := compiles[0]
+	if c.ServerID != "S1" || c.EstMS <= 0 || !c.CostKnown {
+		t.Fatalf("compile entry: %+v", c)
+	}
+	if c.Fragment != sqlparser.CanonicalizeSQL(stmt.String()) {
+		t.Fatalf("fragment text: %q", c.Fragment)
+	}
+	runs := mw.RunLog()
+	if len(runs) != 1 || runs[0].ObservedMS <= 0 || runs[0].OutBytes <= 0 {
+		t.Fatalf("run log: %+v", runs)
+	}
+	errs := mw.ErrorLog()
+	if len(errs) != 1 || errs[0].ServerID != "S1" || errs[0].Err == "" {
+		t.Fatalf("error log: %+v", errs)
+	}
+}

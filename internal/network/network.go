@@ -1,0 +1,235 @@
+// Package network simulates the wide-area network between the information
+// integrator and the remote data sources. Each link has a base round-trip
+// latency, a bandwidth, optional jitter, and a dynamic congestion level that
+// experiments (and fault injection) can vary at runtime — the "dynamic
+// nature of network latency" that the paper's cost model cannot see but QCC
+// learns through calibration.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// Link models one direction-agnostic network path.
+type Link struct {
+	mu sync.Mutex
+	// LatencyMS is the base one-way latency in simulated milliseconds.
+	latencyMS float64
+	// bandwidthKBps is the transfer rate in KB per simulated millisecond⁻¹
+	// terms (bytes per ms).
+	bytesPerMS float64
+	// jitterFrac adds ±jitterFrac·latency uniform noise.
+	jitterFrac float64
+	// congestion multiplies latency and divides bandwidth; 1 = calm.
+	congestion float64
+	rng        *rand.Rand
+	down       bool
+}
+
+// LinkConfig configures a link.
+type LinkConfig struct {
+	// LatencyMS is the base one-way latency in milliseconds.
+	LatencyMS float64
+	// BandwidthKBps is the throughput in kilobytes per second.
+	BandwidthKBps float64
+	// JitterFrac adds ±JitterFrac·latency uniform noise (0 disables).
+	JitterFrac float64
+	// Seed seeds the jitter stream; links with the same seed are identical.
+	Seed int64
+}
+
+// NewLink builds a link. Zero bandwidth means effectively infinite.
+func NewLink(cfg LinkConfig) *Link {
+	bpm := 0.0
+	if cfg.BandwidthKBps > 0 {
+		bpm = cfg.BandwidthKBps * 1024 / 1000 // bytes per millisecond
+	}
+	return &Link{
+		latencyMS:  cfg.LatencyMS,
+		bytesPerMS: bpm,
+		jitterFrac: cfg.JitterFrac,
+		congestion: 1,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// SetCongestion sets the congestion multiplier (>= 1 slows the link; values
+// below 1 are clamped to 1).
+func (l *Link) SetCongestion(c float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c < 1 {
+		c = 1
+	}
+	l.congestion = c
+}
+
+// Congestion returns the current multiplier.
+func (l *Link) Congestion() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.congestion
+}
+
+// SetDown marks the link as partitioned (transfers fail).
+func (l *Link) SetDown(down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = down
+}
+
+// Down reports whether the link is partitioned.
+func (l *Link) Down() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down
+}
+
+// ErrPartitioned is returned when a transfer is attempted over a down link.
+type ErrPartitioned struct{ Dest string }
+
+// Error implements error.
+func (e *ErrPartitioned) Error() string {
+	return fmt.Sprintf("network: link to %s is partitioned", e.Dest)
+}
+
+// TransferTime returns the simulated time to move payloadBytes one way over
+// the link, including latency, serialization delay, congestion and jitter.
+func (l *Link) TransferTime(payloadBytes int) simclock.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lat := l.latencyMS * l.congestion
+	if l.jitterFrac > 0 {
+		lat += lat * l.jitterFrac * (2*l.rng.Float64() - 1)
+	}
+	xfer := 0.0
+	if l.bytesPerMS > 0 {
+		xfer = float64(payloadBytes) / (l.bytesPerMS / l.congestion)
+	}
+	t := lat + xfer
+	if t < 0 {
+		t = 0
+	}
+	return simclock.Time(t)
+}
+
+// RoundTripTime returns the time for a request of reqBytes and a response of
+// respBytes.
+func (l *Link) RoundTripTime(reqBytes, respBytes int) simclock.Time {
+	return l.TransferTime(reqBytes) + l.TransferTime(respBytes)
+}
+
+// BaseLatency returns the configured (uncongested, jitter-free) latency —
+// what a DB2 administrator would statically register for the source.
+func (l *Link) BaseLatency() simclock.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return simclock.Time(l.latencyMS)
+}
+
+// StaticTransferTime is the transfer estimate a cost model would compute
+// from the registered latency and bandwidth, blind to current congestion and
+// jitter. The gap between this and TransferTime is part of what QCC's
+// calibration factor absorbs.
+func (l *Link) StaticTransferTime(payloadBytes int) simclock.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.latencyMS
+	if l.bytesPerMS > 0 {
+		t += float64(payloadBytes) / l.bytesPerMS
+	}
+	return simclock.Time(t)
+}
+
+// Topology maps destination names (remote server IDs) to links.
+type Topology struct {
+	mu    sync.RWMutex
+	links map[string]*Link
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{links: map[string]*Link{}}
+}
+
+// AddLink registers the link to dest, replacing any existing one.
+func (t *Topology) AddLink(dest string, link *Link) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.links[dest] = link
+}
+
+// Link returns the link to dest, or nil.
+func (t *Topology) Link(dest string) *Link {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.links[dest]
+}
+
+// Transfer computes the one-way transfer time to dest, failing when the
+// destination is unknown or partitioned.
+func (t *Topology) Transfer(dest string, payloadBytes int) (simclock.Time, error) {
+	l := t.Link(dest)
+	if l == nil {
+		return 0, fmt.Errorf("network: no link to %q", dest)
+	}
+	if l.Down() {
+		return 0, &ErrPartitioned{Dest: dest}
+	}
+	return l.TransferTime(payloadBytes), nil
+}
+
+// RoundTrip computes request+response transfer time to dest.
+func (t *Topology) RoundTrip(dest string, reqBytes, respBytes int) (simclock.Time, error) {
+	req, err := t.Transfer(dest, reqBytes)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.Transfer(dest, respBytes)
+	if err != nil {
+		return 0, err
+	}
+	return req + resp, nil
+}
+
+// CongestionPhase is one step of a congestion schedule.
+type CongestionPhase struct {
+	// AfterMS is the delay from schedule start until this phase applies.
+	AfterMS float64
+	// Level is the congestion multiplier for the phase.
+	Level float64
+}
+
+// ScheduleCongestion drives a link's congestion through a time-varying
+// profile on the virtual clock — rush hours, flapping routes, slow
+// recoveries. The schedule applies each phase at its offset; it returns a
+// cancel function that stops future phases (the current level persists).
+func ScheduleCongestion(clock *simclock.Clock, link *Link, phases []CongestionPhase) simclock.Cancel {
+	cancelled := false
+	for _, p := range phases {
+		p := p
+		clock.ScheduleAfter(simclock.Time(p.AfterMS), func(simclock.Time) {
+			if !cancelled {
+				link.SetCongestion(p.Level)
+			}
+		})
+	}
+	return func() { cancelled = true }
+}
+
+// Destinations lists known destinations, sorted.
+func (t *Topology) Destinations() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.links))
+	for d := range t.links {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

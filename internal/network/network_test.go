@@ -1,0 +1,155 @@
+package network
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simclock"
+)
+
+func TestTransferTimeLatencyOnly(t *testing.T) {
+	l := NewLink(LinkConfig{LatencyMS: 10})
+	if got := l.TransferTime(1 << 20); got != 10 {
+		t.Fatalf("infinite bandwidth: %v", got)
+	}
+}
+
+func TestTransferTimeBandwidth(t *testing.T) {
+	// 1024 KB/s ≈ 1.048576 bytes per ms... use 1000 KB/s = 1024 bytes/ms.
+	l := NewLink(LinkConfig{LatencyMS: 5, BandwidthKBps: 1000})
+	got := l.TransferTime(10240)
+	want := 5 + 10240.0/1024.0
+	if float64(got) < want-0.01 || float64(got) > want+0.01 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestCongestionSlowsLink(t *testing.T) {
+	l := NewLink(LinkConfig{LatencyMS: 10, BandwidthKBps: 1000})
+	base := l.TransferTime(10240)
+	l.SetCongestion(3)
+	slow := l.TransferTime(10240)
+	if float64(slow) < float64(base)*2.9 {
+		t.Fatalf("congestion barely slowed: %v -> %v", base, slow)
+	}
+	if l.Congestion() != 3 {
+		t.Fatal("congestion getter")
+	}
+	l.SetCongestion(0.1)
+	if l.Congestion() != 1 {
+		t.Fatal("congestion must clamp at 1")
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	l1 := NewLink(LinkConfig{LatencyMS: 100, JitterFrac: 0.2, Seed: 7})
+	l2 := NewLink(LinkConfig{LatencyMS: 100, JitterFrac: 0.2, Seed: 7})
+	for i := 0; i < 100; i++ {
+		a, b := l1.TransferTime(0), l2.TransferTime(0)
+		if a != b {
+			t.Fatal("same seed must give identical jitter")
+		}
+		if a < 80 || a > 120 {
+			t.Fatalf("jitter out of bounds: %v", a)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := NewLink(LinkConfig{LatencyMS: 10})
+	if got := l.RoundTripTime(0, 0); got != 20 {
+		t.Fatalf("rtt: %v", got)
+	}
+	if l.BaseLatency() != 10 {
+		t.Fatal("base latency")
+	}
+}
+
+func TestTopologyTransferAndPartition(t *testing.T) {
+	topo := NewTopology()
+	topo.AddLink("S1", NewLink(LinkConfig{LatencyMS: 5}))
+	topo.AddLink("S2", NewLink(LinkConfig{LatencyMS: 50}))
+	tt, err := topo.Transfer("S1", 0)
+	if err != nil || tt != 5 {
+		t.Fatalf("transfer: %v %v", tt, err)
+	}
+	if _, err := topo.Transfer("S9", 0); err == nil {
+		t.Fatal("unknown dest must error")
+	}
+	topo.Link("S1").SetDown(true)
+	_, err = topo.Transfer("S1", 0)
+	var pe *ErrPartitioned
+	if !errors.As(err, &pe) || pe.Dest != "S1" {
+		t.Fatalf("partition error: %v", err)
+	}
+	if !topo.Link("S1").Down() {
+		t.Fatal("down getter")
+	}
+	topo.Link("S1").SetDown(false)
+	if _, err := topo.Transfer("S1", 0); err != nil {
+		t.Fatalf("recovered link: %v", err)
+	}
+	rtt, err := topo.RoundTrip("S2", 10, 10)
+	if err != nil || rtt != 100 {
+		t.Fatalf("roundtrip: %v %v", rtt, err)
+	}
+	topo.Link("S2").SetDown(true)
+	if _, err := topo.RoundTrip("S2", 1, 1); err == nil {
+		t.Fatal("roundtrip over down link must fail")
+	}
+	dests := topo.Destinations()
+	if len(dests) != 2 || dests[0] != "S1" || dests[1] != "S2" {
+		t.Fatalf("destinations: %v", dests)
+	}
+}
+
+func TestTransferTimeNonNegativeProperty(t *testing.T) {
+	l := NewLink(LinkConfig{LatencyMS: 1, BandwidthKBps: 10, JitterFrac: 0.9, Seed: 3})
+	f := func(n uint16) bool {
+		return l.TransferTime(int(n)) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferMonotoneInPayloadProperty(t *testing.T) {
+	l := NewLink(LinkConfig{LatencyMS: 2, BandwidthKBps: 100})
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return l.TransferTime(x) <= l.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleCongestion(t *testing.T) {
+	clock := simclock.New()
+	l := NewLink(LinkConfig{LatencyMS: 10})
+	cancel := ScheduleCongestion(clock, l, []CongestionPhase{
+		{AfterMS: 100, Level: 4},
+		{AfterMS: 200, Level: 1},
+		{AfterMS: 300, Level: 8},
+	})
+	if l.Congestion() != 1 {
+		t.Fatal("initial congestion")
+	}
+	clock.Advance(150)
+	if l.Congestion() != 4 {
+		t.Fatalf("phase 1: %g", l.Congestion())
+	}
+	clock.Advance(100)
+	if l.Congestion() != 1 {
+		t.Fatalf("phase 2: %g", l.Congestion())
+	}
+	cancel()
+	clock.Advance(100)
+	if l.Congestion() != 1 {
+		t.Fatalf("cancelled phase must not apply: %g", l.Congestion())
+	}
+}

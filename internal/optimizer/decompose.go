@@ -1,0 +1,212 @@
+// Package optimizer implements the integrator's global query optimization:
+// decomposing a federated query into per-source fragments (the paper's QF1,
+// QF2, ...), collecting candidate plans and calibrated costs for each
+// fragment through the meta-wrapper, enumerating global plan combinations,
+// costing local merge work at the integrator, and selecting the winner that
+// is stored in the explain table.
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// FragmentSpec is one fragment of a decomposed federated query.
+type FragmentSpec struct {
+	// ID names the fragment (QF1, QF2, ... in paper notation).
+	ID string
+	// Tables are the query tables covered by this fragment.
+	Tables []sqlparser.TableRef
+	// Stmt is the fragment statement shipped to remote servers.
+	Stmt *sqlparser.SelectStmt
+	// Candidates are the servers hosting every table of the fragment —
+	// the equivalent data sources.
+	Candidates []string
+	// Schema is the qualified schema of the fragment's result.
+	Schema *sqltypes.Schema
+}
+
+// Decomposition is the result of splitting a query.
+type Decomposition struct {
+	// Stmt is the original statement.
+	Stmt *sqlparser.SelectStmt
+	// Fragments lists the fragments in FROM order.
+	Fragments []*FragmentSpec
+	// Cross are the conjuncts not pushed into any fragment (cross-source
+	// join predicates); the integrator applies them while merging.
+	Cross []sqlparser.Expr
+	// SingleFragment is true when the entire statement was pushed to one
+	// source group, in which case Fragments[0].Stmt == Stmt and the
+	// integrator's merge is a passthrough.
+	SingleFragment bool
+}
+
+// Decompose splits stmt into co-located fragments using the catalog. Tables
+// are grouped greedily in FROM order: a table joins the current group while
+// at least one server hosts every table of the group.
+func Decompose(stmt *sqlparser.SelectStmt, cat *catalog.Catalog) (*Decomposition, error) {
+	tables := stmt.Tables()
+
+	type group struct {
+		tables  []sqlparser.TableRef
+		servers map[string]bool
+	}
+	var groups []*group
+	for _, tr := range tables {
+		nick, err := cat.Lookup(tr.Name)
+		if err != nil {
+			return nil, err
+		}
+		hosts := map[string]bool{}
+		for _, p := range nick.Placements {
+			hosts[p.ServerID] = true
+		}
+		placed := false
+		if len(groups) > 0 {
+			g := groups[len(groups)-1]
+			inter := map[string]bool{}
+			for s := range g.servers {
+				if hosts[s] {
+					inter[s] = true
+				}
+			}
+			if len(inter) > 0 {
+				g.tables = append(g.tables, tr)
+				g.servers = inter
+				placed = true
+			}
+		}
+		if !placed {
+			groups = append(groups, &group{tables: []sqlparser.TableRef{tr}, servers: hosts})
+		}
+	}
+
+	d := &Decomposition{Stmt: stmt}
+
+	// Single group: push the whole statement.
+	if len(groups) == 1 {
+		g := groups[0]
+		schema, err := groupSchema(cat, g.tables)
+		if err != nil {
+			return nil, err
+		}
+		d.SingleFragment = true
+		d.Fragments = []*FragmentSpec{{
+			ID:         "QF1",
+			Tables:     g.tables,
+			Stmt:       stmt,
+			Candidates: sortedKeys(g.servers),
+			Schema:     schema,
+		}}
+		return d, nil
+	}
+
+	// Multi group: distribute conjuncts.
+	var pool []sqlparser.Expr
+	pool = append(pool, sqlparser.SplitConjuncts(stmt.Where)...)
+	for _, j := range stmt.Joins {
+		pool = append(pool, sqlparser.SplitConjuncts(j.On)...)
+	}
+	pool = dropTrueLiterals(pool)
+
+	schemas := make([]*sqltypes.Schema, len(groups))
+	for i, g := range groups {
+		schema, err := groupSchema(cat, g.tables)
+		if err != nil {
+			return nil, err
+		}
+		schemas[i] = schema
+	}
+	pushed := make([][]sqlparser.Expr, len(groups))
+	for _, c := range pool {
+		placed := false
+		for i := range groups {
+			if exprResolves(c, schemas[i]) {
+				pushed[i] = append(pushed[i], c)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			d.Cross = append(d.Cross, c)
+		}
+	}
+
+	for i, g := range groups {
+		fragStmt := &sqlparser.SelectStmt{
+			Select: []sqlparser.SelectItem{{Star: true}},
+			From:   g.tables[0],
+			Limit:  -1,
+			Where:  sqlparser.JoinConjuncts(pushed[i]),
+		}
+		for _, tr := range g.tables[1:] {
+			fragStmt.Joins = append(fragStmt.Joins, sqlparser.JoinClause{
+				Table: tr,
+				On:    &sqlparser.Literal{Val: sqltypes.NewBool(true)},
+			})
+		}
+		d.Fragments = append(d.Fragments, &FragmentSpec{
+			ID:         fmt.Sprintf("QF%d", i+1),
+			Tables:     g.tables,
+			Stmt:       fragStmt,
+			Candidates: sortedKeys(g.servers),
+			Schema:     schemas[i],
+		})
+	}
+	return d, nil
+}
+
+// groupSchema concatenates the alias-qualified schemas of the group tables.
+func groupSchema(cat *catalog.Catalog, tables []sqlparser.TableRef) (*sqltypes.Schema, error) {
+	var out *sqltypes.Schema
+	for _, tr := range tables {
+		nick, err := cat.Lookup(tr.Name)
+		if err != nil {
+			return nil, err
+		}
+		q := nick.Schema.WithQualifier(tr.EffectiveName())
+		if out == nil {
+			out = q
+		} else {
+			out = out.Concat(q)
+		}
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// insertion sort; tiny sets
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func dropTrueLiterals(list []sqlparser.Expr) []sqlparser.Expr {
+	out := list[:0]
+	for _, e := range list {
+		if lit, ok := e.(*sqlparser.Literal); ok && lit.Val.Kind() == sqltypes.KindBool && lit.Val.Bool() {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func exprResolves(e sqlparser.Expr, schema *sqltypes.Schema) bool {
+	for _, ref := range sqlparser.CollectColumnRefs(e, nil) {
+		if _, err := schema.ColumnIndex(ref.Table, ref.Name); err != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// ExplainEntry is one row of the explain table: the winner global plan and
+// its estimated costs, as DB2 II stores after compilation (§1 runtime phase
+// step 1). Only the winner is stored — which is precisely why QCC needs the
+// simulated federated system to reconstruct alternatives (§4.2).
+type ExplainEntry struct {
+	// Query is the statement text.
+	Query string
+	// At is the compilation time.
+	At simclock.Time
+	// RouteKey is the fragment→server assignment.
+	RouteKey string
+	// FragmentServers maps fragment ID to chosen server.
+	FragmentServers map[string]string
+	// FragmentSigs maps fragment ID to the chosen physical plan signature.
+	FragmentSigs map[string]string
+	// FragmentTables maps fragment ID to the nicknames it covers.
+	FragmentTables map[string][]string
+	// FragmentEstMS maps fragment ID to its calibrated estimate.
+	FragmentEstMS map[string]float64
+	// TotalEstMS is the global calibrated estimate.
+	TotalEstMS float64
+}
+
+// ExplainTable stores compilation winners. It is safe for concurrent use.
+type ExplainTable struct {
+	mu      sync.RWMutex
+	entries []ExplainEntry
+}
+
+// NewExplainTable returns an empty table.
+func NewExplainTable() *ExplainTable { return &ExplainTable{} }
+
+// Record stores the winner of a compilation.
+func (t *ExplainTable) Record(gp *GlobalPlan, at simclock.Time) {
+	e := ExplainEntry{
+		Query:           gp.Query,
+		At:              at,
+		RouteKey:        gp.RouteKey(),
+		FragmentServers: map[string]string{},
+		FragmentSigs:    map[string]string{},
+		FragmentEstMS:   map[string]float64{},
+		FragmentTables:  map[string][]string{},
+		TotalEstMS:      gp.TotalEstMS,
+	}
+	for _, f := range gp.Fragments {
+		e.FragmentServers[f.Spec.ID] = f.ServerID
+		e.FragmentSigs[f.Spec.ID] = f.Plan.Signature
+		e.FragmentEstMS[f.Spec.ID] = f.Plan.Est.TotalMS
+		var tables []string
+		for _, tr := range f.Spec.Tables {
+			tables = append(tables, tr.Name)
+		}
+		e.FragmentTables[f.Spec.ID] = tables
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = append(t.entries, e)
+}
+
+// Entries returns a snapshot of all entries.
+func (t *ExplainTable) Entries() []ExplainEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]ExplainEntry(nil), t.entries...)
+}
+
+// Latest returns the most recent entry for the given query text, or nil.
+func (t *ExplainTable) Latest(query string) *ExplainEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := len(t.entries) - 1; i >= 0; i-- {
+		if t.entries[i].Query == query {
+			e := t.entries[i]
+			return &e
+		}
+	}
+	return nil
+}
+
+// Len returns the number of entries.
+func (t *ExplainTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// String renders a compact dump for diagnostics.
+func (t *ExplainTable) String() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var b strings.Builder
+	for _, e := range t.entries {
+		fmt.Fprintf(&b, "[%s] %s -> %s est=%.2fms\n", e.At, e.Query, e.RouteKey, e.TotalEstMS)
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/metawrapper"
+	"repro/internal/remote"
+	"repro/internal/sqlparser"
+)
+
+// FragmentChoice is one fragment's selected (server, plan) pair in a global
+// plan.
+type FragmentChoice struct {
+	Spec     *FragmentSpec
+	ServerID string
+	// Plan carries the CALIBRATED estimate in Plan.Est.
+	Plan *remote.Plan
+	// RawEst is the wrapper's uncalibrated estimate (for MW run records).
+	RawEst remote.CostEstimate
+	// CostKnown mirrors the wrapper candidate flag.
+	CostKnown bool
+}
+
+// GlobalPlan is a fully-specified federated execution plan.
+type GlobalPlan struct {
+	// Query is the original statement text.
+	Query string
+	// Stmt is the parsed statement.
+	Stmt *sqlparser.SelectStmt
+	// Decomp is the decomposition the plan was derived from.
+	Decomp *Decomposition
+	// Fragments lists the chosen fragment executions.
+	Fragments []FragmentChoice
+	// MergeEstMS is the calibrated estimate of II-side merge work.
+	MergeEstMS float64
+	// TotalEstMS is the plan's calibrated global cost: since fragments run
+	// in parallel, max(fragment costs) + merge.
+	TotalEstMS float64
+}
+
+// ServerSet returns the sorted set of servers the plan touches — the §4.2
+// pruning identity ("for global query plans whose fragment queries are
+// executed on the same set of servers, pick the cheapest").
+func (g *GlobalPlan) ServerSet() []string {
+	set := map[string]bool{}
+	for _, f := range g.Fragments {
+		set[f.ServerID] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServerSetKey renders ServerSet as a canonical string key.
+func (g *GlobalPlan) ServerSetKey() string { return strings.Join(g.ServerSet(), ",") }
+
+// RouteKey identifies the routing decision: fragment→server assignments in
+// fragment order.
+func (g *GlobalPlan) RouteKey() string {
+	parts := make([]string, len(g.Fragments))
+	for i, f := range g.Fragments {
+		parts[i] = f.Spec.ID + "@" + f.ServerID
+	}
+	return strings.Join(parts, "+")
+}
+
+// IICalibrator calibrates integrator-side cost with the workload factor
+// (§3.2); QCC implements it. A nil calibrator is the identity.
+type IICalibrator interface {
+	CalibrateII(estMS float64) float64
+}
+
+// Optimizer performs global query optimization.
+type Optimizer struct {
+	// Catalog resolves nicknames.
+	Catalog *catalog.Catalog
+	// MW is the instrumented wrapper layer.
+	MW *metawrapper.MetaWrapper
+	// IINode models the integrator machine for merge costing and timing.
+	IINode *remote.Server
+	// IICalib is QCC's workload calibrator (may be nil).
+	IICalib IICalibrator
+	// MaxGlobalPlans caps combination enumeration (default 256).
+	MaxGlobalPlans int
+}
+
+// Optimize decomposes the statement, gathers per-fragment candidates, and
+// returns the cheapest global plan. Servers whose Explain fails (down,
+// masked or partitioned) simply contribute no candidates; the query only
+// fails when some fragment has no surviving candidate at all.
+func (o *Optimizer) Optimize(stmt *sqlparser.SelectStmt) (*GlobalPlan, error) {
+	plans, err := o.Enumerate(stmt, 1)
+	if err != nil {
+		return nil, err
+	}
+	return plans[0], nil
+}
+
+// Enumerate returns up to topK global plans ranked by calibrated cost.
+// QCC's simulated federated system uses topK > 1 to derive alternative
+// plans; the production path uses topK == 1.
+func (o *Optimizer) Enumerate(stmt *sqlparser.SelectStmt, topK int) ([]*GlobalPlan, error) {
+	decomp, err := Decompose(stmt, o.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	options := make([][]FragmentChoice, len(decomp.Fragments))
+	for i, frag := range decomp.Fragments {
+		var opts []FragmentChoice
+		var lastErr error
+		for _, serverID := range frag.Candidates {
+			cands, err := o.MW.ExplainFragment(serverID, frag.Stmt)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			for _, c := range cands {
+				if math.IsInf(c.Plan.Est.TotalMS, 1) {
+					continue // calibrated to infinity: unavailable
+				}
+				opts = append(opts, FragmentChoice{
+					Spec:      frag,
+					ServerID:  serverID,
+					Plan:      c.Plan,
+					RawEst:    c.RawEst,
+					CostKnown: c.CostKnown,
+				})
+			}
+		}
+		if len(opts) == 0 {
+			if lastErr != nil {
+				return nil, fmt.Errorf("optimizer: fragment %s has no available source: %w", frag.ID, lastErr)
+			}
+			return nil, fmt.Errorf("optimizer: fragment %s has no available source", frag.ID)
+		}
+		options[i] = opts
+	}
+
+	maxPlans := o.MaxGlobalPlans
+	if maxPlans <= 0 {
+		maxPlans = 256
+	}
+	var all []*GlobalPlan
+	var walk func(i int, acc []FragmentChoice)
+	walk = func(i int, acc []FragmentChoice) {
+		if len(all) >= maxPlans {
+			return
+		}
+		if i == len(options) {
+			gp := o.assembleGlobal(stmt, decomp, append([]FragmentChoice(nil), acc...))
+			all = append(all, gp)
+			return
+		}
+		for _, opt := range options[i] {
+			walk(i+1, append(acc, opt))
+		}
+	}
+	walk(0, nil)
+	if len(all) == 0 {
+		return nil, fmt.Errorf("optimizer: no global plan for %q", stmt.String())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].TotalEstMS < all[j].TotalEstMS })
+	if topK > 0 && len(all) > topK {
+		all = all[:topK]
+	}
+	return all, nil
+}
+
+func (o *Optimizer) assembleGlobal(stmt *sqlparser.SelectStmt, decomp *Decomposition, chosen []FragmentChoice) *GlobalPlan {
+	gp := &GlobalPlan{
+		Query:     stmt.String(),
+		Stmt:      stmt,
+		Decomp:    decomp,
+		Fragments: chosen,
+	}
+	// Fragments execute in parallel: the remote phase costs the max.
+	maxFrag := 0.0
+	for _, f := range chosen {
+		if f.Plan.Est.TotalMS > maxFrag {
+			maxFrag = f.Plan.Est.TotalMS
+		}
+	}
+	gp.MergeEstMS = o.mergeEstimate(decomp, chosen)
+	if o.IICalib != nil {
+		gp.MergeEstMS = o.IICalib.CalibrateII(gp.MergeEstMS)
+	}
+	gp.TotalEstMS = maxFrag + gp.MergeEstMS
+	return gp
+}
+
+// mergeEstimate approximates the integrator-side work of joining fragment
+// results and applying the statement tail. For single-fragment plans the
+// merge is a passthrough.
+func (o *Optimizer) mergeEstimate(decomp *Decomposition, chosen []FragmentChoice) float64 {
+	if decomp.SingleFragment {
+		return 0
+	}
+	var res exec.Resources
+	var cards []float64
+	for _, f := range chosen {
+		cards = append(cards, float64(f.Plan.Est.Card))
+	}
+	// Hash-join chain: build+probe each fragment once; output bounded by the
+	// largest input (equi-joins on keys).
+	maxCard := 0.0
+	sum := 0.0
+	for _, c := range cards {
+		sum += c
+		if c > maxCard {
+			maxCard = c
+		}
+	}
+	res.CPUOps = 2*sum + maxCard
+	if decomp.Stmt.HasAggregates() || len(decomp.Stmt.GroupBy) > 0 {
+		res.CPUOps += maxCard * 2
+	}
+	if len(decomp.Stmt.OrderBy) > 0 && maxCard > 2 {
+		res.CPUOps += maxCard * math.Log2(maxCard)
+	}
+	if o.IINode == nil {
+		return res.CPUOps / 1000
+	}
+	return o.IINode.EstimateTime(res)
+}

@@ -1,0 +1,100 @@
+package qcc
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/metawrapper"
+	"repro/internal/network"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+)
+
+// AvailabilityConfig tunes down-detection (§3.3).
+type AvailabilityConfig struct {
+	// ProbeInterval is the daemon cadence in simulated ms (default 1000).
+	ProbeInterval simclock.Time
+}
+
+func (c *AvailabilityConfig) fill() {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 1000
+	}
+}
+
+// Availability tracks which servers are up. Down servers are calibrated to
+// +Inf so the optimizer never routes to them; the daemon's status reports
+// "allow QCC to make unavailable remote sources be considered by II again
+// once the remote resources become available" (§3.3).
+type Availability struct {
+	mu   sync.Mutex
+	cfg  AvailabilityConfig
+	down map[string]bool
+	// downEvents counts transitions to down, for reports.
+	downEvents map[string]int
+}
+
+// NewAvailability builds the tracker.
+func NewAvailability(cfg AvailabilityConfig) *Availability {
+	cfg.fill()
+	return &Availability{cfg: cfg, down: map[string]bool{}, downEvents: map[string]int{}}
+}
+
+// MarkDown fences a server off.
+func (a *Availability) MarkDown(serverID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.down[serverID] {
+		a.down[serverID] = true
+		a.downEvents[serverID]++
+	}
+}
+
+// MarkUp restores a server.
+func (a *Availability) MarkUp(serverID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.down[serverID] = false
+}
+
+// IsDown reports the fenced state.
+func (a *Availability) IsDown(serverID string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.down[serverID]
+}
+
+// DownEvents returns how many times a server transitioned to down.
+func (a *Availability) DownEvents(serverID string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.downEvents[serverID]
+}
+
+// IsDownError classifies errors that indicate source unavailability rather
+// than a transient execution failure.
+func IsDownError(err error) bool {
+	var sd *remote.ErrServerDown
+	if errors.As(err, &sd) {
+		return true
+	}
+	var np *network.ErrPartitioned
+	return errors.As(err, &np)
+}
+
+// StartDaemon schedules the availability daemon on the clock: every probe
+// interval it probes every wrapped server through MW, marking servers down
+// on failure and up on success, and feeding probe times into the
+// calibration store. It returns a cancel function.
+func (a *Availability) StartDaemon(clock *simclock.Clock, mw *metawrapper.MetaWrapper) simclock.Cancel {
+	return clock.Every(a.cfg.ProbeInterval, func(now simclock.Time) simclock.Time {
+		for _, id := range mw.Servers() {
+			// MW reports the outcome to QCC's observer, which updates the
+			// availability state and probe histories; nothing more to do
+			// here. The daemon exists so probes happen even when no queries
+			// flow.
+			mw.Probe(id) //nolint:errcheck // outcome flows through the observer
+		}
+		return 0
+	})
+}

@@ -1,0 +1,360 @@
+// Package qcc implements the paper's primary contribution: the Query Cost
+// Calibrator. QCC attaches to the meta-wrapper and the integrator and
+//
+//   - learns per-server and per-(server, fragment) cost calibration factors
+//     from (estimated cost, observed response time) pairs (§3.1);
+//   - maintains an II-level workload calibration factor (§3.2);
+//   - probes source availability with daemon programs and fences off down
+//     servers by calibrating their costs to +Inf (§3.3);
+//   - dynamically adjusts its recalibration cycle from factor drift (§3.4);
+//   - folds a reliability factor from observed errors into the calibrated
+//     cost (§2, §3.5); and
+//   - recommends round-robin plan rotations for load distribution at the
+//     fragment and global levels (§4), deriving alternative global plans
+//     with a simulated (statistics-only) federated system (§2, §4.2).
+//
+// QCC never modifies the optimizer: it only adjusts the costs the optimizer
+// sees, exactly as the paper's transparent design prescribes.
+package qcc
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/metawrapper"
+	"repro/internal/simclock"
+)
+
+// samplePair is one (estimated, observed) observation.
+type samplePair struct {
+	at       simclock.Time
+	est, obs float64
+}
+
+// history is a time-windowed series of observation pairs. The calibration
+// factor is the ratio of the average runtime cost to the average estimated
+// cost over the window, exactly as §3.1 defines it.
+type history struct {
+	samples []samplePair
+	maxLen  int
+	maxAge  simclock.Time
+}
+
+func newHistory(maxLen int, maxAge simclock.Time) *history {
+	return &history{maxLen: maxLen, maxAge: maxAge}
+}
+
+func (h *history) add(at simclock.Time, est, obs float64) {
+	h.samples = append(h.samples, samplePair{at: at, est: est, obs: obs})
+	if len(h.samples) > h.maxLen {
+		h.samples = h.samples[len(h.samples)-h.maxLen:]
+	}
+}
+
+func (h *history) prune(now simclock.Time) {
+	if h.maxAge <= 0 {
+		return
+	}
+	cut := 0
+	for cut < len(h.samples) && now-h.samples[cut].at > h.maxAge {
+		cut++
+	}
+	if cut > 0 {
+		h.samples = h.samples[cut:]
+	}
+}
+
+// factor returns (avg observed / avg estimated, sample count).
+func (h *history) factor(now simclock.Time) (float64, int) {
+	h.prune(now)
+	var sumEst, sumObs float64
+	n := 0
+	for _, s := range h.samples {
+		if s.est <= 0 {
+			continue
+		}
+		sumEst += s.est
+		sumObs += s.obs
+		n++
+	}
+	if n == 0 || sumEst <= 0 {
+		return 1, 0
+	}
+	return sumObs / sumEst, n
+}
+
+// meanObserved returns the average observed value (for cost seeding of
+// sources without estimates) and the sample count.
+func (h *history) meanObserved(now simclock.Time) (float64, int) {
+	h.prune(now)
+	if len(h.samples) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += s.obs
+	}
+	return sum / float64(len(h.samples)), len(h.samples)
+}
+
+// CalibrationConfig tunes the calibration store.
+type CalibrationConfig struct {
+	// WindowSize bounds each history's sample count (default 64).
+	WindowSize int
+	// MaxAge expires samples older than this much simulated time (default
+	// 120000 ms); expiry is what lets factors track load changes.
+	MaxAge simclock.Time
+	// PerFragment enables per-(server, fragment) factors on top of the
+	// per-server factor (default true). The ablation benchmarks turn this
+	// off to quantify its contribution.
+	PerFragment bool
+}
+
+func (c *CalibrationConfig) fill() {
+	if c.WindowSize <= 0 {
+		c.WindowSize = 64
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 120000
+	}
+}
+
+// Calibration is the factor store. Factors become visible to the optimizer
+// only when published — the paper's calibration cycle (§3.4).
+type Calibration struct {
+	mu  sync.Mutex
+	cfg CalibrationConfig
+
+	perServer   map[string]*history
+	perFragment map[metawrapper.FragmentKey]*history
+	// fileSeeds records observed costs of fragments whose wrappers provide
+	// no estimate, keyed by fragment.
+	fileSeeds map[metawrapper.FragmentKey]*history
+	ii        *history
+
+	// probeBaseline and probeLatest drive the probe-derived fallback factor:
+	// baseline is the smallest probe time seen (the calm reference), latest
+	// the most recent observation.
+	probeBaseline map[string]float64
+	probeLatest   map[string]float64
+
+	// published snapshots, refreshed by Publish.
+	pubServer   map[string]float64
+	pubFragment map[metawrapper.FragmentKey]float64
+	pubII       float64
+	pubProbe    map[string]float64
+	publishes   int64
+}
+
+// NewCalibration builds a calibration store.
+func NewCalibration(cfg CalibrationConfig) *Calibration {
+	cfg.fill()
+	return &Calibration{
+		cfg:           cfg,
+		perServer:     map[string]*history{},
+		perFragment:   map[metawrapper.FragmentKey]*history{},
+		fileSeeds:     map[metawrapper.FragmentKey]*history{},
+		ii:            newHistory(cfg.WindowSize, cfg.MaxAge),
+		probeBaseline: map[string]float64{},
+		probeLatest:   map[string]float64{},
+		pubServer:     map[string]float64{},
+		pubFragment:   map[metawrapper.FragmentKey]float64{},
+		pubII:         1,
+		pubProbe:      map[string]float64{},
+	}
+}
+
+// RecordRun ingests one fragment execution observation.
+func (c *Calibration) RecordRun(at simclock.Time, key metawrapper.FragmentKey, est, obs float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if est <= 0 {
+		// No wrapper estimate (file source): feed the seed store instead.
+		h := c.fileSeeds[key]
+		if h == nil {
+			h = newHistory(c.cfg.WindowSize, c.cfg.MaxAge)
+			c.fileSeeds[key] = h
+		}
+		h.add(at, 0, obs)
+		return
+	}
+	hs := c.perServer[key.ServerID]
+	if hs == nil {
+		hs = newHistory(c.cfg.WindowSize, c.cfg.MaxAge)
+		c.perServer[key.ServerID] = hs
+	}
+	hs.add(at, est, obs)
+	if c.cfg.PerFragment {
+		hf := c.perFragment[key]
+		if hf == nil {
+			hf = newHistory(c.cfg.WindowSize, c.cfg.MaxAge)
+			c.perFragment[key] = hf
+		}
+		hf.add(at, est, obs)
+	}
+}
+
+// RecordII ingests one II merge observation (§3.2).
+func (c *Calibration) RecordII(at simclock.Time, est, obs float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if est <= 0 {
+		return
+	}
+	c.ii.add(at, est, obs)
+}
+
+// RecordProbe ingests an availability-daemon probe time.
+func (c *Calibration) RecordProbe(serverID string, rtt float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if base, ok := c.probeBaseline[serverID]; !ok || rtt < base {
+		c.probeBaseline[serverID] = rtt
+	}
+	c.probeLatest[serverID] = rtt
+}
+
+// Publish recomputes the published factors from current histories and
+// returns the maximum relative drift across servers — the signal the cycle
+// controller adapts on (§3.4).
+func (c *Calibration) Publish(now simclock.Time) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.publishes++
+	maxDrift := 0.0
+	for id, h := range c.perServer {
+		f, n := h.factor(now)
+		if n == 0 {
+			f = c.probeFactorLocked(id)
+		}
+		if prev, ok := c.pubServer[id]; ok && prev > 0 {
+			drift := math.Abs(f-prev) / prev
+			if drift > maxDrift {
+				maxDrift = drift
+			}
+		}
+		c.pubServer[id] = f
+	}
+	for key, h := range c.perFragment {
+		f, n := h.factor(now)
+		if n == 0 {
+			delete(c.pubFragment, key)
+			continue
+		}
+		c.pubFragment[key] = f
+	}
+	f, n := c.ii.factor(now)
+	if n > 0 {
+		c.pubII = f
+	}
+	for id := range c.probeLatest {
+		c.pubProbe[id] = c.probeFactorLocked(id)
+	}
+	return maxDrift
+}
+
+// Publishes returns how many publish cycles have run.
+func (c *Calibration) Publishes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.publishes
+}
+
+func (c *Calibration) probeFactorLocked(serverID string) float64 {
+	base := c.probeBaseline[serverID]
+	latest := c.probeLatest[serverID]
+	if base <= 0 || latest <= 0 {
+		return 1
+	}
+	f := latest / base
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// FragmentFactor returns the published factor for a fragment on a server:
+// the per-fragment factor when fresh, else the per-server factor, else 1.
+// The probe-derived factor additionally acts as a FLOOR: query-history
+// factors go stale the moment conditions change (no new observations arrive
+// for servers the router avoids, and old ones linger until they age out),
+// while the availability daemon's probes always reflect the network and
+// queueing conditions of the last probe cycle. Any sensor showing distress
+// raises the calibrated cost; the probe's recovery is immediate.
+func (c *Calibration) FragmentFactor(key metawrapper.FragmentKey) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	factor := 1.0
+	found := false
+	if c.cfg.PerFragment {
+		if f, ok := c.pubFragment[key]; ok {
+			factor, found = f, true
+		}
+	}
+	if !found {
+		if f, ok := c.pubServer[key.ServerID]; ok {
+			factor, found = f, true
+		}
+	}
+	if probe, ok := c.pubProbe[key.ServerID]; ok && probe > factor {
+		factor = probe
+	}
+	return factor
+}
+
+// ServerFactor returns the published per-server factor (1 when unknown).
+func (c *Calibration) ServerFactor(serverID string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.pubServer[serverID]; ok {
+		return f
+	}
+	if f, ok := c.pubProbe[serverID]; ok {
+		return f
+	}
+	return 1
+}
+
+// IIFactor returns the published workload calibration factor.
+func (c *Calibration) IIFactor() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pubII
+}
+
+// SeedEstimate returns a cost seed for a fragment whose source offers no
+// estimate: the mean observed cost of past runs, or the server's probe time
+// scaled by seedMultiplier when the fragment has never run.
+func (c *Calibration) SeedEstimate(now simclock.Time, key metawrapper.FragmentKey, seedMultiplier float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.fileSeeds[key]; ok {
+		if mean, n := h.meanObserved(now); n > 0 {
+			return mean
+		}
+	}
+	if latest := c.probeLatest[key.ServerID]; latest > 0 {
+		return latest * seedMultiplier
+	}
+	return 0
+}
+
+// KnownServers lists servers with any published state, sorted.
+func (c *Calibration) KnownServers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := map[string]bool{}
+	for id := range c.pubServer {
+		set[id] = true
+	}
+	for id := range c.pubProbe {
+		set[id] = true
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

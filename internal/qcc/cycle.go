@@ -1,0 +1,101 @@
+package qcc
+
+import (
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// CycleConfig tunes the recalibration cycle controller (§3.4: "dynamic
+// nature of the network and processing latencies at each remote server can
+// vary dramatically. Thus, the frequency of re-calibration does have impact
+// to effectiveness of QCC").
+type CycleConfig struct {
+	// Initial is the starting publish interval in simulated ms (default 500).
+	Initial simclock.Time
+	// Min and Max bound the interval (defaults 100 and 5000).
+	Min, Max simclock.Time
+	// SpeedUpDrift: when the max factor drift at a publish exceeds this,
+	// the interval halves (default 0.15).
+	SpeedUpDrift float64
+	// SlowDownDrift: when drift stays below this, the interval grows by
+	// 1.5× (default 0.03).
+	SlowDownDrift float64
+	// Dynamic enables adaptation; when false the interval stays at Initial
+	// (the fixed-cycle ablation).
+	Dynamic bool
+}
+
+func (c *CycleConfig) fill() {
+	if c.Initial <= 0 {
+		c.Initial = 500
+	}
+	if c.Min <= 0 {
+		c.Min = 100
+	}
+	if c.Max <= 0 {
+		c.Max = 5000
+	}
+	if c.SpeedUpDrift == 0 {
+		c.SpeedUpDrift = 0.15
+	}
+	if c.SlowDownDrift == 0 {
+		c.SlowDownDrift = 0.03
+	}
+}
+
+// CycleController periodically publishes calibration factors and adapts its
+// own cadence to the observed factor drift.
+type CycleController struct {
+	mu       sync.Mutex
+	cfg      CycleConfig
+	interval simclock.Time
+	calib    *Calibration
+	history  []simclock.Time // intervals used, for reports/ablation
+}
+
+// NewCycleController builds a controller over the calibration store.
+func NewCycleController(cfg CycleConfig, calib *Calibration) *CycleController {
+	cfg.fill()
+	return &CycleController{cfg: cfg, interval: cfg.Initial, calib: calib}
+}
+
+// Interval returns the current publish interval.
+func (cc *CycleController) Interval() simclock.Time {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.interval
+}
+
+// Intervals returns the interval history (one entry per publish).
+func (cc *CycleController) Intervals() []simclock.Time {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return append([]simclock.Time(nil), cc.history...)
+}
+
+// Start schedules the publish loop on the clock; returns a cancel function.
+func (cc *CycleController) Start(clock *simclock.Clock) simclock.Cancel {
+	return clock.Every(cc.Interval(), func(now simclock.Time) simclock.Time {
+		drift := cc.calib.Publish(now)
+		cc.mu.Lock()
+		defer cc.mu.Unlock()
+		cc.history = append(cc.history, cc.interval)
+		if !cc.cfg.Dynamic {
+			return cc.interval
+		}
+		switch {
+		case drift > cc.cfg.SpeedUpDrift:
+			cc.interval /= 2
+			if cc.interval < cc.cfg.Min {
+				cc.interval = cc.cfg.Min
+			}
+		case drift < cc.cfg.SlowDownDrift:
+			cc.interval = cc.interval * 3 / 2
+			if cc.interval > cc.cfg.Max {
+				cc.interval = cc.cfg.Max
+			}
+		}
+		return cc.interval
+	})
+}

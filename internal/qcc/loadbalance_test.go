@@ -1,0 +1,117 @@
+package qcc_test
+
+import (
+	"testing"
+
+	"repro/internal/qcc"
+	"repro/internal/scenario"
+)
+
+func buildLB(t *testing.T, cfg qcc.LBConfig) (*scenario.Scenario, *qcc.QCC) {
+	t.Helper()
+	sc, err := scenario.BuildThreeServer(scenario.Options{
+		Scale: 100,
+		// Equal links make the three replicas near-equivalent so rotation
+		// sets are non-trivial.
+		Latencies: map[string]float64{"S1": 10, "S2": 10, "S3": 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qcc.Attach(qcc.Config{Clock: sc.Clock, MW: sc.MW, LB: cfg}, sc.II)
+	return sc, q
+}
+
+func serversUsed(t *testing.T, sc *scenario.Scenario, query string, n int) map[string]int {
+	t.Helper()
+	used := map[string]int{}
+	for i := 0; i < n; i++ {
+		res, err := sc.II.Query(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range res.Plan.Fragments {
+			used[f.ServerID]++
+		}
+	}
+	return used
+}
+
+func TestLBOffAlwaysWinner(t *testing.T) {
+	sc, q := buildLB(t, qcc.LBConfig{Mode: qcc.LBOff})
+	used := serversUsed(t, sc, scanQuery, 6)
+	if len(used) != 1 {
+		t.Fatalf("LB off must pin one server: %v", used)
+	}
+	if q.LB.Rotations() != 0 {
+		t.Fatalf("rotations: %d", q.LB.Rotations())
+	}
+}
+
+func TestLBGlobalRotatesAcrossServers(t *testing.T) {
+	// A generous closeness band groups all three replicas.
+	sc, q := buildLB(t, qcc.LBConfig{Mode: qcc.LBGlobal, Closeness: 3.0})
+	used := serversUsed(t, sc, scanQuery, 9)
+	if len(used) < 2 {
+		t.Fatalf("global LB must spread load: %v", used)
+	}
+	if q.LB.Rotations() == 0 {
+		t.Fatal("no rotations recorded")
+	}
+	// Distribution is balanced within a factor of the rotation length.
+	for id, n := range used {
+		if n == 0 || n > 6 {
+			t.Fatalf("unbalanced rotation at %s: %v", id, used)
+		}
+	}
+}
+
+func TestLBGlobalTightClosenessPinsCheapest(t *testing.T) {
+	// With near-zero closeness only the cheapest plan qualifies.
+	sc, _ := buildLB(t, qcc.LBConfig{Mode: qcc.LBGlobal, Closeness: 0.0001})
+	used := serversUsed(t, sc, scanQuery, 6)
+	if len(used) != 1 {
+		t.Fatalf("tight closeness must pin the winner: %v", used)
+	}
+}
+
+func TestLBFragmentRequiresIdenticalPlans(t *testing.T) {
+	sc, q := buildLB(t, qcc.LBConfig{Mode: qcc.LBFragment, Closeness: 3.0})
+	used := serversUsed(t, sc, scanQuery, 9)
+	// Replicas are identical (same seed), so the same physical plan exists
+	// on all three and fragment-level rotation can spread.
+	if len(used) < 2 {
+		t.Fatalf("fragment LB must spread across identical plans: %v", used)
+	}
+	if q.LB.Rotations() == 0 {
+		t.Fatal("no rotations recorded")
+	}
+}
+
+func TestLBWorkloadThresholdGates(t *testing.T) {
+	sc, _ := buildLB(t, qcc.LBConfig{
+		Mode:              qcc.LBGlobal,
+		Closeness:         3.0,
+		WorkloadThreshold: 1e12, // unreachable
+	})
+	used := serversUsed(t, sc, scanQuery, 6)
+	if len(used) != 1 {
+		t.Fatalf("below-threshold query must not be balanced: %v", used)
+	}
+}
+
+func TestLBSetModeResets(t *testing.T) {
+	sc, q := buildLB(t, qcc.LBConfig{Mode: qcc.LBGlobal, Closeness: 3.0})
+	serversUsed(t, sc, scanQuery, 3)
+	q.LB.SetMode(qcc.LBOff)
+	used := serversUsed(t, sc, scanQuery, 4)
+	if len(used) != 1 {
+		t.Fatalf("after turning LB off: %v", used)
+	}
+}
+
+func TestLBModeString(t *testing.T) {
+	if qcc.LBOff.String() != "off" || qcc.LBFragment.String() != "fragment" || qcc.LBGlobal.String() != "global" {
+		t.Fatal("mode names")
+	}
+}

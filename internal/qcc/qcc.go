@@ -1,0 +1,286 @@
+package qcc
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/integrator"
+	"repro/internal/metawrapper"
+	"repro/internal/optimizer"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+)
+
+// Config wires a QCC instance.
+type Config struct {
+	// Clock is the shared virtual clock.
+	Clock *simclock.Clock
+	// MW is the production meta-wrapper QCC instruments.
+	MW *metawrapper.MetaWrapper
+	// Enumerate produces executable global plans for load distribution;
+	// usually II.Optimizer().Enumerate. Nil disables load balancing.
+	Enumerate EnumerateFunc
+
+	Calibration  CalibrationConfig
+	Reliability  ReliabilityConfig
+	Availability AvailabilityConfig
+	Cycle        CycleConfig
+	LB           LBConfig
+	Reroute      RerouteConfig
+
+	// FileSeedMultiplier scales a probe round-trip into the initial cost
+	// seed for no-estimate (file) sources (default 20).
+	FileSeedMultiplier float64
+	// DisableDaemons skips scheduling the availability and recalibration
+	// daemons; tests and harnesses then drive PublishNow/ProbeNow manually.
+	DisableDaemons bool
+}
+
+// CostPolicy lets deployments fold business logic into the calibrated cost
+// of a (server, fragment) pair — §3.5: the transparent design allows
+// "customizing cost functions for different business applications that may
+// demand incorporation of unique business logic, such as QoS goal and
+// reliability, outside of DB2 and II". The policy runs LAST, after load,
+// network, reliability and availability calibration; returning +Inf bans
+// the server for the fragment.
+type CostPolicy func(serverID string, est remote.CostEstimate) remote.CostEstimate
+
+// QCC is the Query Cost Calibrator. It implements metawrapper.Observer,
+// metawrapper.Calibrator, optimizer.IICalibrator, integrator.RoutePolicy
+// (via its LoadBalancer) and integrator.IIMergeObserver.
+type QCC struct {
+	clock *simclock.Clock
+	mw    *metawrapper.MetaWrapper
+
+	Calib *Calibration
+	Rel   *Reliability
+	Avail *Availability
+	Cycle *CycleController
+	LB    *LoadBalancer
+	// Rerouter is non-nil when runtime fragment rerouting is enabled.
+	Rerouter *Rerouter
+
+	fileSeedMultiplier float64
+
+	policyMu sync.RWMutex
+	policy   CostPolicy
+
+	mu       sync.Mutex
+	cancels  []simclock.Cancel
+	compiles int64
+	runs     int64
+	errors   int64
+}
+
+// New builds a QCC over the given config (does not attach it yet).
+func New(cfg Config) *QCC {
+	if cfg.FileSeedMultiplier == 0 {
+		cfg.FileSeedMultiplier = 20
+	}
+	cfg.Cycle.Dynamic = cfg.Cycle.Dynamic || cfg.Cycle.Initial == 0 // default dynamic
+	calib := NewCalibration(cfg.Calibration)
+	q := &QCC{
+		clock:              cfg.Clock,
+		mw:                 cfg.MW,
+		Calib:              calib,
+		Rel:                NewReliability(cfg.Reliability),
+		Avail:              NewAvailability(cfg.Availability),
+		Cycle:              NewCycleController(cfg.Cycle, calib),
+		fileSeedMultiplier: cfg.FileSeedMultiplier,
+	}
+	if cfg.Enumerate != nil {
+		q.LB = NewLoadBalancer(cfg.LB, cfg.Clock, cfg.Enumerate)
+	}
+	if cfg.Reroute.Enabled {
+		q.Rerouter = NewRerouter(cfg.Reroute, cfg.MW)
+	}
+	if !cfg.DisableDaemons {
+		q.mu.Lock()
+		q.cancels = append(q.cancels,
+			q.Avail.StartDaemon(cfg.Clock, cfg.MW),
+			q.Cycle.Start(cfg.Clock),
+		)
+		q.mu.Unlock()
+	}
+	return q
+}
+
+// Attach installs QCC into a federation: the meta-wrapper reports to and
+// calibrates through it, and the integrator consults it for II calibration,
+// merge observation and routing. This is the paper's transparent deployment:
+// no optimizer code changes, only the cost surfaces.
+func Attach(cfg Config, ii *integrator.II) *QCC {
+	if cfg.Enumerate == nil && ii != nil {
+		cfg.Enumerate = ii.Optimizer().Enumerate
+	}
+	q := New(cfg)
+	cfg.MW.SetObserver(q)
+	cfg.MW.SetCalibrator(q)
+	if ii != nil {
+		ii.SetIICalibrator(q)
+		ii.SetMergeObserver(q)
+		if q.LB != nil {
+			ii.SetRoute(q.LB)
+		}
+		if q.Rerouter != nil {
+			ii.SetRerouter(q.Rerouter)
+		}
+	}
+	return q
+}
+
+// Detach removes QCC from the meta-wrapper and stops its daemons. The
+// integrator hooks are left for the caller to clear (they are harmless
+// identity operations once the calibration store stops updating).
+func (q *QCC) Detach() {
+	q.mw.SetObserver(nil)
+	q.mw.SetCalibrator(nil)
+	q.Stop()
+}
+
+// Stop cancels the daemons.
+func (q *QCC) Stop() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, c := range q.cancels {
+		c()
+	}
+	q.cancels = nil
+}
+
+// SetCostPolicy installs (or clears, with nil) the business-logic cost
+// policy.
+func (q *QCC) SetCostPolicy(p CostPolicy) {
+	q.policyMu.Lock()
+	defer q.policyMu.Unlock()
+	q.policy = p
+}
+
+func (q *QCC) costPolicy() CostPolicy {
+	q.policyMu.RLock()
+	defer q.policyMu.RUnlock()
+	return q.policy
+}
+
+// PublishNow forces a recalibration cycle immediately (harness hook).
+func (q *QCC) PublishNow() { q.Calib.Publish(q.clock.Now()) }
+
+// ProbeNow runs one availability-daemon sweep immediately (harness hook).
+func (q *QCC) ProbeNow() {
+	for _, id := range q.mw.Servers() {
+		q.mw.Probe(id) //nolint:errcheck // outcome flows through the observer
+	}
+}
+
+// Stats reports QCC's interaction counters: compiles seen, runs observed,
+// errors recorded.
+func (q *QCC) Stats() (compiles, runs, errors int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.compiles, q.runs, q.errors
+}
+
+// ---- metawrapper.Observer ----
+
+// ObserveCompile implements metawrapper.Observer.
+func (q *QCC) ObserveCompile(rec metawrapper.CompileRecord) {
+	q.mu.Lock()
+	q.compiles++
+	q.mu.Unlock()
+}
+
+// ObserveRun implements metawrapper.Observer: the runtime response time is
+// recorded against the compile-time estimate, success refreshes reliability
+// and availability.
+func (q *QCC) ObserveRun(rec metawrapper.RunRecord) {
+	q.mu.Lock()
+	q.runs++
+	q.mu.Unlock()
+	q.Calib.RecordRun(q.clock.Now(), rec.Key, rec.Est.TotalMS, float64(rec.Observed))
+	q.Rel.RecordSuccess(rec.Key.ServerID)
+	q.Avail.MarkUp(rec.Key.ServerID)
+}
+
+// ObserveError implements metawrapper.Observer.
+func (q *QCC) ObserveError(serverID string, err error) {
+	q.mu.Lock()
+	q.errors++
+	q.mu.Unlock()
+	q.Rel.RecordFailure(serverID)
+	if IsDownError(err) {
+		q.Avail.MarkDown(serverID)
+	}
+}
+
+// ObserveProbe implements metawrapper.Observer.
+func (q *QCC) ObserveProbe(serverID string, rtt simclock.Time, err error) {
+	if err != nil {
+		q.Rel.RecordFailure(serverID)
+		if IsDownError(err) {
+			q.Avail.MarkDown(serverID)
+		}
+		return
+	}
+	q.Avail.MarkUp(serverID)
+	q.Rel.RecordSuccess(serverID)
+	q.Calib.RecordProbe(serverID, float64(rtt))
+}
+
+// ---- metawrapper.Calibrator ----
+
+// CalibrateFragment implements metawrapper.Calibrator: the calibrated cost
+// = estimated cost × fragment factor × reliability factor, +Inf for fenced
+// servers, and a seeded estimate for sources that provide none.
+func (q *QCC) CalibrateFragment(key metawrapper.FragmentKey, est remote.CostEstimate, costKnown bool) remote.CostEstimate {
+	if q.Avail.IsDown(key.ServerID) {
+		est.TotalMS = math.Inf(1)
+		est.FirstTupleMS = math.Inf(1)
+		return est
+	}
+	rel := q.Rel.Factor(key.ServerID)
+	if !costKnown {
+		seed := q.Calib.SeedEstimate(q.clock.Now(), key, q.fileSeedMultiplier)
+		if seed > 0 {
+			est.TotalMS = seed * rel
+			est.FirstTupleMS = seed * rel * 0.1
+			if est.Card == 0 {
+				est.Card = 1
+			}
+		}
+		return q.applyPolicy(key.ServerID, est)
+	}
+	factor := q.Calib.FragmentFactor(key) * rel
+	est.TotalMS *= factor
+	est.FirstTupleMS *= factor
+	est.NextTupleMS *= factor
+	return q.applyPolicy(key.ServerID, est)
+}
+
+func (q *QCC) applyPolicy(serverID string, est remote.CostEstimate) remote.CostEstimate {
+	if p := q.costPolicy(); p != nil {
+		return p(serverID, est)
+	}
+	return est
+}
+
+// ---- optimizer.IICalibrator / integrator.IIMergeObserver ----
+
+// CalibrateII implements optimizer.IICalibrator (§3.2).
+func (q *QCC) CalibrateII(estMS float64) float64 {
+	return estMS * q.Calib.IIFactor()
+}
+
+// ObserveIIMerge implements integrator.IIMergeObserver.
+func (q *QCC) ObserveIIMerge(estMS float64, observed simclock.Time) {
+	q.Calib.RecordII(q.clock.Now(), estMS, float64(observed))
+}
+
+// Interface assertions.
+var (
+	_ metawrapper.Observer       = (*QCC)(nil)
+	_ metawrapper.Calibrator     = (*QCC)(nil)
+	_ optimizer.IICalibrator     = (*QCC)(nil)
+	_ integrator.IIMergeObserver = (*QCC)(nil)
+	_ integrator.RoutePolicy     = (*LoadBalancer)(nil)
+	_ integrator.RuntimeRerouter = (*Rerouter)(nil)
+)

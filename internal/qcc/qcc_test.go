@@ -1,0 +1,456 @@
+package qcc_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metawrapper"
+	"repro/internal/network"
+	"repro/internal/qcc"
+	"repro/internal/remote"
+	"repro/internal/scenario"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+func build(t *testing.T) (*scenario.Scenario, *qcc.QCC) {
+	t.Helper()
+	sc, err := scenario.BuildThreeServer(scenario.Options{Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qcc.Attach(qcc.Config{
+		Clock: sc.Clock,
+		MW:    sc.MW,
+	}, sc.II)
+	return sc, q
+}
+
+const scanQuery = "SELECT SUM(o.o_amount) FROM orders AS o WHERE o.o_amount > 100"
+
+// cacheQuery is a QT2-shaped (small ⋈ large) query: the fast server's
+// optimizer picks the cache-reliant index-nested-loop plan, which collapses
+// under update load — the crossover QCC must learn.
+const cacheQuery = "SELECT SUM(o.o_amount) FROM customer AS c JOIN orders AS o ON o.o_custkey = c.c_id WHERE c.c_discount > 0.01"
+
+func TestQCCLearnsLoadAndReroutes(t *testing.T) {
+	sc, q := build(t)
+	// Baseline: run the query a few times; note the preferred server.
+	res, err := sc.II.Query(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preferred := res.Plan.Fragments[0].ServerID
+	// Load the preferred server heavily; execute so QCC observes the gap.
+	sc.Servers[preferred].SetLoadLevel(1)
+	for i := 0; i < 3; i++ {
+		if _, err := sc.II.Query(cacheQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.PublishNow()
+	if f := q.Calib.ServerFactor(preferred); f <= 1.1 {
+		t.Fatalf("factor for loaded server must rise: %g", f)
+	}
+	res, err = sc.II.Query(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Plan.Fragments[0].ServerID; got == preferred {
+		t.Fatalf("query must reroute away from loaded %s", preferred)
+	}
+}
+
+func TestQCCFactorsTrackLoadChanges(t *testing.T) {
+	sc, q := build(t)
+	if _, err := sc.II.Query(scanQuery); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := sc.II.Query(scanQuery)
+	server := res.Plan.Fragments[0].ServerID
+	sc.Servers[server].SetLoadLevel(1)
+	for i := 0; i < 3; i++ {
+		sc.II.Query(scanQuery) //nolint:errcheck
+	}
+	q.PublishNow()
+	loadedFactor := q.Calib.ServerFactor(server)
+	// Load clears; observations age out as the clock advances and new calm
+	// observations arrive (after rerouting, force execution on the same
+	// server via direct wrapper runs).
+	sc.Servers[server].SetLoadLevel(0)
+	stmt := sqlparser.MustParse(scanQuery)
+	for i := 0; i < 6; i++ {
+		cands, err := sc.MW.ExplainFragment(server, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.MW.ExecuteFragment(server, stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
+			t.Fatal(err)
+		}
+		sc.Clock.Advance(10)
+	}
+	q.PublishNow()
+	calmFactor := q.Calib.ServerFactor(server)
+	if calmFactor >= loadedFactor {
+		t.Fatalf("factor must fall when load clears: %g -> %g", loadedFactor, calmFactor)
+	}
+}
+
+func TestQCCAvailabilityFencesDownServer(t *testing.T) {
+	sc, q := build(t)
+	res, err := sc.II.Query(scanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preferred := res.Plan.Fragments[0].ServerID
+	sc.Servers[preferred].SetDown(true)
+	q.ProbeNow()
+	if !q.Avail.IsDown(preferred) {
+		t.Fatal("probe must detect the down server")
+	}
+	// Calibrated cost for the fenced server is infinite.
+	est := q.CalibrateFragment(metawrapper.FragmentKey{ServerID: preferred, Signature: "x"}, remote.CostEstimate{TotalMS: 10}, true)
+	if !math.IsInf(est.TotalMS, 1) {
+		t.Fatalf("fenced cost: %v", est.TotalMS)
+	}
+	// Queries keep working via the other servers, without retries: compile
+	// already avoids the fenced server.
+	res, err = sc.II.Query(scanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Fragments[0].ServerID == preferred {
+		t.Fatal("fenced server must not be routed to")
+	}
+	if res.Retried != 0 {
+		t.Fatalf("fencing should avoid retries, got %d", res.Retried)
+	}
+	// Recovery: probe restores the server.
+	sc.Servers[preferred].SetDown(false)
+	q.ProbeNow()
+	if q.Avail.IsDown(preferred) {
+		t.Fatal("probe must restore the server")
+	}
+	if q.Avail.DownEvents(preferred) != 1 {
+		t.Fatalf("down events: %d", q.Avail.DownEvents(preferred))
+	}
+}
+
+func TestQCCReliabilitySteersAwayFromFlakyServer(t *testing.T) {
+	sc, q := build(t)
+	res, err := sc.II.Query(scanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := res.Plan.Fragments[0].ServerID
+	// Fail a burst of runs on the flaky server (transient failures, not
+	// down): reliability factor rises, availability stays up.
+	stmt := sqlparser.MustParse(scanQuery)
+	for i := 0; i < 10; i++ {
+		sc.Servers[flaky].InjectFailures(1)
+		cands, err := sc.MW.ExplainFragment(flaky, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.MW.ExecuteFragment(flaky, stmt.String(), cands[0].Plan, cands[0].RawEst) //nolint:errcheck
+	}
+	if q.Avail.IsDown(flaky) {
+		t.Fatal("transient failures must not mark the server down")
+	}
+	if f := q.Rel.Factor(flaky); f <= 1.5 {
+		t.Fatalf("reliability factor must rise: %g", f)
+	}
+	res, err = sc.II.Query(scanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Fragments[0].ServerID == flaky {
+		t.Fatal("fast but unreliable server must be avoided when alternatives exist")
+	}
+}
+
+func TestQCCDynamicCycleAdapts(t *testing.T) {
+	sc, err := scenario.BuildThreeServer(scenario.Options{Scale: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qcc.Attach(qcc.Config{
+		Clock: sc.Clock,
+		MW:    sc.MW,
+		Cycle: qcc.CycleConfig{Initial: 100, Min: 25, Max: 1000, Dynamic: true},
+	}, sc.II)
+	// Quiet period: intervals should grow.
+	sc.Clock.Advance(2000)
+	ivs := q.Cycle.Intervals()
+	if len(ivs) < 2 || ivs[len(ivs)-1] <= ivs[0] {
+		t.Fatalf("quiet period must slow the cycle: %v", ivs)
+	}
+	// A load spike with fresh observations should speed it back up.
+	res, err := sc.II.Query(scanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := res.Plan.Fragments[0].ServerID
+	sc.Servers[server].SetLoadLevel(1)
+	stmt := sqlparser.MustParse(scanQuery)
+	before := q.Cycle.Interval()
+	for i := 0; i < 4; i++ {
+		cands, err := sc.MW.ExplainFragment(server, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.MW.ExecuteFragment(server, stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
+			t.Fatal(err)
+		}
+		sc.Clock.Advance(before * 3 / 2)
+	}
+	// The controller may relax again once the factor stabilizes; what
+	// matters is that the spike triggered at least one speed-up.
+	spedUp := false
+	for _, iv := range q.Cycle.Intervals() {
+		if iv < before {
+			spedUp = true
+		}
+	}
+	if !spedUp {
+		t.Fatalf("load spike must speed the cycle at least once: before=%v history=%v", before, q.Cycle.Intervals())
+	}
+}
+
+func TestQCCStatsCounters(t *testing.T) {
+	sc, q := build(t)
+	if _, err := sc.II.Query(scanQuery); err != nil {
+		t.Fatal(err)
+	}
+	compiles, runs, errs := q.Stats()
+	if compiles == 0 || runs == 0 {
+		t.Fatalf("counters: c=%d r=%d", compiles, runs)
+	}
+	if errs != 0 {
+		t.Fatalf("unexpected errors: %d", errs)
+	}
+}
+
+func TestQCCDetach(t *testing.T) {
+	sc, q := build(t)
+	q.Detach()
+	// Without QCC, queries still work.
+	if _, err := sc.II.Query(scanQuery); err != nil {
+		t.Fatal(err)
+	}
+	_, runs, _ := q.Stats()
+	if runs != 0 {
+		t.Fatalf("detached QCC must not observe: %d", runs)
+	}
+}
+
+func TestSimulatedFederationEnumeratesWithoutExecution(t *testing.T) {
+	sc, q := build(t)
+	sf, err := qcc.NewSimulatedFederation(sc.Servers, sc.Topo, sc.Catalog, sc.IINode, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, vs := range sf.Servers {
+		if vs.Table("orders") == nil || !vs.Table("orders").IsVirtual() {
+			t.Fatalf("server %s tables must be virtual", id)
+		}
+		if vs.Table("orders").RowCount() != 0 {
+			t.Fatal("virtual tables must hold no rows")
+		}
+	}
+	stmt := sqlparser.MustParse(scanQuery)
+	plans, err := sf.Enumerate(stmt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < 3 {
+		t.Fatalf("expected plans from all three servers: %d", len(plans))
+	}
+	for _, s := range sc.Servers {
+		if s.Executed() != 0 {
+			t.Fatal("what-if must not execute on real servers")
+		}
+	}
+	// Virtual estimates approximate real estimates.
+	realPlans, err := sc.II.Optimizer().Enumerate(stmt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plans[0].TotalEstMS-realPlans[0].TotalEstMS) > realPlans[0].TotalEstMS*0.25 {
+		t.Fatalf("virtual estimate drifted: %g vs %g", plans[0].TotalEstMS, realPlans[0].TotalEstMS)
+	}
+}
+
+func TestEnumerateByMaskingCoversCombinations(t *testing.T) {
+	sc, err := scenario.BuildReplicaPair(scenario.ReplicaOptions{Scale: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qcc.Attach(qcc.Config{Clock: sc.Clock, MW: sc.MW}, sc.II)
+	sf, err := qcc.NewSimulatedFederation(sc.Servers, sc.Topo, sc.Catalog, sc.IINode, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := sqlparser.MustParse("SELECT o.o_id, l.l_price FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > 9500")
+	plans, runs, err := sf.EnumerateByMasking(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's trick: 2 servers per fragment × 2 fragments = 4 explain
+	// runs, one winner each.
+	if runs != 4 {
+		t.Fatalf("explain runs: %d want 4", runs)
+	}
+	if len(plans) != 4 {
+		t.Fatalf("winners: %d want 4", len(plans))
+	}
+	sets := map[string]bool{}
+	for _, p := range plans {
+		sets[p.ServerSetKey()] = true
+		if !strings.Contains(p.RouteKey(), "QF1@") {
+			t.Fatalf("route key: %s", p.RouteKey())
+		}
+	}
+	if len(sets) != 4 {
+		t.Fatalf("server sets: %v", sets)
+	}
+	// Masks must be restored.
+	for _, id := range sf.MW.Servers() {
+		if sf.MW.Masked(id) {
+			t.Fatalf("mask leaked on %s", id)
+		}
+	}
+}
+
+func TestIIWorkloadFactorFromCrossSourceMerges(t *testing.T) {
+	sc, err := scenario.BuildReplicaPair(scenario.ReplicaOptions{Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qcc.Attach(qcc.Config{Clock: sc.Clock, MW: sc.MW, DisableDaemons: true}, sc.II)
+	// Load the II node itself: its merge work inflates beyond the estimate.
+	sc.IINode.SetLoadLevel(1)
+	const xq = "SELECT COUNT(*) FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > 2000"
+	for i := 0; i < 3; i++ {
+		if _, err := sc.II.Query(xq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.PublishNow()
+	if f := q.Calib.IIFactor(); f <= 1.05 {
+		t.Fatalf("II workload factor must rise under integrator load: %g", f)
+	}
+	// The factor scales merge estimates in future compilations.
+	if got := q.CalibrateII(10); got <= 10 {
+		t.Fatalf("CalibrateII: %g", got)
+	}
+}
+
+func TestFixedCycleNeverAdapts(t *testing.T) {
+	sc, err := scenario.BuildThreeServer(scenario.Options{Scale: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qcc.Attach(qcc.Config{
+		Clock: sc.Clock,
+		MW:    sc.MW,
+		Cycle: qcc.CycleConfig{Initial: 100, Dynamic: false},
+	}, sc.II)
+	sc.Clock.Advance(1500)
+	for _, iv := range q.Cycle.Intervals() {
+		if iv != 100 {
+			t.Fatalf("fixed cycle drifted: %v", q.Cycle.Intervals())
+		}
+	}
+	if len(q.Cycle.Intervals()) < 10 {
+		t.Fatalf("publishes: %d", len(q.Cycle.Intervals()))
+	}
+}
+
+// TestFlappingNetworkAdaptation drives a time-varying congestion schedule on
+// the preferred server's link with QCC's daemons live: probes feed the
+// probe-derived factor, the dynamic cycle publishes, and routing follows the
+// network weather in both directions.
+func TestFlappingNetworkAdaptation(t *testing.T) {
+	sc, err := scenario.BuildThreeServer(scenario.Options{Scale: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qcc.Attach(qcc.Config{
+		Clock:        sc.Clock,
+		MW:           sc.MW,
+		Availability: qcc.AvailabilityConfig{ProbeInterval: 50},
+		Cycle:        qcc.CycleConfig{Initial: 100, Min: 25, Dynamic: true},
+	}, sc.II)
+	_ = q
+	res, err := sc.II.Query(scanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preferred := res.Plan.Fragments[0].ServerID
+
+	// Congestion rises at t+100ms and clears at t+2000ms.
+	network.ScheduleCongestion(sc.Clock, sc.Topo.Link(preferred), []network.CongestionPhase{
+		{AfterMS: 100, Level: 20},
+		{AfterMS: 2000, Level: 1},
+	})
+	// Let probes observe the congested link.
+	sc.Clock.Advance(600)
+	res, err = sc.II.Query(scanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Fragments[0].ServerID == preferred {
+		t.Fatalf("should route around the congested link (factor %.2f)",
+			q.Calib.ServerFactor(preferred))
+	}
+	// After the congestion clears and probes re-observe, the preferred
+	// server becomes attractive again.
+	sc.Clock.Advance(2500)
+	res, err = sc.II.Query(scanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Fragments[0].ServerID != preferred {
+		t.Fatalf("should return to %s after congestion clears (factor %.2f)",
+			preferred, q.Calib.ServerFactor(preferred))
+	}
+}
+
+func TestSimulatedFederationRefreshTracksMutations(t *testing.T) {
+	sc, q := build(t)
+	sf, err := qcc.NewSimulatedFederation(sc.Servers, sc.Topo, sc.Catalog, sc.IINode, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sf.Servers["S1"].Table("orders").Stats().Column("o_amount").Max
+	// Drift the real statistics well past the old max.
+	tab := sc.Servers["S1"].Table("orders")
+	if err := tab.UpdateAt(0, 2, maxAmount()); err != nil {
+		t.Fatal(err)
+	}
+	// Virtual stats are a snapshot until refreshed.
+	if got := sf.Servers["S1"].Table("orders").Stats().Column("o_amount").Max; got.Float() != before.Float() {
+		t.Fatal("virtual stats must be a snapshot")
+	}
+	if err := sf.Refresh(sc.Servers); err != nil {
+		t.Fatal(err)
+	}
+	if got := sf.Servers["S1"].Table("orders").Stats().Column("o_amount").Max; got.Float() != 999999 {
+		t.Fatalf("refresh must pick up drift: %v", got)
+	}
+	// Periodic refresh on the clock.
+	if err := tab.UpdateAt(1, 2, remoteFloat(1e7)); err != nil {
+		t.Fatal(err)
+	}
+	cancel := sf.RefreshEvery(sc.Clock, 100, sc.Servers)
+	sc.Clock.Advance(150)
+	cancel()
+	if got := sf.Servers["S1"].Table("orders").Stats().Column("o_amount").Max; got.Float() != 1e7 {
+		t.Fatalf("periodic refresh: %v", got)
+	}
+}
+
+func maxAmount() sqltypes.Value            { return remoteFloat(999999) }
+func remoteFloat(f float64) sqltypes.Value { return sqltypes.NewFloat(f) }

@@ -1,0 +1,106 @@
+package qcc
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/metawrapper"
+	"repro/internal/optimizer"
+)
+
+// RerouteConfig tunes runtime fragment rerouting — the paper's extension for
+// long-running queries ("we could extend our method to periodically re-check
+// the load and switch data sources if needed", §6).
+type RerouteConfig struct {
+	// Enabled turns the rerouter on.
+	Enabled bool
+	// Improvement is the minimum fractional cost improvement an alternative
+	// must offer to displace the compiled choice (default 0.25 — switching
+	// has plan-cache and cost-estimate risk, so it takes a clear win).
+	Improvement float64
+}
+
+func (c *RerouteConfig) fill() {
+	if c.Improvement == 0 {
+		c.Improvement = 0.25
+	}
+}
+
+// Rerouter implements integrator.RuntimeRerouter: just before a fragment
+// dispatches, it re-explains the fragment on every candidate server with
+// CURRENT calibration (compile time may be arbitrarily stale for queued or
+// rotation-cached plans) and switches when another source is now clearly
+// cheaper — e.g. the compiled target went down or its load spiked after
+// compilation.
+type Rerouter struct {
+	mu       sync.Mutex
+	cfg      RerouteConfig
+	mw       *metawrapper.MetaWrapper
+	switched int64
+	checked  int64
+}
+
+// NewRerouter builds the rerouter over the production meta-wrapper.
+func NewRerouter(cfg RerouteConfig, mw *metawrapper.MetaWrapper) *Rerouter {
+	cfg.fill()
+	return &Rerouter{cfg: cfg, mw: mw}
+}
+
+// Switched reports how many fragments were moved at dispatch time, and how
+// many dispatches were checked.
+func (r *Rerouter) Switched() (switched, checked int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.switched, r.checked
+}
+
+// RerouteFragment implements integrator.RuntimeRerouter.
+func (r *Rerouter) RerouteFragment(choice optimizer.FragmentChoice) *optimizer.FragmentChoice {
+	if !r.cfg.Enabled {
+		return nil
+	}
+	r.mu.Lock()
+	r.checked++
+	r.mu.Unlock()
+
+	currentCost := math.Inf(1)
+	best := choice
+	bestCost := math.Inf(1)
+	for _, serverID := range choice.Spec.Candidates {
+		cands, err := r.mw.ExplainFragment(serverID, choice.Spec.Stmt)
+		if err != nil {
+			continue
+		}
+		for _, c := range cands {
+			cost := c.Plan.Est.TotalMS
+			if math.IsInf(cost, 1) {
+				continue
+			}
+			if serverID == choice.ServerID && cost < currentCost {
+				currentCost = cost
+			}
+			if cost < bestCost {
+				bestCost = cost
+				best = optimizer.FragmentChoice{
+					Spec:      choice.Spec,
+					ServerID:  serverID,
+					Plan:      c.Plan,
+					RawEst:    c.RawEst,
+					CostKnown: c.CostKnown,
+				}
+			}
+		}
+	}
+	if best.ServerID == choice.ServerID {
+		return nil
+	}
+	// The compiled target may be fenced (infinite current cost): switch
+	// unconditionally. Otherwise require a clear improvement.
+	if !math.IsInf(currentCost, 1) && bestCost > currentCost*(1-r.cfg.Improvement) {
+		return nil
+	}
+	r.mu.Lock()
+	r.switched++
+	r.mu.Unlock()
+	return &best
+}

@@ -1,0 +1,303 @@
+package remote
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exec"
+	"repro/internal/sqlparser"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// estimator derives optimizer-visible cost estimates by walking a physical
+// operator tree with table statistics — never by executing it. The resource
+// formulas deliberately mirror the executor's actual charging so that, on a
+// calm (zero-load) server, estimated and observed times agree and the
+// calibration factor sits near 1.
+type estimator struct {
+	provider stats.StatsProvider
+	server   *Server
+}
+
+// nodeEst is the estimate for one subtree.
+type nodeEst struct {
+	card  float64
+	width float64 // average output row bytes
+	res   exec.Resources
+}
+
+// estimatePlan estimates an entire plan and packages the CostEstimate.
+func (e *estimator) estimatePlan(root exec.Operator) (CostEstimate, error) {
+	ne, err := e.estimate(root)
+	if err != nil {
+		return CostEstimate{}, err
+	}
+	outBytes := int(ne.card * (ne.width + 4))
+	res := ne.res
+	res.OutBytes = outBytes
+	total := e.server.EstimateTime(res)
+	card := int64(ne.card)
+	if card < 1 {
+		card = 1
+	}
+	first := e.server.hw.FixedOverheadMS + 0.1*(total-e.server.hw.FixedOverheadMS)
+	next := (total - first) / float64(card)
+	if next < 0 {
+		next = 0
+	}
+	return CostEstimate{
+		TotalMS:      total,
+		FirstTupleMS: first,
+		NextTupleMS:  next,
+		Card:         card,
+		OutBytes:     outBytes,
+	}, nil
+}
+
+func (e *estimator) estimate(op exec.Operator) (nodeEst, error) {
+	switch x := op.(type) {
+	case *exec.Values:
+		card := float64(x.Rel.Cardinality())
+		width := 16.0
+		if card > 0 {
+			width = float64(x.Rel.ByteSize()) / card
+		}
+		return nodeEst{card: card, width: width, res: exec.Resources{CPUOps: card}}, nil
+
+	case *exec.SeqScan:
+		ts := e.tableStats(x.Table)
+		card := float64(ts.RowCount)
+		return nodeEst{
+			card:  card,
+			width: ts.AvgRowBytes,
+			res:   exec.Resources{IOPages: float64(x.Table.Pages()), CPUOps: card},
+		}, nil
+
+	case *exec.IndexScan:
+		ts := e.tableStats(x.Table)
+		card := float64(ts.RowCount) * e.probeSelectivity(x, ts)
+		n := float64(ts.RowCount)
+		descent := 1.0
+		if n > 2 {
+			descent += math.Log2(n) / 4
+		}
+		return nodeEst{
+			card:  card,
+			width: ts.AvgRowBytes,
+			res:   exec.Resources{CachedPages: descent + card, CPUOps: descent + card},
+		}, nil
+
+	case *exec.Filter:
+		in, err := e.estimate(x.Input)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		sel := stats.Selectivity(x.Pred, e.provider)
+		out := in
+		out.card = in.card * sel
+		out.res.CPUOps += in.card
+		return out, nil
+
+	case *exec.Project:
+		in, err := e.estimate(x.Input)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		out := in
+		out.width = 12 * float64(len(x.Items))
+		out.res.CPUOps += in.card * float64(len(x.Items))
+		return out, nil
+
+	case *exec.HashJoin:
+		l, err := e.estimate(x.Build)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		r, err := e.estimate(x.Probe)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		card := float64(stats.JoinCardinality(int64(l.card), int64(r.card),
+			e.keyDistinct(x.BuildKey, l.card), e.keyDistinct(x.ProbeKey, r.card)))
+		if x.Residual != nil {
+			card *= stats.Selectivity(x.Residual, e.provider)
+		}
+		out := nodeEst{card: card, width: l.width + r.width}
+		out.res = l.res
+		out.res.Add(r.res)
+		out.res.CPUOps += 2*l.card + 2*r.card + card
+		return out, nil
+
+	case *exec.MergeJoin:
+		l, err := e.estimate(x.Left)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		r, err := e.estimate(x.Right)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		card := float64(stats.JoinCardinality(int64(l.card), int64(r.card),
+			e.keyDistinct(x.LeftKey, l.card), e.keyDistinct(x.RightKey, r.card)))
+		if x.Residual != nil {
+			card *= stats.Selectivity(x.Residual, e.provider)
+		}
+		out := nodeEst{card: card, width: l.width + r.width}
+		out.res = l.res
+		out.res.Add(r.res)
+		lg := func(n float64) float64 {
+			if n < 2 {
+				return 1
+			}
+			return math.Log2(n)
+		}
+		out.res.CPUOps += l.card*lg(l.card) + r.card*lg(r.card) + l.card + r.card + card
+		return out, nil
+
+	case *exec.IndexNLJoin:
+		outer, err := e.estimate(x.Outer)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		ts := e.tableStats(x.Inner)
+		card := float64(stats.JoinCardinality(int64(outer.card), ts.RowCount,
+			e.keyDistinct(x.OuterKey, outer.card), columnDistinct(ts, x.Index.Column())))
+		if x.Residual != nil {
+			card *= stats.Selectivity(x.Residual, e.provider)
+		}
+		n := float64(ts.RowCount)
+		descent := 1.0
+		if n > 2 {
+			descent += math.Log2(n) / 4
+		}
+		fetches := card
+		out := nodeEst{card: card, width: outer.width + ts.AvgRowBytes}
+		out.res = outer.res
+		out.res.CachedPages += outer.card*descent + fetches
+		out.res.CPUOps += outer.card*(descent+1) + fetches
+		return out, nil
+
+	case *exec.NestedLoopJoin:
+		l, err := e.estimate(x.Outer)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		r, err := e.estimate(x.Inner)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		sel := 1.0
+		if x.Pred != nil {
+			sel = stats.Selectivity(x.Pred, e.provider)
+		}
+		out := nodeEst{card: l.card * r.card * sel, width: l.width + r.width}
+		out.res = l.res
+		out.res.Add(r.res)
+		out.res.CPUOps += l.card * r.card
+		return out, nil
+
+	case *exec.Aggregate:
+		in, err := e.estimate(x.Input)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		var distincts []int64
+		for _, g := range x.GroupBy {
+			distincts = append(distincts, e.keyDistinct(g, in.card))
+		}
+		card := float64(stats.GroupCardinality(int64(in.card), distincts))
+		out := nodeEst{card: card, width: 12 * float64(len(x.GroupBy)+len(x.Aggs))}
+		out.res = in.res
+		out.res.CPUOps += in.card * float64(1+len(x.Aggs))
+		return out, nil
+
+	case *exec.Sort:
+		in, err := e.estimate(x.Input)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		out := in
+		n := in.card
+		l := 1.0
+		if n > 2 {
+			l = math.Log2(n)
+		}
+		out.res.CPUOps += n * l
+		return out, nil
+
+	case *exec.Distinct:
+		in, err := e.estimate(x.Input)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		out := in
+		out.res.CPUOps += in.card * 2
+		return out, nil
+
+	case *exec.Limit:
+		in, err := e.estimate(x.Input)
+		if err != nil {
+			return nodeEst{}, err
+		}
+		out := in
+		if out.card > float64(x.N) {
+			out.card = float64(x.N)
+		}
+		return out, nil
+
+	default:
+		return nodeEst{}, fmt.Errorf("remote: estimator does not know operator %T", op)
+	}
+}
+
+func (e *estimator) tableStats(t *storage.Table) *stats.TableStats { return t.Stats() }
+
+// probeSelectivity estimates the fraction of rows an index probe returns.
+func (e *estimator) probeSelectivity(x *exec.IndexScan, ts *stats.TableStats) float64 {
+	cs := ts.Column(x.Index.Column())
+	if x.Probe.Eq != nil {
+		if cs != nil && cs.Distinct > 0 {
+			return 1 / float64(cs.Distinct)
+		}
+		return stats.DefaultEqSelectivity
+	}
+	if cs == nil || cs.Hist == nil {
+		return stats.DefaultRangeSelectivity
+	}
+	lo, hi := 0.0, 1.0
+	if x.Probe.Lo != nil {
+		lo = cs.Hist.SelectivityLE(x.Probe.Lo.Float())
+	}
+	if x.Probe.Hi != nil {
+		hi = cs.Hist.SelectivityLE(x.Probe.Hi.Float())
+	}
+	s := hi - lo
+	if s <= 0 {
+		s = 1e-6
+	}
+	return s
+}
+
+// keyDistinct estimates the number of distinct values a key expression
+// takes; bare columns use statistics, anything else assumes the input
+// cardinality.
+func (e *estimator) keyDistinct(key sqlparser.Expr, inputCard float64) int64 {
+	if ref, ok := key.(*sqlparser.ColumnRef); ok && ref.Table != "" {
+		if cs := e.provider.TableStats(ref.Table).Column(ref.Name); cs != nil && cs.Distinct > 0 {
+			return cs.Distinct
+		}
+	}
+	d := int64(inputCard)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func columnDistinct(ts *stats.TableStats, column string) int64 {
+	if cs := ts.Column(column); cs != nil && cs.Distinct > 0 {
+		return cs.Distinct
+	}
+	return ts.RowCount
+}

@@ -1,0 +1,125 @@
+package remote
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/exec"
+	"repro/internal/simclock"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// Result is the outcome of executing a plan at the server.
+type Result struct {
+	// Rel is the materialized fragment result.
+	Rel *sqltypes.Relation
+	// ServiceTime is the simulated time the server spent, including load
+	// effects and queueing — the "observed cost" QCC learns from.
+	ServiceTime simclock.Time
+	// Resources is the true resource consumption (for diagnostics).
+	Resources exec.Resources
+}
+
+// ExecutePlan runs a previously-explained plan. It fails when the server is
+// down, when failure injection is armed, or when the plan is bound to a
+// different server.
+func (s *Server) ExecutePlan(p *Plan) (*Result, error) {
+	if p.ServerID != s.id {
+		return nil, fmt.Errorf("remote: plan bound to %s executed on %s", p.ServerID, s.id)
+	}
+	if s.Down() {
+		return nil, &ErrServerDown{ID: s.id}
+	}
+	s.mu.Lock()
+	if s.failNext > 0 {
+		s.failNext--
+		s.mu.Unlock()
+		return nil, &ErrServerFailure{ID: s.id}
+	}
+	s.executed++
+	s.mu.Unlock()
+
+	ctx := &exec.Context{}
+	rel, err := p.Root.Execute(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("remote: executing on %s: %w", s.id, err)
+	}
+	ctx.Res.OutBytes = rel.ByteSize()
+	return &Result{
+		Rel:         rel,
+		ServiceTime: s.Observe(ctx.Res),
+		Resources:   ctx.Res,
+	}, nil
+}
+
+// ExecuteSQL explains and executes the cheapest plan — the path used by
+// availability daemons and ad-hoc probes.
+func (s *Server) ExecuteSQL(sql string) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := s.Explain(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecutePlan(plans[0])
+}
+
+// Probe performs the availability daemon's lightweight health check. It
+// touches the catalog only; the returned time reflects current queueing.
+func (s *Server) Probe() (simclock.Time, error) {
+	if s.Down() {
+		return 0, &ErrServerDown{ID: s.id}
+	}
+	res := exec.Resources{CPUOps: 10, CachedPages: 2}
+	return s.Observe(res), nil
+}
+
+// ApplyUpdateBurst mutates n randomly-chosen rows of the named table
+// (seeded), dirtying pages and drifting statistics — the paper's "servers
+// are hit with a heavy update load" made concrete. It does not by itself
+// change the load level; callers combine it with SetLoadLevel.
+func (s *Server) ApplyUpdateBurst(table string, n int, seed int64) error {
+	tab := s.Table(table)
+	if tab == nil {
+		return fmt.Errorf("remote: server %s has no table %q", s.id, table)
+	}
+	if tab.RowCount() == 0 {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	numeric := -1
+	for i, c := range tab.Schema().Columns {
+		if c.Type == sqltypes.KindFloat {
+			numeric = i
+			break
+		}
+	}
+	if numeric < 0 {
+		for i, c := range tab.Schema().Columns {
+			if c.Type == sqltypes.KindInt && i > 0 {
+				numeric = i
+				break
+			}
+		}
+	}
+	if numeric < 0 {
+		return fmt.Errorf("remote: table %q has no updatable column", table)
+	}
+	kind := tab.Schema().Columns[numeric].Type
+	for i := 0; i < n; i++ {
+		row := r.Intn(tab.RowCount())
+		var v sqltypes.Value
+		if kind == sqltypes.KindFloat {
+			v = sqltypes.NewFloat(r.Float64() * 10000)
+		} else {
+			v = sqltypes.NewInt(r.Int63n(10000))
+		}
+		if err := tab.UpdateAt(row, numeric, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

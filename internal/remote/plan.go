@@ -1,0 +1,57 @@
+package remote
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+)
+
+// CostEstimate is the cost information a wrapper returns for a candidate
+// plan. The paper's II cost parameters are first tuple cost, next tuple
+// cost, and cardinality, with total cost = first + next·card; we expose all
+// four (§3: "QCC calibrates first tuple cost, next tuple cost, and total
+// cost").
+type CostEstimate struct {
+	// TotalMS is the estimated total execution time in milliseconds.
+	TotalMS float64
+	// FirstTupleMS is the estimated time to the first result tuple.
+	FirstTupleMS float64
+	// NextTupleMS is the estimated per-additional-tuple time.
+	NextTupleMS float64
+	// Card is the estimated result cardinality.
+	Card int64
+	// OutBytes is the estimated result volume for the network model.
+	OutBytes int
+}
+
+// String renders the estimate.
+func (c CostEstimate) String() string {
+	return fmt.Sprintf("total=%.2fms first=%.2fms next=%.4fms card=%d out=%dB",
+		c.TotalMS, c.FirstTupleMS, c.NextTupleMS, c.Card, c.OutBytes)
+}
+
+// Plan is a candidate execution plan for a fragment on a specific server:
+// the paper's "execution descriptor". The operator tree is bound to the
+// server's tables; Signature is server-independent, so identical physical
+// plans on replicas share a signature (§4.1 clusters exchangeable plans by
+// exactly this identity).
+type Plan struct {
+	// ServerID names the server the plan is bound to.
+	ServerID string
+	// SQL is the fragment statement text.
+	SQL string
+	// Root is the bound physical operator tree.
+	Root exec.Operator
+	// Signature is the normalized physical plan text (ExplainTree of Root).
+	Signature string
+	// Est is the optimizer-visible estimate (zero-load).
+	Est CostEstimate
+}
+
+// String renders the plan header.
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan@%s sig=%q %s", p.ServerID, p.Signature, p.Est)
+}
+
+// Explain renders the full operator tree.
+func (p *Plan) Explain() string { return exec.ExplainTree(p.Root) }

@@ -1,0 +1,101 @@
+package remote
+
+import (
+	"sync"
+
+	"repro/internal/sqlparser"
+)
+
+// planCache is the server's statement cache (DB2's package cache): plan
+// enumeration for a statement is reused across compilations as long as every
+// referenced table is unchanged. Entries are keyed by the EXACT statement
+// text: parameter values legitimately change selectivities, plan choices and
+// estimates, and estimates are what the federation routes on.
+//
+// Cached entries hold the enumerated plans; estimates inside them were
+// computed against the table versions recorded at insert time, so any
+// mutation (update bursts, replication) invalidates the entry.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]*planCacheEntry
+	hits    int64
+	misses  int64
+	// capacity bounds the cache (simple FIFO eviction; default 256).
+	capacity int
+	order    []string
+}
+
+type planCacheEntry struct {
+	plans []*Plan
+	// versions snapshots each referenced table's mutation counter.
+	versions map[string]int64
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &planCache{entries: map[string]*planCacheEntry{}, capacity: capacity}
+}
+
+// lookup returns cached plans when fresh. The caller must hold no server
+// locks.
+func (pc *planCache) lookup(key string, currentVersions map[string]int64) []*Plan {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[key]
+	if !ok {
+		pc.misses++
+		return nil
+	}
+	for table, v := range e.versions {
+		if currentVersions[table] != v {
+			delete(pc.entries, key)
+			pc.misses++
+			return nil
+		}
+	}
+	pc.hits++
+	return e.plans
+}
+
+func (pc *planCache) insert(key string, plans []*Plan, versions map[string]int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, exists := pc.entries[key]; !exists {
+		pc.order = append(pc.order, key)
+		if len(pc.order) > pc.capacity {
+			evict := pc.order[0]
+			pc.order = pc.order[1:]
+			delete(pc.entries, evict)
+		}
+	}
+	pc.entries[key] = &planCacheEntry{plans: plans, versions: versions}
+}
+
+// stats returns hit/miss counters.
+func (pc *planCache) stats() (hits, misses int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses
+}
+
+// PlanCacheStats reports the server's statement-cache hit/miss counters.
+func (s *Server) PlanCacheStats() (hits, misses int64) {
+	return s.planCache.stats()
+}
+
+// cacheKeyAndVersions derives the cache key and the referenced tables'
+// current versions for a statement; ok is false when a table is missing.
+func (s *Server) cacheKeyAndVersions(stmt *sqlparser.SelectStmt) (string, map[string]int64, bool) {
+	key := stmt.String()
+	versions := map[string]int64{}
+	for _, tr := range stmt.Tables() {
+		tab := s.Table(tr.Name)
+		if tab == nil {
+			return "", nil, false
+		}
+		versions[tr.Name] = tab.Version()
+	}
+	return key, versions, true
+}

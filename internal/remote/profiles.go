@@ -1,0 +1,78 @@
+package remote
+
+// Standard server profiles for the paper's three-server evaluation scenario
+// (§5). The profiles are chosen so the qualitative Figure 9 behaviour
+// emerges mechanistically rather than by lookup table:
+//
+//   - S1: an older machine — modest CPU, spinning disks, and little memory,
+//     so even on a calm system half of its "cached" page touches miss the
+//     buffer pool. Its optimizer therefore avoids cache-reliant plans
+//     (index nested loops) for anything non-tiny; load hurts it through
+//     CPU/IO contention roughly proportionally.
+//   - S2: mid-range everything.
+//   - S3: the most powerful machine — fast CPU, fast storage, and a large
+//     buffer pool (2% baseline miss), so its optimizer happily picks
+//     cache-reliant plans. Its weakness: the heavy UPDATE workload dirties
+//     and evicts the pool aggressively (high churn), collapsing exactly
+//     those plans — which is why S3 is "much more sensitive to load" for
+//     the cache-heavy query type (QT2) while remaining cheapest for CPU-
+//     and sequential-IO-bound work (QT1) and for highly-selective probes
+//     (QT3, QT4) even when loaded.
+func ProfileS1(id string) Config {
+	return Config{
+		ID: id,
+		Hardware: HardwareProfile{
+			CPUOpsPerMS:      700,
+			IOPagesPerMS:     45,
+			CachedPagesPerMS: 500,
+			CacheMissFrac:    0.5,
+			FixedOverheadMS:  2,
+		},
+		Contention: ContentionProfile{
+			CPU:         0.9,
+			IO:          0.9,
+			BufferChurn: 0.3,
+			QueueAmp:    0.8,
+		},
+	}
+}
+
+// ProfileS2 returns the configuration for server S2.
+func ProfileS2(id string) Config {
+	return Config{
+		ID: id,
+		Hardware: HardwareProfile{
+			CPUOpsPerMS:      1000,
+			IOPagesPerMS:     55,
+			CachedPagesPerMS: 800,
+			CacheMissFrac:    0.35,
+			FixedOverheadMS:  2,
+		},
+		Contention: ContentionProfile{
+			CPU:         0.8,
+			IO:          0.8,
+			BufferChurn: 0.5,
+			QueueAmp:    0.7,
+		},
+	}
+}
+
+// ProfileS3 returns the configuration for server S3.
+func ProfileS3(id string) Config {
+	return Config{
+		ID: id,
+		Hardware: HardwareProfile{
+			CPUOpsPerMS:      2600,
+			IOPagesPerMS:     300,
+			CachedPagesPerMS: 4000,
+			CacheMissFrac:    0.02,
+			FixedOverheadMS:  1,
+		},
+		Contention: ContentionProfile{
+			CPU:         0.6,
+			IO:          1.6,
+			BufferChurn: 3.5,
+			QueueAmp:    0.6,
+		},
+	}
+}

@@ -1,0 +1,349 @@
+// Package remote implements the simulated remote DBMS servers of the
+// federation: per-server storage catalogs, a local plan enumerator that
+// returns multiple candidate plans with estimated costs (the paper's
+// "possible supported execution plans and their estimated costs"), a
+// timeron-style cost model, a physical executor, and a mechanistic load
+// model that converts a plan's true resource consumption into simulated
+// response time under the server's current background load.
+//
+// The essential property reproduced here is the paper's premise: a server's
+// ESTIMATED cost is computed from statistics and hardware characteristics
+// alone, while its OBSERVED response time additionally depends on load and
+// buffer-pool health — a gap the federation's optimizer cannot see and the
+// Query Cost Calibrator learns.
+package remote
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// HardwareProfile describes the physical characteristics that a DBA would
+// register for a source and that the local optimizer costs plans with.
+type HardwareProfile struct {
+	// CPUOpsPerMS is tuple-processing throughput.
+	CPUOpsPerMS float64
+	// IOPagesPerMS is sequential IO throughput.
+	IOPagesPerMS float64
+	// CachedPagesPerMS is buffer-pool page touch throughput.
+	CachedPagesPerMS float64
+	// CacheMissFrac is the baseline fraction of cache-friendly page touches
+	// that miss the buffer pool and go to random IO even on a calm server —
+	// a property of the machine's memory size that the local optimizer DOES
+	// know and cost plans with (it is why small-memory servers avoid
+	// index-nested-loop plans).
+	CacheMissFrac float64
+	// FixedOverheadMS is the per-request setup cost (parse, catalog, plan
+	// activation) — the first-tuple cost floor.
+	FixedOverheadMS float64
+}
+
+// ContentionProfile describes how the server degrades under background load.
+// These parameters are NOT visible to any optimizer; they only shape
+// observed response times.
+type ContentionProfile struct {
+	// CPU inflates CPU time by load·CPU.
+	CPU float64
+	// IO inflates sequential IO time by load·IO.
+	IO float64
+	// BufferChurn converts cached page touches into real IO: the spill
+	// fraction is min(1, load·BufferChurn). Small buffer pools mean high
+	// churn — the configured weakness of the fast server S3.
+	BufferChurn float64
+	// QueueAmp amplifies total service time by (1 + load·QueueAmp),
+	// modelling queueing behind the update workload.
+	QueueAmp float64
+}
+
+// Config configures a Server.
+type Config struct {
+	ID         string
+	Hardware   HardwareProfile
+	Contention ContentionProfile
+	// MaxPlans bounds how many candidate plans Explain returns (default 2,
+	// matching the paper's examples).
+	MaxPlans int
+	// InducedLoad configures query-induced load (hot-spotting): the load
+	// the query workload itself places on the server, on top of the
+	// background update load. Zero disables it.
+	InducedLoad InducedLoadProfile
+}
+
+// InducedLoadProfile makes servers heat up under their own query traffic —
+// the §4 premise that "selecting a low cost global query plan and applying
+// this plan to all similar queries ... tends to overload a small group of
+// servers". Service time spent within the trailing window raises the
+// server's effective load.
+type InducedLoadProfile struct {
+	// WindowMS is the trailing accounting window (0 disables induced load).
+	WindowMS float64
+	// Gain converts window utilization (service ms per window ms) into
+	// load-level points.
+	Gain float64
+}
+
+// Server is one simulated remote DBMS.
+type Server struct {
+	id         string
+	hw         HardwareProfile
+	contention ContentionProfile
+	maxPlans   int
+
+	mu     sync.RWMutex
+	tables map[string]*storage.Table
+	load   float64 // background load level in [0,1]
+	down   bool
+	// failNext, when positive, makes the next executions fail (error
+	// injection for reliability experiments).
+	failNext int
+	// executed counts fragment executions, for tests and reports.
+	executed int64
+
+	// planCache is the statement cache (see plancache.go).
+	planCache *planCache
+
+	// induced-load state: recent service-time samples within the window.
+	induced InducedLoadProfile
+	clock   *simclock.Clock
+	work    []workSample
+}
+
+// workSample is one completed execution's service time.
+type workSample struct {
+	at        simclock.Time
+	serviceMS float64
+}
+
+// NewServer builds a server from config.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxPlans <= 0 {
+		cfg.MaxPlans = 2
+	}
+	return &Server{
+		id:         cfg.ID,
+		hw:         cfg.Hardware,
+		contention: cfg.Contention,
+		maxPlans:   cfg.MaxPlans,
+		tables:     map[string]*storage.Table{},
+		planCache:  newPlanCache(0),
+		induced:    cfg.InducedLoad,
+	}
+}
+
+// ID returns the server identifier.
+func (s *Server) ID() string { return s.id }
+
+// Hardware returns the hardware profile.
+func (s *Server) Hardware() HardwareProfile { return s.hw }
+
+// Config reconstructs the server's configuration — used by the simulated
+// federated system to build statistics-only clones.
+func (s *Server) Config() Config {
+	return Config{ID: s.id, Hardware: s.hw, Contention: s.contention, MaxPlans: s.maxPlans, InducedLoad: s.induced}
+}
+
+// AddTable registers a table.
+func (s *Server) AddTable(t *storage.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[t.Name()] = t
+}
+
+// Table returns the named table or nil.
+func (s *Server) Table(name string) *storage.Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[name]
+}
+
+// Tables lists table names, sorted.
+func (s *Server) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StatsProvider returns a stats provider resolving the aliases in stmt to
+// this server's tables.
+func (s *Server) statsProviderFor(aliasToTable map[string]string) stats.StatsProvider {
+	m := stats.MapProvider{}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for alias, table := range aliasToTable {
+		if t := s.tables[table]; t != nil {
+			m[alias] = t.Stats()
+		}
+	}
+	return m
+}
+
+// SetLoadLevel sets the background load in [0,1] (clamped). The paper's
+// experiments drive this with a heavy update workload; experiments here may
+// also set it directly.
+func (s *Server) SetLoadLevel(load float64) {
+	if load < 0 {
+		load = 0
+	}
+	if load > 1 {
+		load = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.load = load
+}
+
+// LoadLevel returns the current background load (excluding induced load).
+func (s *Server) LoadLevel() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.load
+}
+
+// SetClock attaches the virtual clock; required for induced-load accounting.
+func (s *Server) SetClock(c *simclock.Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = c
+}
+
+// EffectiveLoad returns background load plus query-induced load, clamped to
+// [0,1]. Without a clock or an induced-load profile it equals LoadLevel.
+func (s *Server) EffectiveLoad() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.effectiveLoadLocked()
+}
+
+func (s *Server) effectiveLoadLocked() float64 {
+	load := s.load
+	if s.induced.WindowMS > 0 && s.clock != nil {
+		now := s.clock.Now()
+		cut := 0
+		for cut < len(s.work) && float64(now-s.work[cut].at) > s.induced.WindowMS {
+			cut++
+		}
+		if cut > 0 {
+			s.work = s.work[cut:]
+		}
+		var sum float64
+		for _, w := range s.work {
+			sum += w.serviceMS
+		}
+		load += s.induced.Gain * sum / s.induced.WindowMS
+	}
+	if load > 1 {
+		load = 1
+	}
+	return load
+}
+
+// recordWork notes a completed execution's service time for induced load.
+func (s *Server) recordWork(serviceMS float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.induced.WindowMS <= 0 || s.clock == nil {
+		return
+	}
+	s.work = append(s.work, workSample{at: s.clock.Now(), serviceMS: serviceMS})
+}
+
+// SetDown marks the server unavailable; executions and probes fail.
+func (s *Server) SetDown(down bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = down
+}
+
+// Down reports whether the server is unavailable.
+func (s *Server) Down() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.down
+}
+
+// InjectFailures makes the next n executions return ErrServerFailure,
+// without marking the server down — a flaky source (§3.3's reliability).
+func (s *Server) InjectFailures(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failNext = n
+}
+
+// Executed returns the number of fragment executions served.
+func (s *Server) Executed() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.executed
+}
+
+// ErrServerDown reports an unavailable server.
+type ErrServerDown struct{ ID string }
+
+// Error implements error.
+func (e *ErrServerDown) Error() string { return fmt.Sprintf("remote: server %s is down", e.ID) }
+
+// ErrServerFailure reports a transient execution failure.
+type ErrServerFailure struct{ ID string }
+
+// Error implements error.
+func (e *ErrServerFailure) Error() string {
+	return fmt.Sprintf("remote: server %s failed to execute fragment", e.ID)
+}
+
+// serviceTime converts consumed resources into simulated milliseconds under
+// the given load level.
+func (s *Server) serviceTime(res exec.Resources, load float64) simclock.Time {
+	hw, c := s.hw, s.contention
+	cpuRate := hw.CPUOpsPerMS / (1 + load*c.CPU)
+	ioRate := hw.IOPagesPerMS / (1 + load*c.IO)
+	// Cache-friendly page touches split between the buffer pool and random
+	// IO. The baseline miss fraction is a known hardware property; the
+	// update-load churn on top of it is NOT visible to any optimizer.
+	spill := hw.CacheMissFrac + load*c.BufferChurn
+	if spill > 1 {
+		spill = 1
+	}
+	t := hw.FixedOverheadMS
+	if cpuRate > 0 {
+		t += res.CPUOps / cpuRate
+	}
+	if ioRate > 0 {
+		t += res.IOPages / ioRate
+	}
+	if hw.CachedPagesPerMS > 0 {
+		t += res.CachedPages * (1 - spill) / hw.CachedPagesPerMS
+	}
+	if ioRate > 0 {
+		t += res.CachedPages * spill / ioRate
+	}
+	t *= 1 + load*c.QueueAmp
+	return simclock.Time(t)
+}
+
+// EstimateTime is the optimizer-visible cost of consuming the given
+// resources: the same formulas with zero load. It is expressed in the same
+// millisecond units as observed service time so that, in a calm system, the
+// calibration factor is ≈ 1.
+func (s *Server) EstimateTime(res exec.Resources) float64 {
+	return float64(s.serviceTime(res, 0))
+}
+
+// Observe converts resources into observed service time at the CURRENT
+// effective load (background + induced) and accounts the work toward future
+// induced load.
+func (s *Server) Observe(res exec.Resources) simclock.Time {
+	t := s.serviceTime(res, s.EffectiveLoad())
+	s.recordWork(float64(t))
+	return t
+}

@@ -1,0 +1,189 @@
+// Package repl implements the command processor behind cmd/fedsql: SQL
+// lines execute federated queries; backslash commands inspect and steer the
+// federation. Factoring it out of the binary keeps the command surface
+// testable.
+package repl
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	fedqcc "repro"
+)
+
+// Session couples a federation (and optional calibrator) with an output
+// stream.
+type Session struct {
+	Fed *fedqcc.Federation
+	Cal *fedqcc.Calibrator // nil when QCC is disabled
+	Out io.Writer
+}
+
+// Execute processes one input line: a backslash command or a SQL statement.
+func (s *Session) Execute(line string) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return
+	}
+	if strings.HasPrefix(line, "\\") {
+		s.command(line)
+		return
+	}
+	res, err := s.Fed.Query(line)
+	if err != nil {
+		fmt.Fprintln(s.Out, "error:", err)
+		return
+	}
+	fmt.Fprintln(s.Out, res.Rows)
+	fmt.Fprintf(s.Out, "-- routed %v, response %.2fms (merge %.2fms) at t=%s\n",
+		res.Route, float64(res.ResponseTime), float64(res.MergeTime), s.Fed.Now())
+}
+
+func (s *Session) command(line string) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\help":
+		fmt.Fprint(s.Out, helpText)
+	case "\\load":
+		if len(fields) != 3 {
+			fmt.Fprintln(s.Out, "usage: \\load <server> <level>")
+			return
+		}
+		lvl, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			fmt.Fprintln(s.Out, "bad level:", err)
+			return
+		}
+		h, err := s.Fed.Server(fields[1])
+		if err != nil {
+			fmt.Fprintln(s.Out, err)
+			return
+		}
+		h.SetLoad(lvl)
+		fmt.Fprintf(s.Out, "-- %s load = %.2f\n", fields[1], lvl)
+	case "\\down", "\\up":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.Out, "usage: \\down|\\up <server>")
+			return
+		}
+		h, err := s.Fed.Server(fields[1])
+		if err != nil {
+			fmt.Fprintln(s.Out, err)
+			return
+		}
+		h.SetDown(fields[0] == "\\down")
+		fmt.Fprintf(s.Out, "-- %s down = %v\n", fields[1], h.Down())
+	case "\\congest":
+		if len(fields) != 3 {
+			fmt.Fprintln(s.Out, "usage: \\congest <server> <multiplier>")
+			return
+		}
+		c, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			fmt.Fprintln(s.Out, "bad multiplier:", err)
+			return
+		}
+		h, err := s.Fed.Server(fields[1])
+		if err != nil {
+			fmt.Fprintln(s.Out, err)
+			return
+		}
+		h.SetCongestion(c)
+		fmt.Fprintf(s.Out, "-- %s congestion = %.1fx\n", fields[1], c)
+	case "\\explain":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
+		info, err := s.Fed.Explain(sql)
+		if err != nil {
+			fmt.Fprintln(s.Out, "error:", err)
+			return
+		}
+		fmt.Fprintf(s.Out, "-- estimated %.2fms, route %v\n", info.TotalCostMS, info.Route)
+		for id, plan := range info.FragmentPlans {
+			fmt.Fprintf(s.Out, "-- %s (%.2fms):\n%s", id, info.FragmentCostMS[id], indent(plan))
+		}
+	case "\\factors":
+		if s.Cal == nil {
+			fmt.Fprintln(s.Out, "-- QCC disabled")
+			return
+		}
+		for _, id := range s.Fed.ServerIDs() {
+			fmt.Fprintf(s.Out, "-- %s: calibration %.3f reliability %.3f fenced=%v\n",
+				id, s.Cal.ServerFactor(id), s.Cal.ReliabilityFactor(id), s.Cal.IsFenced(id))
+		}
+		fmt.Fprintf(s.Out, "-- II workload factor %.3f, recalibration cycle %s\n",
+			s.Cal.IIFactor(), s.Cal.RecalibrationInterval())
+	case "\\log":
+		for _, e := range s.Fed.QueryLog() {
+			status := "ok"
+			if e.Err != "" {
+				status = "ERR " + e.Err
+			}
+			fmt.Fprintf(s.Out, "-- [%s +%.2fms] %s (%s)\n", e.SubmitAt, float64(e.ResponseTime), e.Query, status)
+		}
+	case "\\advise":
+		if s.Cal == nil {
+			fmt.Fprintln(s.Out, "-- QCC disabled")
+			return
+		}
+		recs := s.Cal.AdvisePlacement(0)
+		if len(recs) == 0 {
+			fmt.Fprintln(s.Out, "-- no placement recommendations")
+			return
+		}
+		for _, r := range recs {
+			fmt.Fprintf(s.Out, "-- replicate %q: %s -> %s (%s)\n", r.Nickname, r.From, r.To, r.Reason)
+		}
+	case "\\replicate":
+		if len(fields) != 4 {
+			fmt.Fprintln(s.Out, "usage: \\replicate <nickname> <from> <to>")
+			return
+		}
+		err := s.Fed.ApplyReplication(fedqcc.PlacementRecommendation{
+			Nickname: fields[1], From: fields[2], To: fields[3],
+		})
+		if err != nil {
+			fmt.Fprintln(s.Out, "error:", err)
+			return
+		}
+		fmt.Fprintf(s.Out, "-- %q replicated %s -> %s\n", fields[1], fields[2], fields[3])
+	case "\\export":
+		if len(fields) != 3 {
+			fmt.Fprintln(s.Out, "usage: \\export <server> <table>")
+			return
+		}
+		if err := s.Fed.ExportCSV(fields[1], fields[2], s.Out); err != nil {
+			fmt.Fprintln(s.Out, "error:", err)
+		}
+	case "\\tables":
+		for _, n := range s.Fed.Nicknames() {
+			hosts, _ := s.Fed.PlacementsOf(n)
+			fmt.Fprintf(s.Out, "-- %s on %s\n", n, strings.Join(hosts, ", "))
+		}
+	default:
+		fmt.Fprintln(s.Out, "unknown command:", fields[0], "(try \\help)")
+	}
+}
+
+const helpText = `commands:
+  \help                        this text
+  \tables                      nicknames and their placements
+  \load <server> <level>       set background load in [0,1]
+  \down <server> | \up <server>  availability control
+  \congest <server> <mult>     network congestion multiplier
+  \explain <sql>               compile only, show plan and cost
+  \factors                     QCC calibration state
+  \advise                      placement recommendations
+  \replicate <nick> <from> <to>  apply a replication
+  \export <server> <table>     dump a table as CSV
+  \log                         query patroller log
+`
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "     " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,323 @@
+// Package scenario assembles complete federations for experiments, examples
+// and tests: remote servers with generated data, the network topology, the
+// global catalog with nicknames and replicas, the meta-wrapper and the
+// integrator — the paper's evaluation scenario of "one II server and three
+// remote servers, each hosting a DBMS", with tables "replicated and
+// distributed on the three remote servers such that each server is involved
+// in a diverse set of queries" (§5).
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/integrator"
+	"repro/internal/metawrapper"
+	"repro/internal/network"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/wrapper"
+)
+
+// Scenario is a fully-wired federation.
+type Scenario struct {
+	Clock   *simclock.Clock
+	Servers map[string]*remote.Server
+	Topo    *network.Topology
+	Catalog *catalog.Catalog
+	MW      *metawrapper.MetaWrapper
+	IINode  *remote.Server
+	II      *integrator.II
+}
+
+// Options configures BuildThreeServer.
+type Options struct {
+	// Scale divides the paper's table sizes (1 = full 100k/1k rows).
+	// Experiments use small scales for speed; the shapes are scale-free.
+	Scale int
+	// Seed drives the deterministic data generation; replicas share it.
+	Seed int64
+	// Latencies maps server IDs to one-way link latency in ms. The default
+	// is a symmetric LAN (5ms each), matching the paper's single-lab
+	// testbed; experiments on network dynamics vary congestion instead.
+	Latencies map[string]float64
+	// BandwidthKBps is the link bandwidth (default 2000).
+	BandwidthKBps float64
+	// Exclusive maps table names to the single server that hosts them;
+	// unlisted tables are fully replicated. Used by placement experiments.
+	Exclusive map[string]string
+	// InducedLoad, when set, makes servers heat up under their own query
+	// traffic (hot-spotting) — required for load-distribution experiments
+	// where routing choices feed back into response times.
+	InducedLoad remote.InducedLoadProfile
+	// Uniform makes all three servers mid-range clones: true equivalent
+	// data sources, the §4 load-distribution setting.
+	Uniform bool
+}
+
+func (o *Options) fill() {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Latencies == nil {
+		o.Latencies = map[string]float64{"S1": 5, "S2": 5, "S3": 5}
+	}
+	if o.BandwidthKBps == 0 {
+		o.BandwidthKBps = 2000
+	}
+}
+
+// BuildThreeServer assembles the paper's evaluation federation: servers S1,
+// S2, S3 with the full sample schema replicated on all three (every server
+// can answer every query type, making them equivalent data sources), plus
+// an II node.
+func BuildThreeServer(opts Options) (*Scenario, error) {
+	opts.fill()
+	clock := simclock.New()
+	topo := network.NewTopology()
+
+	configs := []remote.Config{
+		remote.ProfileS1("S1"),
+		remote.ProfileS2("S2"),
+		remote.ProfileS3("S3"),
+	}
+	if opts.Uniform {
+		configs = []remote.Config{
+			remote.ProfileS2("S1"),
+			remote.ProfileS2("S2"),
+			remote.ProfileS2("S3"),
+		}
+		configs[0].ID, configs[1].ID, configs[2].ID = "S1", "S2", "S3"
+	}
+	servers := map[string]*remote.Server{}
+	var wrappers []wrapper.Wrapper
+	gens := storage.SampleSchema(opts.Scale)
+	for _, cfg := range configs {
+		cfg.InducedLoad = opts.InducedLoad
+		srv := remote.NewServer(cfg)
+		srv.SetClock(clock)
+		for _, g := range gens {
+			if only, ok := opts.Exclusive[g.Name]; ok && only != cfg.ID {
+				continue
+			}
+			tab, err := g.Generate(opts.Seed) // same seed → identical replicas
+			if err != nil {
+				return nil, fmt.Errorf("scenario: generating %s on %s: %w", g.Name, cfg.ID, err)
+			}
+			srv.AddTable(tab)
+		}
+		servers[cfg.ID] = srv
+		lat := opts.Latencies[cfg.ID]
+		topo.AddLink(cfg.ID, network.NewLink(network.LinkConfig{
+			LatencyMS:     lat,
+			BandwidthKBps: opts.BandwidthKBps,
+			Seed:          opts.Seed + int64(len(wrappers)),
+		}))
+		wrappers = append(wrappers, wrapper.NewRelational(srv, topo))
+	}
+
+	cat := catalog.New()
+	for _, g := range gens {
+		hosts := []string{"S1", "S2", "S3"}
+		if only, ok := opts.Exclusive[g.Name]; ok {
+			hosts = []string{only}
+		}
+		schema := servers[hosts[0]].Table(g.Name).Schema()
+		nick := &catalog.Nickname{Name: g.Name, Schema: schema}
+		for i, id := range hosts {
+			nick.Placements = append(nick.Placements, catalog.Placement{
+				ServerID:    id,
+				RemoteTable: g.Name,
+				Replica:     i > 0,
+			})
+		}
+		if err := cat.Register(nick); err != nil {
+			return nil, err
+		}
+	}
+
+	mw := metawrapper.New(wrappers...)
+	iiNode := remote.NewServer(remote.Config{
+		ID: "II",
+		Hardware: remote.HardwareProfile{
+			CPUOpsPerMS:      3000,
+			IOPagesPerMS:     100,
+			CachedPagesPerMS: 3000,
+			FixedOverheadMS:  0.5,
+		},
+		Contention: remote.ContentionProfile{CPU: 0.5, IO: 0.5, BufferChurn: 0.2, QueueAmp: 0.5},
+	})
+	ii := integrator.New(integrator.Config{
+		Catalog: cat,
+		MW:      mw,
+		Node:    iiNode,
+		Clock:   clock,
+	})
+	return &Scenario{
+		Clock:   clock,
+		Servers: servers,
+		Topo:    topo,
+		Catalog: cat,
+		MW:      mw,
+		IINode:  iiNode,
+		II:      ii,
+	}, nil
+}
+
+// ReplicateTable copies a nickname's data from one server to another and
+// registers the new placement in the catalog — applying a QCC placement
+// recommendation. The copy includes rows and index definitions.
+func ReplicateTable(sc *Scenario, nickname, from, to string) error {
+	nick, err := sc.Catalog.Lookup(nickname)
+	if err != nil {
+		return err
+	}
+	placement := nick.PlacementOn(from)
+	if placement == nil {
+		return fmt.Errorf("scenario: %s does not host %q", from, nickname)
+	}
+	srcSrv, ok := sc.Servers[from]
+	if !ok {
+		return fmt.Errorf("scenario: unknown server %q", from)
+	}
+	dstSrv, ok := sc.Servers[to]
+	if !ok {
+		return fmt.Errorf("scenario: unknown server %q", to)
+	}
+	src := srcSrv.Table(placement.RemoteTable)
+	if src == nil {
+		return fmt.Errorf("scenario: table %q missing on %s", placement.RemoteTable, from)
+	}
+	if dstSrv.Table(placement.RemoteTable) != nil {
+		return fmt.Errorf("scenario: %s already hosts %q", to, placement.RemoteTable)
+	}
+	dst := storage.NewTable(src.Name(), src.Schema())
+	if err := dst.Append(src.Snapshot()...); err != nil {
+		return err
+	}
+	for _, im := range src.IndexMetas() {
+		if _, err := dst.CreateIndex(im.Name, im.Column, im.Kind); err != nil {
+			return err
+		}
+	}
+	dstSrv.AddTable(dst)
+	return sc.Catalog.AddPlacement(nickname, catalog.Placement{
+		ServerID:    to,
+		RemoteTable: placement.RemoteTable,
+		Replica:     true,
+	})
+}
+
+// ReplicaOptions configures BuildReplicaPair, the §4 load-distribution
+// scenario: origin servers S1 (hosting table A) and S2 (hosting table B)
+// plus replicas R1 of S1 and R2 of S2. A cross-source join query then has
+// 2×2 server combinations and — with two plans per origin fragment — the
+// paper's nine global plans.
+type ReplicaOptions struct {
+	Scale int
+	Seed  int64
+	// InducedLoad enables query-induced hot-spotting (see Options).
+	InducedLoad remote.InducedLoadProfile
+}
+
+// BuildReplicaPair assembles the §4 scenario.
+func BuildReplicaPair(opts ReplicaOptions) (*Scenario, error) {
+	if opts.Scale < 1 {
+		opts.Scale = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	clock := simclock.New()
+	topo := network.NewTopology()
+	gens := storage.SampleSchema(opts.Scale)
+	genByName := map[string]storage.TableGen{}
+	for _, g := range gens {
+		genByName[g.Name] = g
+	}
+
+	placement := map[string][]string{
+		"S1": {"orders", "customer"},
+		"R1": {"orders", "customer"},
+		"S2": {"lineitem", "parts"},
+		"R2": {"lineitem", "parts"},
+	}
+	profiles := map[string]remote.Config{
+		"S1": remote.ProfileS1("S1"),
+		"R1": remote.ProfileS2("R1"),
+		"S2": remote.ProfileS2("S2"),
+		"R2": remote.ProfileS1("R2"),
+	}
+	latency := map[string]float64{"S1": 8, "R1": 10, "S2": 12, "R2": 9}
+
+	servers := map[string]*remote.Server{}
+	var wrappers []wrapper.Wrapper
+	i := 0
+	for _, id := range []string{"S1", "R1", "S2", "R2"} {
+		cfg := profiles[id]
+		cfg.InducedLoad = opts.InducedLoad
+		srv := remote.NewServer(cfg)
+		srv.SetClock(clock)
+		for _, tname := range placement[id] {
+			tab, err := genByName[tname].Generate(opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			srv.AddTable(tab)
+		}
+		servers[id] = srv
+		topo.AddLink(id, network.NewLink(network.LinkConfig{
+			LatencyMS:     latency[id],
+			BandwidthKBps: 2000,
+			Seed:          opts.Seed + int64(i),
+		}))
+		wrappers = append(wrappers, wrapper.NewRelational(srv, topo))
+		i++
+	}
+
+	cat := catalog.New()
+	nickHosts := map[string][]string{
+		"orders":   {"S1", "R1"},
+		"customer": {"S1", "R1"},
+		"lineitem": {"S2", "R2"},
+		"parts":    {"S2", "R2"},
+	}
+	for name, hosts := range nickHosts {
+		schema := servers[hosts[0]].Table(name).Schema()
+		nick := &catalog.Nickname{Name: name, Schema: schema}
+		for j, id := range hosts {
+			nick.Placements = append(nick.Placements, catalog.Placement{
+				ServerID: id, RemoteTable: name, Replica: j > 0,
+			})
+		}
+		if err := cat.Register(nick); err != nil {
+			return nil, err
+		}
+	}
+
+	mw := metawrapper.New(wrappers...)
+	iiNode := remote.NewServer(remote.Config{
+		ID: "II",
+		Hardware: remote.HardwareProfile{
+			CPUOpsPerMS:      3000,
+			IOPagesPerMS:     100,
+			CachedPagesPerMS: 3000,
+			FixedOverheadMS:  0.5,
+		},
+		Contention: remote.ContentionProfile{CPU: 0.5, IO: 0.5, BufferChurn: 0.2, QueueAmp: 0.5},
+	})
+	ii := integrator.New(integrator.Config{Catalog: cat, MW: mw, Node: iiNode, Clock: clock})
+	return &Scenario{
+		Clock:   clock,
+		Servers: servers,
+		Topo:    topo,
+		Catalog: cat,
+		MW:      mw,
+		IINode:  iiNode,
+		II:      ii,
+	}, nil
+}

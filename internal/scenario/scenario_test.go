@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func TestBuildThreeServerWiring(t *testing.T) {
+	sc, err := BuildThreeServer(Options{Scale: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Servers) != 3 {
+		t.Fatalf("servers: %d", len(sc.Servers))
+	}
+	for _, id := range []string{"S1", "S2", "S3"} {
+		if sc.Servers[id] == nil {
+			t.Fatalf("missing %s", id)
+		}
+		if sc.Topo.Link(id) == nil {
+			t.Fatalf("missing link %s", id)
+		}
+		if len(sc.Servers[id].Tables()) != 4 {
+			t.Fatalf("%s tables: %v", id, sc.Servers[id].Tables())
+		}
+	}
+	names := sc.Catalog.Names()
+	if len(names) != 4 {
+		t.Fatalf("nicknames: %v", names)
+	}
+	hosts, err := sc.Catalog.ServersFor("orders", "lineitem", "customer", "parts")
+	if err != nil || len(hosts) != 3 {
+		t.Fatalf("full replication expected: %v %v", hosts, err)
+	}
+	if len(sc.MW.Servers()) != 3 {
+		t.Fatal("MW servers")
+	}
+	if sc.II == nil || sc.IINode == nil || sc.Clock == nil {
+		t.Fatal("missing components")
+	}
+}
+
+func TestBuildThreeServerReplicasIdentical(t *testing.T) {
+	sc, err := BuildThreeServer(Options{Scale: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := sc.Servers["S1"].Table("orders")
+	t3 := sc.Servers["S3"].Table("orders")
+	if t1.RowCount() != t3.RowCount() {
+		t.Fatal("replica row counts differ")
+	}
+	r1, _ := t1.Row(3)
+	r3, _ := t3.Row(3)
+	for i := range r1 {
+		if sqltypes.Compare(r1[i], r3[i]) != 0 {
+			t.Fatalf("replicas differ: %v vs %v", r1, r3)
+		}
+	}
+}
+
+func TestBuildReplicaPairPlacement(t *testing.T) {
+	sc, err := BuildReplicaPair(ReplicaOptions{Scale: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Servers) != 4 {
+		t.Fatalf("servers: %d", len(sc.Servers))
+	}
+	// orders lives on S1+R1 only.
+	hosts, err := sc.Catalog.ServersFor("orders")
+	if err != nil || len(hosts) != 2 || hosts[0] != "R1" || hosts[1] != "S1" {
+		t.Fatalf("orders hosts: %v %v", hosts, err)
+	}
+	hosts, _ = sc.Catalog.ServersFor("lineitem")
+	if len(hosts) != 2 || hosts[0] != "R2" || hosts[1] != "S2" {
+		t.Fatalf("lineitem hosts: %v", hosts)
+	}
+	// No server hosts both sides: cross-source joins are unavoidable.
+	if hosts, _ := sc.Catalog.ServersFor("orders", "lineitem"); len(hosts) != 0 {
+		t.Fatalf("no co-location expected: %v", hosts)
+	}
+	if sc.Servers["S1"].Table("lineitem") != nil {
+		t.Fatal("S1 must not host lineitem")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	o.fill()
+	if o.Scale != 1 || o.Seed != 42 || o.BandwidthKBps != 2000 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.Latencies["S1"] != 5 || o.Latencies["S3"] != 5 {
+		t.Fatalf("latency defaults: %v", o.Latencies)
+	}
+}

@@ -1,0 +1,157 @@
+// Package simclock provides the virtual clock and event scheduler that every
+// latency in the federation is charged to: network transfer times, remote
+// queueing and service times, and QCC's periodic daemons (availability
+// probes, recalibration cycles). Using virtual time makes every experiment
+// deterministic and lets the full paper evaluation run in milliseconds of
+// wall time.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// Time is simulated time in milliseconds since experiment start.
+type Time float64
+
+// String renders the time.
+func (t Time) String() string { return fmt.Sprintf("%.3fms", float64(t)) }
+
+// Clock is a manually-advanced virtual clock with an event queue.
+// It is safe for concurrent use.
+type Clock struct {
+	mu     sync.Mutex
+	now    Time
+	events eventHeap
+	seq    int64
+}
+
+// New returns a clock at time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq int64 // FIFO tiebreak for equal times
+	fn  func(now Time)
+	// id allows cancellation.
+	id        int64
+	cancelled *bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Cancel revokes a scheduled event.
+type Cancel func()
+
+// ScheduleAt registers fn to run when the clock reaches at. Events scheduled
+// in the past run at the next Advance. The returned Cancel revokes the event.
+func (c *Clock) ScheduleAt(at Time, fn func(now Time)) Cancel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cancelled := false
+	c.seq++
+	heap.Push(&c.events, &event{at: at, seq: c.seq, fn: fn, cancelled: &cancelled})
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		cancelled = true
+	}
+}
+
+// ScheduleAfter registers fn to run delay milliseconds from now.
+func (c *Clock) ScheduleAfter(delay Time, fn func(now Time)) Cancel {
+	return c.ScheduleAt(c.Now()+delay, fn)
+}
+
+// Every registers fn to run every interval, starting one interval from now.
+// The callback may adjust its own cadence by returning the next interval;
+// returning 0 keeps the current interval, returning a negative value stops
+// the series. This drives §3.4's dynamic adjustment of calibration cycles.
+func (c *Clock) Every(interval Time, fn func(now Time) Time) Cancel {
+	stopped := false
+	var schedule func(iv Time)
+	schedule = func(iv Time) {
+		c.ScheduleAfter(iv, func(now Time) {
+			if stopped {
+				return
+			}
+			next := fn(now)
+			if next < 0 {
+				return
+			}
+			if next == 0 {
+				next = iv
+			}
+			schedule(next)
+		})
+	}
+	schedule(interval)
+	return func() { stopped = true }
+}
+
+// Advance moves the clock forward by delta, running every event whose time
+// falls within the window, in timestamp order. Events scheduled by callbacks
+// inside the window also run.
+func (c *Clock) Advance(delta Time) {
+	c.AdvanceTo(c.Now() + delta)
+}
+
+// AdvanceTo moves the clock to target (no-op when target is in the past).
+func (c *Clock) AdvanceTo(target Time) {
+	for {
+		c.mu.Lock()
+		if len(c.events) == 0 || c.events[0].at > target {
+			if target > c.now {
+				c.now = target
+			}
+			c.mu.Unlock()
+			return
+		}
+		e := heap.Pop(&c.events).(*event)
+		if *e.cancelled {
+			c.mu.Unlock()
+			continue
+		}
+		if e.at > c.now {
+			c.now = e.at
+		}
+		now := c.now
+		c.mu.Unlock()
+		e.fn(now)
+	}
+}
+
+// Pending returns the number of queued events (including cancelled ones not
+// yet reaped); for tests.
+func (c *Clock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}

@@ -1,0 +1,153 @@
+package simclock
+
+import (
+	"testing"
+)
+
+func TestAdvanceRunsDueEventsInOrder(t *testing.T) {
+	c := New()
+	var got []int
+	c.ScheduleAt(30, func(Time) { got = append(got, 3) })
+	c.ScheduleAt(10, func(Time) { got = append(got, 1) })
+	c.ScheduleAt(20, func(Time) { got = append(got, 2) })
+	c.Advance(25)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("order: %v", got)
+	}
+	if c.Now() != 25 {
+		t.Fatalf("now: %v", c.Now())
+	}
+	c.Advance(10)
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("final: %v", got)
+	}
+}
+
+func TestEqualTimesFIFOTiebreak(t *testing.T) {
+	c := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.ScheduleAt(10, func(Time) { got = append(got, i) })
+	}
+	c.Advance(10)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("fifo: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	ran := false
+	cancel := c.ScheduleAt(5, func(Time) { ran = true })
+	cancel()
+	c.Advance(10)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestScheduleAfterRelative(t *testing.T) {
+	c := New()
+	c.Advance(100)
+	var at Time
+	c.ScheduleAfter(50, func(now Time) { at = now })
+	c.Advance(50)
+	if at != 150 {
+		t.Fatalf("at: %v", at)
+	}
+}
+
+func TestEventSchedulingChain(t *testing.T) {
+	c := New()
+	var times []Time
+	c.ScheduleAt(10, func(now Time) {
+		times = append(times, now)
+		c.ScheduleAfter(5, func(now Time) { times = append(times, now) })
+	})
+	c.Advance(20)
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("chain: %v", times)
+	}
+}
+
+func TestEveryFixedCadence(t *testing.T) {
+	c := New()
+	var ticks []Time
+	c.Every(10, func(now Time) Time {
+		ticks = append(ticks, now)
+		return 0
+	})
+	c.Advance(35)
+	if len(ticks) != 3 || ticks[0] != 10 || ticks[2] != 30 {
+		t.Fatalf("ticks: %v", ticks)
+	}
+}
+
+func TestEveryDynamicCadenceAndStop(t *testing.T) {
+	c := New()
+	var ticks []Time
+	c.Every(10, func(now Time) Time {
+		ticks = append(ticks, now)
+		if len(ticks) == 2 {
+			return -1 // stop
+		}
+		return 20 // slow down
+	})
+	c.Advance(1000)
+	if len(ticks) != 2 || ticks[0] != 10 || ticks[1] != 30 {
+		t.Fatalf("dynamic ticks: %v", ticks)
+	}
+}
+
+func TestEveryCancel(t *testing.T) {
+	c := New()
+	n := 0
+	cancel := c.Every(10, func(Time) Time { n++; return 0 })
+	c.Advance(25)
+	cancel()
+	c.Advance(100)
+	if n != 2 {
+		t.Fatalf("ticks after cancel: %d", n)
+	}
+}
+
+func TestAdvanceToPastIsNoop(t *testing.T) {
+	c := New()
+	c.Advance(50)
+	c.AdvanceTo(10)
+	if c.Now() != 50 {
+		t.Fatalf("now went backwards: %v", c.Now())
+	}
+}
+
+func TestPastEventRunsOnNextAdvance(t *testing.T) {
+	c := New()
+	c.Advance(100)
+	ran := false
+	c.ScheduleAt(10, func(Time) { ran = true })
+	c.Advance(1)
+	if !ran {
+		t.Fatal("past event should fire")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if Time(1.5).String() != "1.500ms" {
+		t.Fatalf("got %s", Time(1.5))
+	}
+}
+
+func TestPending(t *testing.T) {
+	c := New()
+	c.ScheduleAt(10, func(Time) {})
+	if c.Pending() != 1 {
+		t.Fatal("pending")
+	}
+	c.Advance(10)
+	if c.Pending() != 0 {
+		t.Fatal("drained")
+	}
+}

@@ -1,0 +1,30 @@
+package sqlparser
+
+import "strings"
+
+// CanonicalizeSQL normalizes a statement for use as a calibration key:
+// literals become '?', keywords upper-case, whitespace collapses. Queries
+// that differ only in parameter values share a canonical form, so a
+// calibration factor learned from some instances of a query type applies to
+// future, yet-unseen instances — the generalization §3.1 relies on.
+//
+// Unparseable input canonicalizes token-by-token; the function never fails.
+func CanonicalizeSQL(src string) string {
+	toks, err := lex(src)
+	if err != nil {
+		return strings.Join(strings.Fields(src), " ")
+	}
+	parts := make([]string, 0, len(toks))
+	for _, t := range toks {
+		switch t.kind {
+		case tokEOF:
+		case tokInt, tokFloat, tokString:
+			parts = append(parts, "?")
+		case tokKeyword:
+			parts = append(parts, t.text)
+		default:
+			parts = append(parts, t.text)
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,231 @@
+package sqlparser
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqltypes"
+)
+
+var evalSchema = sqltypes.NewSchema(
+	sqltypes.Column{Table: "t", Name: "a", Type: sqltypes.KindInt},
+	sqltypes.Column{Table: "t", Name: "b", Type: sqltypes.KindFloat},
+	sqltypes.Column{Table: "t", Name: "s", Type: sqltypes.KindString},
+	sqltypes.Column{Table: "t", Name: "n", Type: sqltypes.KindInt}, // often NULL
+)
+
+func evalRow() sqltypes.Row {
+	return sqltypes.Row{
+		sqltypes.NewInt(10),
+		sqltypes.NewFloat(2.5),
+		sqltypes.NewString("hello"),
+		sqltypes.Null,
+	}
+}
+
+func mustEval(t *testing.T, src string) sqltypes.Value {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := Eval(e, evalRow(), evalSchema)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want sqltypes.Value
+	}{
+		{"a + 5", sqltypes.NewInt(15)},
+		{"a - 3", sqltypes.NewInt(7)},
+		{"a * 2", sqltypes.NewInt(20)},
+		{"a / 4", sqltypes.NewInt(2)},
+		{"a + b", sqltypes.NewFloat(12.5)},
+		{"b * 2", sqltypes.NewFloat(5.0)},
+		{"-a", sqltypes.NewInt(-10)},
+		{"a / 0", sqltypes.Null},
+		{"'x' + 'y'", sqltypes.NewString("xy")},
+	}
+	for _, c := range cases {
+		got := mustEval(t, c.src)
+		if got.Kind() != c.want.Kind() || (got.Kind() != sqltypes.KindNull && sqltypes.Compare(got, c.want) != 0) {
+			t.Errorf("%s = %v want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	trueCases := []string{
+		"a = 10", "a <> 9", "a > 9", "a >= 10", "a < 11", "a <= 10",
+		"b = 2.5", "s = 'hello'", "a > b",
+	}
+	for _, src := range trueCases {
+		if v := mustEval(t, src); !v.Bool() {
+			t.Errorf("%s should be true", src)
+		}
+	}
+	falseCases := []string{"a = 9", "a < 10", "s = 'bye'"}
+	for _, src := range falseCases {
+		if v := mustEval(t, src); v.Bool() {
+			t.Errorf("%s should be false", src)
+		}
+	}
+}
+
+func TestEvalThreeValuedLogic(t *testing.T) {
+	nullCases := []string{
+		"n = 1", "n + 1", "n > 0", "NOT (n = 1)",
+		"n IN (1, 2)", "1 IN (n)", "n BETWEEN 1 AND 2",
+	}
+	for _, src := range nullCases {
+		if v := mustEval(t, src); !v.IsNull() {
+			t.Errorf("%s should be NULL, got %v", src, v)
+		}
+	}
+	// AND/OR absorption with NULL.
+	if v := mustEval(t, "n = 1 AND a = 9"); v.IsNull() || v.Bool() {
+		t.Errorf("NULL AND false should be false, got %v", v)
+	}
+	if v := mustEval(t, "n = 1 OR a = 10"); v.IsNull() || !v.Bool() {
+		t.Errorf("NULL OR true should be true, got %v", v)
+	}
+	if v := mustEval(t, "n = 1 AND a = 10"); !v.IsNull() {
+		t.Errorf("NULL AND true should be NULL, got %v", v)
+	}
+	if v := mustEval(t, "n = 1 OR a = 9"); !v.IsNull() {
+		t.Errorf("NULL OR false should be NULL, got %v", v)
+	}
+}
+
+func TestEvalIsNull(t *testing.T) {
+	if !mustEval(t, "n IS NULL").Bool() {
+		t.Fatal("n IS NULL")
+	}
+	if mustEval(t, "a IS NULL").Bool() {
+		t.Fatal("a IS NULL should be false")
+	}
+	if !mustEval(t, "a IS NOT NULL").Bool() {
+		t.Fatal("a IS NOT NULL")
+	}
+}
+
+func TestEvalInBetween(t *testing.T) {
+	if !mustEval(t, "a IN (5, 10, 15)").Bool() {
+		t.Fatal("IN hit")
+	}
+	if mustEval(t, "a IN (5, 15)").Bool() {
+		t.Fatal("IN miss")
+	}
+	if !mustEval(t, "a NOT IN (5, 15)").Bool() {
+		t.Fatal("NOT IN")
+	}
+	if !mustEval(t, "a BETWEEN 10 AND 20").Bool() {
+		t.Fatal("BETWEEN inclusive low")
+	}
+	if !mustEval(t, "a BETWEEN 0 AND 10").Bool() {
+		t.Fatal("BETWEEN inclusive high")
+	}
+	if mustEval(t, "a BETWEEN 11 AND 20").Bool() {
+		t.Fatal("BETWEEN miss")
+	}
+	if !mustEval(t, "a NOT BETWEEN 11 AND 20").Bool() {
+		t.Fatal("NOT BETWEEN")
+	}
+}
+
+func TestEvalLike(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"s LIKE 'hello'", true},
+		{"s LIKE 'h%'", true},
+		{"s LIKE '%o'", true},
+		{"s LIKE '%ell%'", true},
+		{"s LIKE 'h_llo'", true},
+		{"s LIKE 'h_'", false},
+		{"s LIKE 'x%'", false},
+		{"s NOT LIKE 'x%'", true},
+		{"s LIKE '%'", true},
+		{"s LIKE 'h%l%o'", true},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.src).Bool(); got != c.want {
+			t.Errorf("%s = %v want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalNot(t *testing.T) {
+	if mustEval(t, "NOT a = 10").Bool() {
+		t.Fatal("NOT true")
+	}
+	if !mustEval(t, "NOT a = 9").Bool() {
+		t.Fatal("NOT false")
+	}
+}
+
+func TestEvalBoolCollapsesNull(t *testing.T) {
+	e, _ := ParseExpr("n = 1")
+	ok, err := EvalBool(e, evalRow(), evalSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("NULL predicate must filter out")
+	}
+}
+
+func TestEvalAggregateOutsideAggregationErrors(t *testing.T) {
+	e, _ := ParseExpr("SUM(a)")
+	if _, err := Eval(e, evalRow(), evalSchema); err == nil {
+		t.Fatal("aggregate outside aggregation must error")
+	}
+}
+
+func TestEvalUnknownColumnErrors(t *testing.T) {
+	e, _ := ParseExpr("zz > 1")
+	if _, err := Eval(e, evalRow(), evalSchema); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestEvalNonNumericArithmeticErrors(t *testing.T) {
+	e, _ := ParseExpr("s * 2")
+	if _, err := Eval(e, evalRow(), evalSchema); err == nil {
+		t.Fatal("string * int must error")
+	}
+}
+
+func TestLikeMatchProperty(t *testing.T) {
+	// prefix% must match any string with that prefix.
+	f := func(prefix, rest string) bool {
+		return likeMatch(prefix+rest, prefix+"%")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// %suffix must match any string with that suffix.
+	g := func(head, suffix string) bool {
+		return likeMatch(head+suffix, "%"+suffix)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalComparisonNullPropagation(t *testing.T) {
+	f := func(x int64) bool {
+		e := &BinaryExpr{Op: OpLt, Left: &ColumnRef{Table: "t", Name: "n"}, Right: &Literal{Val: sqltypes.NewInt(x)}}
+		v, err := Eval(e, evalRow(), evalSchema)
+		return err == nil && v.IsNull()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

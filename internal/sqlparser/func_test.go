@@ -1,0 +1,175 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func TestParseFuncCalls(t *testing.T) {
+	cases := []string{
+		"ABS(x)",
+		"ROUND(x, 2)",
+		"FLOOR(x)",
+		"CEIL(x)",
+		"MOD(a, b)",
+		"UPPER(s)",
+		"LOWER(s)",
+		"LENGTH(s)",
+		"SUBSTR(s, 2)",
+		"SUBSTR(s, 2, 3)",
+		"COALESCE(a, b, 0)",
+	}
+	for _, src := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		fe, ok := e.(*FuncExpr)
+		if !ok {
+			t.Fatalf("%s parsed as %T", src, e)
+		}
+		if fe.String() != src {
+			t.Errorf("round-trip %q -> %q", src, fe.String())
+		}
+	}
+}
+
+func TestParseFuncErrors(t *testing.T) {
+	bad := []string{
+		"NOFUNC(x)",  // unknown function
+		"ABS()",      // too few args
+		"ABS(a, b)",  // too many args
+		"MOD(a)",     // arity
+		"SUBSTR(s)",  // arity
+		"COALESCE()", // arity
+		"ABS(x",      // unterminated
+		"LOWER(x,)",  // trailing comma
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+}
+
+func TestFuncCaseInsensitiveNames(t *testing.T) {
+	e, err := ParseExpr("abs(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.(*FuncExpr).Name != "ABS" {
+		t.Fatalf("name: %s", e.(*FuncExpr).Name)
+	}
+}
+
+func evalFuncStr(t *testing.T, src string) sqltypes.Value {
+	t.Helper()
+	schema := sqltypes.NewSchema(
+		sqltypes.Column{Table: "t", Name: "i", Type: sqltypes.KindInt},
+		sqltypes.Column{Table: "t", Name: "f", Type: sqltypes.KindFloat},
+		sqltypes.Column{Table: "t", Name: "s", Type: sqltypes.KindString},
+		sqltypes.Column{Table: "t", Name: "n", Type: sqltypes.KindInt},
+	)
+	row := sqltypes.Row{
+		sqltypes.NewInt(-7),
+		sqltypes.NewFloat(3.456),
+		sqltypes.NewString("Hello"),
+		sqltypes.Null,
+	}
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := Eval(e, row, schema)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestEvalScalarFunctions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want sqltypes.Value
+	}{
+		{"ABS(i)", sqltypes.NewInt(7)},
+		{"ABS(f)", sqltypes.NewFloat(3.456)},
+		{"ROUND(f)", sqltypes.NewFloat(3)},
+		{"ROUND(f, 2)", sqltypes.NewFloat(3.46)},
+		{"FLOOR(f)", sqltypes.NewFloat(3)},
+		{"CEIL(f)", sqltypes.NewFloat(4)},
+		{"MOD(i, 3)", sqltypes.NewInt(-1)},
+		{"MOD(7, 0)", sqltypes.Null},
+		{"UPPER(s)", sqltypes.NewString("HELLO")},
+		{"LOWER(s)", sqltypes.NewString("hello")},
+		{"LENGTH(s)", sqltypes.NewInt(5)},
+		{"SUBSTR(s, 2)", sqltypes.NewString("ello")},
+		{"SUBSTR(s, 2, 3)", sqltypes.NewString("ell")},
+		{"SUBSTR(s, 99)", sqltypes.NewString("")},
+		{"SUBSTR(s, 1, 0)", sqltypes.NewString("")},
+		{"COALESCE(n, i)", sqltypes.NewInt(-7)},
+		{"COALESCE(n, n)", sqltypes.Null},
+		{"COALESCE(s, 'x')", sqltypes.NewString("Hello")},
+		// NULL propagation.
+		{"ABS(n)", sqltypes.Null},
+		{"UPPER(COALESCE(n, 'y'))", sqltypes.NewString("Y")},
+	}
+	for _, c := range cases {
+		got := evalFuncStr(t, c.src)
+		if got.IsNull() != c.want.IsNull() {
+			t.Errorf("%s = %v want %v", c.src, got, c.want)
+			continue
+		}
+		if !got.IsNull() && sqltypes.Compare(got, c.want) != 0 {
+			t.Errorf("%s = %v want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalFuncTypeErrors(t *testing.T) {
+	bad := []string{
+		"ABS(s)", "ROUND(s)", "FLOOR(s)", "CEIL(s)",
+		"MOD(f, 2)", "UPPER(i)", "LOWER(i)", "LENGTH(i)", "SUBSTR(i, 1)",
+	}
+	schema := sqltypes.NewSchema(
+		sqltypes.Column{Table: "t", Name: "i", Type: sqltypes.KindInt},
+		sqltypes.Column{Table: "t", Name: "f", Type: sqltypes.KindFloat},
+		sqltypes.Column{Table: "t", Name: "s", Type: sqltypes.KindString},
+	)
+	row := sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewFloat(1.5), sqltypes.NewString("x")}
+	for _, src := range bad {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Eval(e, row, schema); err == nil {
+			t.Errorf("Eval(%q) should fail", src)
+		}
+	}
+}
+
+func TestFuncInStatements(t *testing.T) {
+	stmt := MustParse("SELECT UPPER(t.name) AS u, ABS(t.v) FROM t WHERE LENGTH(t.name) > 3 GROUP BY UPPER(t.name) HAVING COUNT(*) > MOD(10, 3) ORDER BY LENGTH(t.name)")
+	if stmt.Where == nil || len(stmt.GroupBy) != 1 {
+		t.Fatal("clauses")
+	}
+	// Canonicalization keeps function names.
+	canon := CanonicalizeSQL(stmt.String())
+	if !strings.Contains(canon, "UPPER") {
+		t.Fatalf("canonical: %s", canon)
+	}
+	// Column refs collected through functions.
+	refs := CollectColumnRefs(stmt.Where, nil)
+	if len(refs) != 1 || refs[0].Name != "name" {
+		t.Fatalf("refs: %v", refs)
+	}
+	// Aggregates not confused with scalar functions.
+	if containsAgg(stmt.Select[0].Expr) {
+		t.Fatal("UPPER is not an aggregate")
+	}
+	if !stmt.HasAggregates() {
+		t.Fatal("HAVING COUNT(*) makes it aggregated")
+	}
+}

@@ -1,0 +1,574 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input starting at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+// MustParse parses src and panics on error; for tests and static fixtures.
+func MustParse(src string) *SelectStmt {
+	stmt, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return stmt
+}
+
+// ParseExpr parses a standalone expression (used for predicates in tests and
+// fragment manipulation).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input starting at %q", p.cur().text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text when given).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	return text == "" || t.text == text
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.advance(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errorf("expected %s, found %q", want, p.cur().text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparser: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	for {
+		if p.accept(tokKeyword, "INNER") {
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.accept(tokKeyword, "JOIN") {
+			if p.accept(tokSymbol, ",") {
+				// Comma join: treat as JOIN with ON TRUE; predicates in WHERE.
+				tr, err := p.parseTableRef()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Joins = append(stmt.Joins, JoinClause{Table: tr, On: &Literal{Val: sqltypes.NewBool(true)}})
+				continue
+			}
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Table: tr, On: on})
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.advance().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: t.text}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a.text
+	} else if p.at(tokIdent, "") {
+		tr.Alias = p.advance().text
+	}
+	return tr, nil
+}
+
+// Expression grammar (lowest to highest precedence):
+//   expr     := orExpr
+//   orExpr   := andExpr { OR andExpr }
+//   andExpr  := notExpr { AND notExpr }
+//   notExpr  := [NOT] predExpr
+//   predExpr := addExpr [cmpOp addExpr | IS [NOT] NULL | [NOT] IN (...) |
+//               [NOT] BETWEEN addExpr AND addExpr | [NOT] LIKE 'pat']
+//   addExpr  := mulExpr { (+|-) mulExpr }
+//   mulExpr  := unary { (*|/) unary }
+//   unary    := [-] primary
+//   primary  := literal | columnRef | aggCall | ( expr )
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	return p.parsePredicate()
+}
+
+var cmpOps = map[string]BinaryOp{
+	"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSymbol {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.advance()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	if p.accept(tokKeyword, "IS") {
+		negate := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Inner: left, Negate: negate}, nil
+	}
+	negate := false
+	if p.at(tokKeyword, "NOT") {
+		next := p.toks[p.i+1]
+		if next.kind == tokKeyword && (next.text == "IN" || next.text == "BETWEEN" || next.text == "LIKE") {
+			p.advance()
+			negate = true
+		}
+	}
+	switch {
+	case p.accept(tokKeyword, "IN"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Needle: left, List: list, Negate: negate}, nil
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Subject: left, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.accept(tokKeyword, "LIKE"):
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{Subject: left, Pattern: t.text, Negate: negate}, nil
+	}
+	if negate {
+		return nil, p.errorf("dangling NOT")
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.accept(tokSymbol, "+"):
+			op = OpAdd
+		case p.accept(tokSymbol, "-"):
+			op = OpSub
+		default:
+			return left, nil
+		}
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.accept(tokSymbol, "*"):
+			op = OpMul
+		case p.accept(tokSymbol, "/"):
+			op = OpDiv
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: OpSub, Left: &Literal{Val: sqltypes.NewInt(0)}, Right: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+// scalarFuncs lists supported scalar functions with their arity range.
+var scalarFuncs = map[string][2]int{
+	"ABS": {1, 1}, "ROUND": {1, 2}, "FLOOR": {1, 1}, "CEIL": {1, 1},
+	"MOD": {2, 2}, "UPPER": {1, 1}, "LOWER": {1, 1}, "LENGTH": {1, 1},
+	"SUBSTR": {2, 3}, "COALESCE": {1, 8},
+}
+
+// parseFuncCall parses name(args...) after the identifier has been consumed.
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	upper := strings.ToUpper(name)
+	arity, ok := scalarFuncs[upper]
+	if !ok {
+		return nil, p.errorf("unknown function %q", name)
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !p.at(tokSymbol, ")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if len(args) < arity[0] || len(args) > arity[1] {
+		return nil, p.errorf("%s takes %d..%d arguments, got %d", upper, arity[0], arity[1], len(args))
+	}
+	return &FuncExpr{Name: upper, Args: args}, nil
+}
+
+var aggKeywords = map[string]AggFunc{
+	"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.text)
+		}
+		return &Literal{Val: sqltypes.NewInt(n)}, nil
+	case tokFloat:
+		p.advance()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %q", t.text)
+		}
+		return &Literal{Val: sqltypes.NewFloat(f)}, nil
+	case tokString:
+		p.advance()
+		return &Literal{Val: sqltypes.NewString(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.advance()
+			return &Literal{Val: sqltypes.Null}, nil
+		case "TRUE":
+			p.advance()
+			return &Literal{Val: sqltypes.NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{Val: sqltypes.NewBool(false)}, nil
+		}
+		if fn, ok := aggKeywords[t.text]; ok {
+			p.advance()
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+			if fn == AggCount && p.accept(tokSymbol, "*") {
+				if _, err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return &AggExpr{Func: AggCount}, nil
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &AggExpr{Func: fn, Arg: arg}, nil
+		}
+		return nil, p.errorf("unexpected keyword %q", t.text)
+	case tokSymbol:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		p.advance()
+		if p.at(tokSymbol, "(") {
+			return p.parseFuncCall(t.text)
+		}
+		if p.accept(tokSymbol, ".") {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Name: col.text}, nil
+		}
+		return &ColumnRef{Name: t.text}, nil
+	}
+	return nil, p.errorf("unexpected token %q", t.text)
+}

@@ -1,0 +1,191 @@
+// Package sqlparser implements the SQL subset spoken throughout the
+// federation: a lexer, a recursive-descent parser producing an AST, and an
+// expression evaluator. The subset covers SELECT with joins, WHERE, GROUP
+// BY/HAVING, ORDER BY, LIMIT, aggregates and scalar expressions — enough to
+// express the paper's QT1–QT4 query types and the federated workloads built
+// on them.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexical token.
+type token struct {
+	kind tokenKind
+	text string // keyword/ident text is upper-cased for keywords
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"JOIN": true, "INNER": true, "ON": true, "ASC": true, "DESC": true,
+	"DISTINCT": true, "IN": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes src fully, returning an error with position on bad input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+			return l.tokens, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexWord(start)
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(start); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexWord(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.tokens = append(l.tokens, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.tokens = append(l.tokens, token{kind: tokIdent, text: word, pos: start})
+	}
+}
+
+func (l *lexer) lexNumber(start int) error {
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isFloat {
+			isFloat = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if strings.HasSuffix(text, ".") {
+		return fmt.Errorf("sqlparser: malformed number %q at %d", text, start)
+	}
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: start})
+	return nil
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparser: unterminated string at %d", start)
+}
+
+func (l *lexer) lexSymbol(start int) error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		text := two
+		if text == "!=" {
+			text = "<>"
+		}
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: text, pos: start})
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case ',', '(', ')', '*', '+', '-', '/', '<', '>', '=', '.', '%':
+		l.pos++
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: string(c), pos: start})
+		return nil
+	}
+	return fmt.Errorf("sqlparser: unexpected character %q at %d", c, start)
+}

@@ -1,0 +1,166 @@
+package sqltypes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must be null")
+	}
+	if got := NewInt(42); got.Kind() != KindInt || got.Int() != 42 {
+		t.Fatalf("NewInt: got %v", got)
+	}
+	if got := NewFloat(2.5); got.Kind() != KindFloat || got.Float() != 2.5 {
+		t.Fatalf("NewFloat: got %v", got)
+	}
+	if got := NewString("ab"); got.Kind() != KindString || got.Str() != "ab" {
+		t.Fatalf("NewString: got %v", got)
+	}
+	if got := NewBool(true); got.Kind() != KindBool || !got.Bool() {
+		t.Fatalf("NewBool: got %v", got)
+	}
+	if got := NewBool(false); got.Bool() {
+		t.Fatalf("NewBool(false): got %v", got)
+	}
+}
+
+func TestValueFloatWidening(t *testing.T) {
+	if NewInt(7).Float() != 7.0 {
+		t.Fatal("int should widen to float")
+	}
+	if NewBool(true).Float() != 1.0 {
+		t.Fatal("bool should widen to float 1")
+	}
+	if Null.Float() != 0 {
+		t.Fatal("null floats to 0")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(1.5), NewInt(1), 1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewBool(true), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(Null, Null) {
+		t.Fatal("NULL must not equal NULL")
+	}
+	if Equal(Null, NewInt(0)) {
+		t.Fatal("NULL must not equal 0")
+	}
+	if !Equal(NewInt(3), NewFloat(3)) {
+		t.Fatal("3 must equal 3.0")
+	}
+}
+
+func TestHashCrossKindNumericConsistency(t *testing.T) {
+	if NewInt(41).Hash() != NewFloat(41).Hash() {
+		t.Fatal("41 and 41.0 must hash equal for join correctness")
+	}
+	if NewString("x").Hash() == NewString("y").Hash() {
+		t.Fatal("expected distinct hashes for distinct strings (fnv collision would be astonishing)")
+	}
+}
+
+func TestHashEqualImpliesEqualHashProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		if Equal(va, vb) {
+			return va.Hash() == vb.Hash()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return Compare(va, vb) == -Compare(vb, va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		va, vb, vc := NewFloat(a), NewFloat(b), NewFloat(c)
+		if Compare(va, vb) <= 0 && Compare(vb, vc) <= 0 {
+			return Compare(va, vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-5), "-5"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("o'hare"), "'o''hare'"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v)=%q want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "INTEGER" || KindNull.String() != "NULL" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	if NewInt(1).ByteSize() != 8 {
+		t.Fatal("int size")
+	}
+	if NewString("abc").ByteSize() != 5 {
+		t.Fatal("string size = 2+len")
+	}
+	if Null.ByteSize() != 1 || NewBool(true).ByteSize() != 1 {
+		t.Fatal("null/bool size")
+	}
+}

@@ -1,0 +1,339 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+func makeRows(n int) (*sqltypes.Schema, []sqltypes.Row) {
+	schema := sqltypes.NewSchema(
+		sqltypes.Column{Table: "t", Name: "id", Type: sqltypes.KindInt},
+		sqltypes.Column{Table: "t", Name: "v", Type: sqltypes.KindFloat},
+		sqltypes.Column{Table: "t", Name: "s", Type: sqltypes.KindString},
+	)
+	rows := make([]sqltypes.Row, 0, n)
+	for i := 0; i < n; i++ {
+		s := sqltypes.NewString("cat")
+		if i%2 == 1 {
+			s = sqltypes.NewString("dog")
+		}
+		v := sqltypes.NewFloat(float64(i))
+		if i%10 == 0 {
+			v = sqltypes.Null
+		}
+		rows = append(rows, sqltypes.Row{sqltypes.NewInt(int64(i)), v, s})
+	}
+	return schema, rows
+}
+
+func TestCollectBasics(t *testing.T) {
+	schema, rows := makeRows(100)
+	ts := Collect("t", schema, rows)
+	if ts.RowCount != 100 {
+		t.Fatalf("rowcount %d", ts.RowCount)
+	}
+	id := ts.Column("id")
+	if id == nil || id.Distinct != 100 || id.Min.Int() != 0 || id.Max.Int() != 99 {
+		t.Fatalf("id stats: %+v", id)
+	}
+	v := ts.Column("v")
+	if v.NullCount != 10 {
+		t.Fatalf("null count %d", v.NullCount)
+	}
+	if nf := v.NullFraction(); nf != 0.1 {
+		t.Fatalf("null fraction %f", nf)
+	}
+	s := ts.Column("s")
+	if s.Distinct != 2 {
+		t.Fatalf("string distinct %d", s.Distinct)
+	}
+	if s.Hist != nil {
+		t.Fatal("string column must not get a histogram")
+	}
+	if ts.AvgRowBytes <= 0 {
+		t.Fatal("avg row bytes")
+	}
+	if ts.Column("zzz") != nil {
+		t.Fatal("unknown column should be nil")
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	schema, _ := makeRows(0)
+	ts := Collect("t", schema, nil)
+	if ts.RowCount != 0 || ts.AvgRowBytes != 0 {
+		t.Fatal("empty table stats")
+	}
+	if ts.Column("v").NullFraction() != 0 {
+		t.Fatal("empty null fraction")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	schema, rows := makeRows(50)
+	ts := Collect("t", schema, rows)
+	c := ts.Clone()
+	c.Columns["id"].Distinct = 1
+	c.Columns["id"].Hist.Buckets[0].Count = 12345
+	if ts.Columns["id"].Distinct == 1 {
+		t.Fatal("clone aliases column stats")
+	}
+	if ts.Columns["id"].Hist.Buckets[0].Count == 12345 {
+		t.Fatal("clone aliases histogram buckets")
+	}
+	var nilTS *TableStats
+	if nilTS.Clone() != nil {
+		t.Fatal("nil clone")
+	}
+	if nilTS.Column("x") != nil {
+		t.Fatal("nil column")
+	}
+}
+
+func TestHistogramSelectivityUniform(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h := BuildHistogram(vals, 32)
+	cases := []struct {
+		x    float64
+		want float64
+		tol  float64
+	}{
+		{-1, 0, 0},
+		{999, 1, 0},
+		{2000, 1, 0},
+		{499.5, 0.5, 0.05},
+		{100, 0.1, 0.05},
+		{900, 0.9, 0.05},
+	}
+	for _, c := range cases {
+		got := h.SelectivityLE(c.x)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("SelectivityLE(%g)=%g want %g±%g", c.x, got, c.want, c.tol)
+		}
+	}
+	if gt := h.SelectivityGT(100); gt < 0.85 || gt > 0.95 {
+		t.Errorf("SelectivityGT(100)=%g", gt)
+	}
+	if b := h.SelectivityBetween(200, 400); b < 0.15 || b > 0.25 {
+		t.Errorf("Between(200,400)=%g", b)
+	}
+	if h.SelectivityBetween(400, 200) != 0 {
+		t.Error("inverted between must be 0")
+	}
+}
+
+func TestHistogramSkewed(t *testing.T) {
+	// 90% of values are 0, the rest uniform in [1,100].
+	var vals []float64
+	for i := 0; i < 900; i++ {
+		vals = append(vals, 0)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, float64(1+i))
+	}
+	h := BuildHistogram(vals, 16)
+	if le := h.SelectivityLE(0); le < 0.85 {
+		t.Errorf("skew: SelectivityLE(0)=%g want >=0.85", le)
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	if BuildHistogram(nil, 8) != nil {
+		t.Fatal("empty histogram should be nil")
+	}
+	if BuildHistogram([]float64{1}, 0) != nil {
+		t.Fatal("zero buckets should be nil")
+	}
+	var h *Histogram
+	if h.SelectivityLE(5) != 0.5 {
+		t.Fatal("nil hist default")
+	}
+	if h.String() != "hist(nil)" {
+		t.Fatal("nil hist string")
+	}
+}
+
+func TestHistogramMonotoneProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = r.NormFloat64() * 100
+	}
+	h := BuildHistogram(vals, 20)
+	f := func(a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return h.SelectivityLE(a) <= h.SelectivityLE(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testProvider(t *testing.T, n int) MapProvider {
+	t.Helper()
+	schema, rows := makeRows(n)
+	return MapProvider{"t": Collect("t", schema, rows)}
+}
+
+func sel(t *testing.T, provider StatsProvider, src string) float64 {
+	t.Helper()
+	e, err := sqlparser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Selectivity(e, provider)
+}
+
+func TestSelectivityEquality(t *testing.T) {
+	p := testProvider(t, 1000)
+	got := sel(t, p, "t.id = 5")
+	if got < 0.0005 || got > 0.002 {
+		t.Errorf("eq selectivity %g want ~1/1000", got)
+	}
+	// Flipped literal side.
+	if got2 := sel(t, p, "5 = t.id"); got2 != got {
+		t.Errorf("flip: %g vs %g", got2, got)
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	p := testProvider(t, 1000)
+	got := sel(t, p, "t.id > 900")
+	if got < 0.05 || got > 0.15 {
+		t.Errorf("range selectivity %g want ~0.1", got)
+	}
+	flipped := sel(t, p, "900 < t.id")
+	if flipped < 0.05 || flipped > 0.15 {
+		t.Errorf("flipped range %g", flipped)
+	}
+}
+
+func TestSelectivityConjunctionDisjunction(t *testing.T) {
+	p := testProvider(t, 1000)
+	and := sel(t, p, "t.id > 500 AND t.s = 'cat'")
+	lone := sel(t, p, "t.id > 500")
+	if and >= lone {
+		t.Errorf("AND should shrink: %g vs %g", and, lone)
+	}
+	or := sel(t, p, "t.id > 500 OR t.s = 'cat'")
+	if or <= lone {
+		t.Errorf("OR should grow: %g vs %g", or, lone)
+	}
+	if or > 1 {
+		t.Errorf("OR capped: %g", or)
+	}
+}
+
+func TestSelectivityNotInBetweenLikeNull(t *testing.T) {
+	p := testProvider(t, 1000)
+	if got := sel(t, p, "NOT t.id > 900"); got < 0.8 {
+		t.Errorf("NOT: %g", got)
+	}
+	in := sel(t, p, "t.id IN (1, 2, 3)")
+	if in < 0.002 || in > 0.01 {
+		t.Errorf("IN: %g want ~3/1000", in)
+	}
+	btw := sel(t, p, "t.id BETWEEN 100 AND 300")
+	if btw < 0.15 || btw > 0.25 {
+		t.Errorf("BETWEEN: %g want ~0.2", btw)
+	}
+	if got := sel(t, p, "t.s LIKE 'c%'"); got != DefaultLikeSelectivity {
+		t.Errorf("LIKE default: %g", got)
+	}
+	nullSel := sel(t, p, "t.v IS NULL")
+	if nullSel < 0.05 || nullSel > 0.15 {
+		t.Errorf("IS NULL: %g want ~0.1", nullSel)
+	}
+	if got := sel(t, p, "t.v IS NOT NULL"); got < 0.85 {
+		t.Errorf("IS NOT NULL: %g", got)
+	}
+}
+
+func TestSelectivityUnknownColumnDefaults(t *testing.T) {
+	p := testProvider(t, 100)
+	if got := sel(t, p, "x.q = 1"); got != DefaultEqSelectivity {
+		t.Errorf("unknown eq: %g", got)
+	}
+	if got := sel(t, p, "x.q > 1"); got != DefaultRangeSelectivity {
+		t.Errorf("unknown range: %g", got)
+	}
+}
+
+func TestSelectivityLiteralBool(t *testing.T) {
+	p := testProvider(t, 10)
+	if got := sel(t, p, "TRUE"); got != 1 {
+		t.Errorf("TRUE: %g", got)
+	}
+	if got := sel(t, p, "FALSE"); got > 1e-5 {
+		t.Errorf("FALSE: %g", got)
+	}
+}
+
+func TestSelectivityBoundsProperty(t *testing.T) {
+	p := testProvider(t, 300)
+	f := func(x int64) bool {
+		e := &sqlparser.BinaryExpr{
+			Op:    sqlparser.OpGt,
+			Left:  &sqlparser.ColumnRef{Table: "t", Name: "id"},
+			Right: &sqlparser.Literal{Val: sqltypes.NewInt(x % 1000)},
+		}
+		s := Selectivity(e, p)
+		return s > 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinCardinality(t *testing.T) {
+	if got := JoinCardinality(1000, 1000, 1000, 1000); got != 1000 {
+		t.Errorf("pk-fk join: %d", got)
+	}
+	if got := JoinCardinality(0, 10, 5, 5); got != 0 {
+		t.Errorf("empty join: %d", got)
+	}
+	if got := JoinCardinality(10, 10, 0, 0); got < 1 || got > 100 {
+		t.Errorf("no-distinct join: %d", got)
+	}
+	if got := JoinCardinality(2, 2, 100, 100); got != 1 {
+		t.Errorf("floor at 1: %d", got)
+	}
+}
+
+func TestGroupCardinality(t *testing.T) {
+	if got := GroupCardinality(1000, []int64{10}); got != 10 {
+		t.Errorf("10 groups: %d", got)
+	}
+	if got := GroupCardinality(1000, []int64{100, 100}); got != 1000 {
+		t.Errorf("capped at input: %d", got)
+	}
+	if got := GroupCardinality(1000, nil); got != 1 {
+		t.Errorf("scalar agg: %d", got)
+	}
+	if got := GroupCardinality(0, []int64{10}); got != 0 {
+		t.Errorf("empty input: %d", got)
+	}
+	if got := GroupCardinality(50, []int64{0}); got <= 0 {
+		t.Errorf("unknown distinct: %d", got)
+	}
+}
+
+func TestColumnOpColumnSelectivity(t *testing.T) {
+	p := testProvider(t, 1000)
+	got := sel(t, p, "t.id = t.v")
+	if got < 0.0005 || got > 0.002 {
+		t.Errorf("col=col: %g want ~1/1000", got)
+	}
+	if got := sel(t, p, "t.id < t.v"); got != DefaultRangeSelectivity {
+		t.Errorf("col<col: %g", got)
+	}
+}

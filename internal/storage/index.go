@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"sort"
+
+	"repro/internal/sqltypes"
+)
+
+// IndexKind selects the index implementation.
+type IndexKind uint8
+
+const (
+	// IndexHash serves equality probes only.
+	IndexHash IndexKind = iota
+	// IndexSorted serves equality and range probes (stand-in for a B-tree).
+	IndexSorted
+)
+
+// String names the kind.
+func (k IndexKind) String() string {
+	if k == IndexSorted {
+		return "SORTED"
+	}
+	return "HASH"
+}
+
+// Index maps column values to row positions. Indexes are owned by a Table
+// and protected by the table's lock; methods here are not safe for
+// concurrent use on their own.
+type Index struct {
+	name   string
+	column string
+	colIdx int
+	kind   IndexKind
+
+	hash   map[uint64][]int
+	sorted []sortedEntry // kept ordered by value
+}
+
+type sortedEntry struct {
+	val sqltypes.Value
+	pos int
+}
+
+func newIndex(name, column string, colIdx int, kind IndexKind) *Index {
+	return &Index{
+		name:   name,
+		column: column,
+		colIdx: colIdx,
+		kind:   kind,
+		hash:   map[uint64][]int{},
+	}
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Column returns the indexed column name.
+func (ix *Index) Column() string { return ix.column }
+
+// Kind returns the index kind.
+func (ix *Index) Kind() IndexKind { return ix.kind }
+
+func (ix *Index) insert(row sqltypes.Row, pos int) {
+	ix.insertValue(row[ix.colIdx], pos)
+}
+
+func (ix *Index) insertValue(v sqltypes.Value, pos int) {
+	if v.IsNull() {
+		return // NULLs are not indexed
+	}
+	h := v.Hash()
+	ix.hash[h] = append(ix.hash[h], pos)
+	if ix.kind == IndexSorted {
+		i := sort.Search(len(ix.sorted), func(i int) bool {
+			return sqltypes.Compare(ix.sorted[i].val, v) >= 0
+		})
+		ix.sorted = append(ix.sorted, sortedEntry{})
+		copy(ix.sorted[i+1:], ix.sorted[i:])
+		ix.sorted[i] = sortedEntry{val: v, pos: pos}
+	}
+}
+
+func (ix *Index) remove(v sqltypes.Value, pos int) {
+	if v.IsNull() {
+		return
+	}
+	h := v.Hash()
+	list := ix.hash[h]
+	for i, p := range list {
+		if p == pos {
+			ix.hash[h] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if ix.kind == IndexSorted {
+		for i, e := range ix.sorted {
+			if e.pos == pos && sqltypes.Compare(e.val, v) == 0 {
+				ix.sorted = append(ix.sorted[:i], ix.sorted[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// LookupEq returns the positions of rows whose key equals v.
+func (ix *Index) LookupEq(v sqltypes.Value) []int {
+	if v.IsNull() {
+		return nil
+	}
+	out := append([]int(nil), ix.hash[v.Hash()]...)
+	return out
+}
+
+// LookupRange returns positions of rows with lo <= key <= hi; a nil bound is
+// open. Only sorted indexes support ranges; hash indexes return nil, which
+// callers treat as "index cannot serve this probe".
+func (ix *Index) LookupRange(lo, hi *sqltypes.Value, loInclusive, hiInclusive bool) []int {
+	if ix.kind != IndexSorted {
+		return nil
+	}
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(ix.sorted), func(i int) bool {
+			c := sqltypes.Compare(ix.sorted[i].val, *lo)
+			if loInclusive {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(ix.sorted)
+	if hi != nil {
+		end = sort.Search(len(ix.sorted), func(i int) bool {
+			c := sqltypes.Compare(ix.sorted[i].val, *hi)
+			if hiInclusive {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil
+	}
+	out := make([]int, 0, end-start)
+	for _, e := range ix.sorted[start:end] {
+		out = append(out, e.pos)
+	}
+	return out
+}
+
+// Len returns the number of indexed (non-NULL) entries.
+func (ix *Index) Len() int {
+	n := 0
+	for _, list := range ix.hash {
+		n += len(list)
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func newTestTable(t *testing.T) *Table {
+	t.Helper()
+	schema := sqltypes.NewSchema(
+		sqltypes.Column{Table: "t", Name: "id", Type: sqltypes.KindInt},
+		sqltypes.Column{Table: "t", Name: "v", Type: sqltypes.KindFloat},
+	)
+	tab := NewTable("t", schema)
+	var rows []sqltypes.Row
+	for i := 0; i < 100; i++ {
+		rows = append(rows, sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewFloat(float64(i) * 1.5)})
+	}
+	if err := tab.Append(rows...); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTableAppendScan(t *testing.T) {
+	tab := newTestTable(t)
+	if tab.RowCount() != 100 {
+		t.Fatalf("rowcount %d", tab.RowCount())
+	}
+	n := 0
+	sum := int64(0)
+	err := tab.Scan(func(r sqltypes.Row) error {
+		n++
+		sum += r[0].Int()
+		return nil
+	})
+	if err != nil || n != 100 || sum != 4950 {
+		t.Fatalf("scan n=%d sum=%d err=%v", n, sum, err)
+	}
+}
+
+func TestTableAppendArityMismatch(t *testing.T) {
+	tab := newTestTable(t)
+	if err := tab.Append(sqltypes.Row{sqltypes.NewInt(1)}); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+}
+
+func TestTableRowAccessAndBounds(t *testing.T) {
+	tab := newTestTable(t)
+	r, err := tab.Row(5)
+	if err != nil || r[0].Int() != 5 {
+		t.Fatalf("row 5: %v %v", r, err)
+	}
+	if _, err := tab.Row(-1); err == nil {
+		t.Fatal("negative index")
+	}
+	if _, err := tab.Row(100); err == nil {
+		t.Fatal("past end")
+	}
+}
+
+func TestTableUpdateAtBumpsVersionAndMaintainsIndex(t *testing.T) {
+	tab := newTestTable(t)
+	if _, err := tab.CreateIndex("t_id", "id", IndexHash); err != nil {
+		t.Fatal(err)
+	}
+	v0 := tab.Version()
+	if err := tab.UpdateAt(3, 0, sqltypes.NewInt(999)); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() <= v0 {
+		t.Fatal("version must bump")
+	}
+	idx := tab.Index("t_id")
+	if got := idx.LookupEq(sqltypes.NewInt(999)); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("index after update: %v", got)
+	}
+	if got := idx.LookupEq(sqltypes.NewInt(3)); len(got) != 0 {
+		t.Fatalf("stale entry: %v", got)
+	}
+	if err := tab.UpdateAt(1000, 0, sqltypes.NewInt(1)); err == nil {
+		t.Fatal("row bound")
+	}
+	if err := tab.UpdateAt(0, 9, sqltypes.NewInt(1)); err == nil {
+		t.Fatal("col bound")
+	}
+}
+
+func TestTableSnapshotIsolation(t *testing.T) {
+	tab := newTestTable(t)
+	snap := tab.Snapshot()
+	if err := tab.UpdateAt(0, 0, sqltypes.NewInt(-7)); err != nil {
+		t.Fatal(err)
+	}
+	if snap[0][0].Int() != 0 {
+		t.Fatal("snapshot must not see later updates")
+	}
+}
+
+func TestTablePages(t *testing.T) {
+	tab := newTestTable(t)
+	if tab.Pages() < 1 {
+		t.Fatal("pages must be >=1 for non-empty table")
+	}
+	empty := NewTable("e", sqltypes.NewSchema(sqltypes.Column{Name: "x", Type: sqltypes.KindInt}))
+	if empty.Pages() != 0 {
+		t.Fatal("empty table pages")
+	}
+}
+
+func TestTableStatsCaching(t *testing.T) {
+	tab := newTestTable(t)
+	s1 := tab.Stats()
+	s2 := tab.Stats()
+	if s1 != s2 {
+		t.Fatal("stats should be cached while clean")
+	}
+	if err := tab.UpdateAt(0, 1, sqltypes.NewFloat(1e9)); err != nil {
+		t.Fatal(err)
+	}
+	s3 := tab.Stats()
+	if s3 == s1 {
+		t.Fatal("stats must refresh after mutation")
+	}
+	if s3.Column("v").Max.Float() != 1e9 {
+		t.Fatal("refreshed stats must see the update")
+	}
+}
+
+func TestCreateIndexDuplicateAndUnknownColumn(t *testing.T) {
+	tab := newTestTable(t)
+	if _, err := tab.CreateIndex("i1", "id", IndexHash); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.CreateIndex("i1", "id", IndexHash); err == nil {
+		t.Fatal("duplicate index must fail")
+	}
+	if _, err := tab.CreateIndex("i2", "nope", IndexHash); err == nil {
+		t.Fatal("unknown column must fail")
+	}
+}
+
+func TestIndexOnColumnPrefersSorted(t *testing.T) {
+	tab := newTestTable(t)
+	if _, err := tab.CreateIndex("h", "id", IndexHash); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.CreateIndex("s", "id", IndexSorted); err != nil {
+		t.Fatal(err)
+	}
+	idx := tab.IndexOnColumn("id")
+	if idx == nil || idx.Kind() != IndexSorted {
+		t.Fatalf("want sorted index, got %v", idx)
+	}
+	if tab.IndexOnColumn("v") != nil {
+		t.Fatal("no index on v")
+	}
+	names := tab.Indexes()
+	if len(names) != 2 || names[0] != "h" || names[1] != "s" {
+		t.Fatalf("index names: %v", names)
+	}
+}

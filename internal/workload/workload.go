@@ -1,0 +1,211 @@
+// Package workload defines the paper's evaluation workload: the four query
+// fragment types QT1–QT4 of §5.2 (each with parameterized instances), the
+// eight server-load phases of Table 1, the fixed server assignments the
+// baselines use, and the update-load driver that puts remote servers under
+// heavy background load.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/remote"
+	"repro/internal/scenario"
+)
+
+// QueryType is one of the paper's four query fragment types.
+type QueryType struct {
+	// Name is QT1..QT4.
+	Name string
+	// Description summarizes the paper's characterization.
+	Description string
+	// Make renders the SQL for instance i (0-based). Instances differ only
+	// in the selection parameter, as in §5: "each with 10 different query
+	// instances".
+	Make func(i int) string
+}
+
+// Types returns the four query types:
+//
+//	QT1: equijoin on two large tables followed by a "greater than" selection
+//	     on the input parameter and an aggregation (weakly selective).
+//	QT2: like QT1 but the selection table is small — the join probes the
+//	     large table per small-table row, the cache-reliant shape.
+//	QT3: like QT1 but with a much more selective predicate.
+//	QT4: a three-table join with a highly selective predicate.
+func Types() []QueryType {
+	return []QueryType{
+		{
+			Name:        "QT1",
+			Description: "large ⋈ large, weak selection, aggregation",
+			Make: func(i int) string {
+				// Selectivity sweeps ~0.9 down to ~0.5 over instances.
+				p := 1000 + 400*i
+				return fmt.Sprintf(
+					"SELECT SUM(l.l_price), COUNT(*) FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > %d", p)
+			},
+		},
+		{
+			Name:        "QT2",
+			Description: "small ⋈ large, selection on the small table, aggregation",
+			Make: func(i int) string {
+				// c_discount is uniform in [0, 0.2): selectivity 1 − i/10.
+				p := float64(i) * 0.02
+				return fmt.Sprintf(
+					"SELECT SUM(o.o_amount), COUNT(*) FROM customer AS c JOIN orders AS o ON o.o_custkey = c.c_id WHERE c.c_discount > %.3f", p)
+			},
+		},
+		{
+			Name:        "QT3",
+			Description: "large ⋈ large, highly selective predicate, aggregation",
+			Make: func(i int) string {
+				// o_amount uniform in [0,10000): selectivity 2% down to
+				// 0.5%. Phrased as BETWEEN so QT3's canonical form differs
+				// from QT1's and the two learn separate calibration factors.
+				p := 9800 + 15*i
+				return fmt.Sprintf(
+					"SELECT SUM(l.l_price), COUNT(*) FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount BETWEEN %d AND 10000", p)
+			},
+		},
+		{
+			Name:        "QT4",
+			Description: "three-table join, highly selective predicate",
+			Make: func(i int) string {
+				return fmt.Sprintf(
+					"SELECT COUNT(*), SUM(l.l_price) FROM customer AS c JOIN orders AS o ON o.o_custkey = c.c_id JOIN lineitem AS l ON l.l_orderkey = o.o_id WHERE c.c_id = %d", i)
+			},
+		},
+	}
+}
+
+// TypeByName returns the named query type.
+func TypeByName(name string) (QueryType, error) {
+	for _, qt := range Types() {
+		if qt.Name == name {
+			return qt, nil
+		}
+	}
+	return QueryType{}, fmt.Errorf("workload: unknown query type %q", name)
+}
+
+// Instances renders n instances of a query type.
+func Instances(qt QueryType, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = qt.Make(i)
+	}
+	return out
+}
+
+// Mix builds the uniform workload of §5.3: n instances of each type,
+// interleaved round-robin so the types are uniformly distributed.
+func Mix(n int) []Item {
+	types := Types()
+	var out []Item
+	for i := 0; i < n; i++ {
+		for _, qt := range types {
+			out = append(out, Item{Type: qt.Name, SQL: qt.Make(i)})
+		}
+	}
+	return out
+}
+
+// Item is one workload query with its type tag.
+type Item struct {
+	Type string
+	SQL  string
+}
+
+// HeavyLoad is the load level "Load" phases put on a server; Base phases
+// use zero.
+const HeavyLoad = 1.0
+
+// Phase is one row of Table 1: which servers carry the heavy update load.
+type Phase struct {
+	// Name is Phase1..Phase8.
+	Name string
+	// Loaded flags the servers under heavy update load.
+	Loaded map[string]bool
+}
+
+// LoadLevel returns the load level for a server in this phase.
+func (p Phase) LoadLevel(serverID string) float64 {
+	if p.Loaded[serverID] {
+		return HeavyLoad
+	}
+	return 0
+}
+
+// Label renders e.g. "Base/Load/Base" in S1,S2,S3 order.
+func (p Phase) Label() string {
+	out := ""
+	for i, s := range []string{"S1", "S2", "S3"} {
+		if i > 0 {
+			out += "/"
+		}
+		if p.Loaded[s] {
+			out += "Load"
+		} else {
+			out += "Base"
+		}
+	}
+	return out
+}
+
+// Phases returns the eight phases of Table 1 exactly as printed:
+//
+//	Phase:   1    2    3    4    5    6    7    8
+//	S1:      B    B    B    B    L    L    L    L
+//	S2:      B    B    L    L    B    B    L    L
+//	S3:      B    L    B    L    B    L    B    L
+func Phases() []Phase {
+	var out []Phase
+	for i := 0; i < 8; i++ {
+		out = append(out, Phase{
+			Name: fmt.Sprintf("Phase%d", i+1),
+			Loaded: map[string]bool{
+				"S1": i&4 != 0,
+				"S2": i&2 != 0,
+				"S3": i&1 != 0,
+			},
+		})
+	}
+	return out
+}
+
+// ApplyPhase sets each server's background load per the phase and applies
+// an actual update burst to loaded servers (dirtying pages and drifting
+// statistics, per §5.1 Step 4 "servers are hit with a heavy update load").
+func ApplyPhase(sc *scenario.Scenario, p Phase, burstRows int, seed int64) error {
+	for id, srv := range sc.Servers {
+		lvl := p.LoadLevel(id)
+		srv.SetLoadLevel(lvl)
+		if lvl > 0 && burstRows > 0 {
+			if err := applyBurst(srv, burstRows, seed); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func applyBurst(srv *remote.Server, rows int, seed int64) error {
+	for _, tname := range srv.Tables() {
+		if err := srv.ApplyUpdateBurst(tname, rows, seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FixedAssignment1 is the "typical federated information system" baseline
+// (§5.3): routing fixed at nickname registration time — QT1→S1, QT2→S2,
+// QT3→S1, QT4→S3.
+func FixedAssignment1() map[string]string {
+	return map[string]string{"QT1": "S1", "QT2": "S2", "QT3": "S1", "QT4": "S3"}
+}
+
+// FixedAssignment2 is the "pick the most powerful machine" baseline
+// (Figure 11): every query type routes to S3.
+func FixedAssignment2() map[string]string {
+	return map[string]string{"QT1": "S3", "QT2": "S3", "QT3": "S3", "QT4": "S3"}
+}

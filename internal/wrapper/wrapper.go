@@ -1,0 +1,225 @@
+// Package wrapper implements the federation's wrapper layer: the adapters
+// through which the integrator talks to heterogeneous remote sources. The
+// relational wrapper forwards fragment statements to a remote DBMS for plan
+// enumeration and cost estimation and ships execution descriptors and
+// results over the simulated network. The file wrapper models non-relational
+// sources that return data locations WITHOUT cost estimates (§1: "for those
+// sub-queries that are forwarded to a file wrapper, file paths are returned
+// to II without estimated cost") — the case QCC must seed through daemon
+// probing.
+package wrapper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// Candidate is one plan option a wrapper offers for a fragment.
+type Candidate struct {
+	// Plan is the execution descriptor. When the candidate has passed
+	// through the meta-wrapper, Plan.Est carries the CALIBRATED estimate.
+	Plan *remote.Plan
+	// RawEst is the wrapper's original (uncalibrated) estimate; identical
+	// to Plan.Est until the meta-wrapper calibrates.
+	RawEst remote.CostEstimate
+	// CostKnown is false for sources (file wrappers) that cannot estimate;
+	// Plan.Est is zero in that case and QCC must supply a seed estimate.
+	CostKnown bool
+}
+
+// ExecOutcome is the wrapper-observed outcome of executing a fragment.
+type ExecOutcome struct {
+	// Result is the remote result (rows + server-side service time).
+	Result *remote.Result
+	// ResponseTime is the wrapper-observed end-to-end time: request
+	// transfer + remote service + result transfer. This is the "response
+	// time of each query fragment" MW records (§2).
+	ResponseTime simclock.Time
+}
+
+// Wrapper adapts one remote source.
+type Wrapper interface {
+	// ServerID identifies the wrapped source.
+	ServerID() string
+	// Kind names the wrapper type ("relational", "file").
+	Kind() string
+	// TableSchema returns the schema of a hosted table.
+	TableSchema(table string) (*sqltypes.Schema, error)
+	// Explain returns candidate plans for the fragment.
+	Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error)
+	// Execute runs an execution descriptor.
+	Execute(plan *remote.Plan) (*ExecOutcome, error)
+	// Probe checks source availability end to end (network + server).
+	Probe() (simclock.Time, error)
+}
+
+// Relational wraps a remote DBMS reachable over a network topology.
+type Relational struct {
+	server *remote.Server
+	topo   *network.Topology
+}
+
+// NewRelational builds a relational wrapper.
+func NewRelational(server *remote.Server, topo *network.Topology) *Relational {
+	return &Relational{server: server, topo: topo}
+}
+
+// ServerID implements Wrapper.
+func (w *Relational) ServerID() string { return w.server.ID() }
+
+// Kind implements Wrapper.
+func (w *Relational) Kind() string { return "relational" }
+
+// TableSchema implements Wrapper.
+func (w *Relational) TableSchema(table string) (*sqltypes.Schema, error) {
+	t := w.server.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("wrapper: %s does not host %q", w.server.ID(), table)
+	}
+	return t.Schema(), nil
+}
+
+// Explain implements Wrapper. The returned estimates include the static
+// network transfer estimate for the result volume, mirroring how a DBA's
+// registered latency enters the cost model.
+func (w *Relational) Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error) {
+	if link := w.topo.Link(w.server.ID()); link != nil && link.Down() {
+		return nil, &network.ErrPartitioned{Dest: w.server.ID()}
+	}
+	plans, err := w.server.Explain(stmt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, len(plans))
+	for i, p := range plans {
+		// Copy before adjusting: the server may serve the same plan object
+		// from its plan cache to later explains.
+		cp := *p
+		if link := w.topo.Link(w.server.ID()); link != nil {
+			cp.Est.TotalMS += float64(link.StaticTransferTime(len(cp.SQL)) + link.StaticTransferTime(cp.Est.OutBytes))
+			cp.Est.FirstTupleMS += float64(link.StaticTransferTime(len(cp.SQL)))
+		}
+		out[i] = Candidate{Plan: &cp, RawEst: cp.Est, CostKnown: true}
+	}
+	return out, nil
+}
+
+// Execute implements Wrapper.
+func (w *Relational) Execute(plan *remote.Plan) (*ExecOutcome, error) {
+	reqTime, err := w.topo.Transfer(w.server.ID(), len(plan.SQL)+256)
+	if err != nil {
+		return nil, err
+	}
+	res, err := w.server.ExecutePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	respTime, err := w.topo.Transfer(w.server.ID(), res.Rel.ByteSize())
+	if err != nil {
+		return nil, err
+	}
+	return &ExecOutcome{
+		Result:       res,
+		ResponseTime: reqTime + res.ServiceTime + respTime,
+	}, nil
+}
+
+// Probe implements Wrapper.
+func (w *Relational) Probe() (simclock.Time, error) {
+	rtt, err := w.topo.RoundTrip(w.server.ID(), 64, 64)
+	if err != nil {
+		return 0, err
+	}
+	st, err := w.server.Probe()
+	if err != nil {
+		return 0, err
+	}
+	return rtt + st, nil
+}
+
+// File wraps a file-like source: data can be scanned but the source offers
+// no cost estimation. It is backed by a remote server restricted to
+// sequential access.
+type File struct {
+	server *remote.Server
+	topo   *network.Topology
+}
+
+// NewFile builds a file wrapper.
+func NewFile(server *remote.Server, topo *network.Topology) *File {
+	return &File{server: server, topo: topo}
+}
+
+// ServerID implements Wrapper.
+func (w *File) ServerID() string { return w.server.ID() }
+
+// Kind implements Wrapper.
+func (w *File) Kind() string { return "file" }
+
+// TableSchema implements Wrapper.
+func (w *File) TableSchema(table string) (*sqltypes.Schema, error) {
+	t := w.server.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("wrapper: %s does not host %q", w.server.ID(), table)
+	}
+	return t.Schema(), nil
+}
+
+// Explain implements Wrapper: it returns a single scan-based plan with NO
+// cost estimate (CostKnown=false, zero Est), like a file path hand-back.
+func (w *File) Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error) {
+	if link := w.topo.Link(w.server.ID()); link != nil && link.Down() {
+		return nil, &network.ErrPartitioned{Dest: w.server.ID()}
+	}
+	plans, err := w.server.Explain(stmt)
+	if err != nil {
+		return nil, err
+	}
+	// Prefer the pure-scan plan; files have no indexes to speak of.
+	chosen := plans[0]
+	for _, p := range plans {
+		if !strings.Contains(p.Signature, "IDXSCAN") && !strings.Contains(p.Signature, "INLJOIN") {
+			chosen = p
+			break
+		}
+	}
+	cp := *chosen
+	cp.Est = remote.CostEstimate{}
+	return []Candidate{{Plan: &cp, CostKnown: false}}, nil
+}
+
+// Execute implements Wrapper.
+func (w *File) Execute(plan *remote.Plan) (*ExecOutcome, error) {
+	reqTime, err := w.topo.Transfer(w.server.ID(), len(plan.SQL)+256)
+	if err != nil {
+		return nil, err
+	}
+	res, err := w.server.ExecutePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	respTime, err := w.topo.Transfer(w.server.ID(), res.Rel.ByteSize())
+	if err != nil {
+		return nil, err
+	}
+	return &ExecOutcome{Result: res, ResponseTime: reqTime + res.ServiceTime + respTime}, nil
+}
+
+// Probe implements Wrapper.
+func (w *File) Probe() (simclock.Time, error) {
+	rtt, err := w.topo.RoundTrip(w.server.ID(), 64, 64)
+	if err != nil {
+		return 0, err
+	}
+	st, err := w.server.Probe()
+	if err != nil {
+		return 0, err
+	}
+	return rtt + st, nil
+}

@@ -1,0 +1,273 @@
+package fedqcc
+
+import (
+	"fmt"
+
+	"repro/internal/qcc"
+	"repro/internal/remote"
+	"repro/internal/scenario"
+	"repro/internal/simclock"
+)
+
+// LBMode selects QCC's load-distribution level.
+type LBMode = qcc.LBMode
+
+// Load-distribution modes.
+const (
+	// LBOff disables plan rotation.
+	LBOff = qcc.LBOff
+	// LBFragment rotates identical fragment plans across replicas (§4.1).
+	LBFragment = qcc.LBFragment
+	// LBGlobal rotates near-optimal global plans (§4.2).
+	LBGlobal = qcc.LBGlobal
+)
+
+// QCCOptions tunes the calibrator.
+type QCCOptions struct {
+	// WindowSize bounds calibration histories (default 64 samples).
+	WindowSize int
+	// MaxAgeMS expires calibration samples (default 120000 simulated ms).
+	MaxAgeMS float64
+	// PerFragmentFactors enables per-(server,fragment) factors on top of
+	// per-server factors. Nil means true.
+	PerFragmentFactors *bool
+	// ProbeIntervalMS is the availability daemon cadence (default 1000).
+	ProbeIntervalMS float64
+	// ReliabilityPenalty scales failure rates into cost multipliers
+	// (default 4).
+	ReliabilityPenalty float64
+	// RecalibrationMS is the initial recalibration cycle (default 500);
+	// the cycle adapts dynamically unless FixedCycle is set.
+	RecalibrationMS float64
+	// FixedCycle disables §3.4's dynamic cycle adjustment.
+	FixedCycle bool
+	// LoadBalance selects the §4 load-distribution mode (default off).
+	LoadBalance LBMode
+	// LBCloseness is the §4 closeness band (default 0.2 = "within 20%").
+	LBCloseness float64
+	// LBWorkloadThreshold gates balancing by workload (cost × frequency).
+	LBWorkloadThreshold float64
+	// RuntimeReroute enables the long-running-query extension: fragments
+	// re-check calibrated costs immediately before dispatch and switch
+	// sources when conditions changed since compilation.
+	RuntimeReroute bool
+	// RerouteImprovement is the minimum fractional win required to switch
+	// (default 0.25).
+	RerouteImprovement float64
+	// DisableDaemons skips scheduling the probe/recalibration daemons; the
+	// caller then drives Calibrator.PublishNow/ProbeNow manually.
+	DisableDaemons bool
+}
+
+// Calibrator is the public handle on an attached QCC.
+type Calibrator struct {
+	q   *qcc.QCC
+	fed *Federation
+}
+
+// EnableQCC attaches a Query Cost Calibrator to the federation. Calling it
+// again replaces the previous calibrator.
+func (f *Federation) EnableQCC(opts QCCOptions) *Calibrator {
+	if f.qcc != nil {
+		f.qcc.Detach()
+	}
+	cfg := qcc.Config{
+		Clock: f.clock,
+		MW:    f.mw,
+		Calibration: qcc.CalibrationConfig{
+			WindowSize:  opts.WindowSize,
+			MaxAge:      simclock.Time(opts.MaxAgeMS),
+			PerFragment: opts.PerFragmentFactors == nil || *opts.PerFragmentFactors,
+		},
+		Reliability: qcc.ReliabilityConfig{Penalty: opts.ReliabilityPenalty},
+		Availability: qcc.AvailabilityConfig{
+			ProbeInterval: simclock.Time(opts.ProbeIntervalMS),
+		},
+		Cycle: qcc.CycleConfig{
+			Initial: simclock.Time(opts.RecalibrationMS),
+			Dynamic: !opts.FixedCycle,
+		},
+		LB: qcc.LBConfig{
+			Mode:              opts.LoadBalance,
+			Closeness:         opts.LBCloseness,
+			WorkloadThreshold: opts.LBWorkloadThreshold,
+		},
+		Reroute: qcc.RerouteConfig{
+			Enabled:     opts.RuntimeReroute,
+			Improvement: opts.RerouteImprovement,
+		},
+		DisableDaemons: opts.DisableDaemons,
+	}
+	f.qcc = qcc.Attach(cfg, f.ii)
+	return &Calibrator{q: f.qcc, fed: f}
+}
+
+// DisableQCC detaches the calibrator; the federation reverts to plain
+// cost-based routing.
+func (f *Federation) DisableQCC() {
+	if f.qcc != nil {
+		f.qcc.Detach()
+		f.ii.SetRoute(nil)
+		f.ii.SetIICalibrator(nil)
+		f.ii.SetMergeObserver(nil)
+		f.qcc = nil
+	}
+}
+
+// ServerFactor returns the published calibration factor for a server.
+func (c *Calibrator) ServerFactor(serverID string) float64 {
+	return c.q.Calib.ServerFactor(serverID)
+}
+
+// IIFactor returns the published integrator workload factor.
+func (c *Calibrator) IIFactor() float64 { return c.q.Calib.IIFactor() }
+
+// ReliabilityFactor returns the reliability multiplier for a server.
+func (c *Calibrator) ReliabilityFactor(serverID string) float64 {
+	return c.q.Rel.Factor(serverID)
+}
+
+// IsFenced reports whether availability tracking has fenced the server off.
+func (c *Calibrator) IsFenced(serverID string) bool { return c.q.Avail.IsDown(serverID) }
+
+// PublishNow forces a recalibration cycle.
+func (c *Calibrator) PublishNow() { c.q.PublishNow() }
+
+// ProbeNow runs one availability sweep.
+func (c *Calibrator) ProbeNow() { c.q.ProbeNow() }
+
+// RecalibrationInterval returns the current (possibly adapted) cycle length.
+func (c *Calibrator) RecalibrationInterval() Time { return c.q.Cycle.Interval() }
+
+// Stats reports QCC's interaction counters.
+func (c *Calibrator) Stats() (compiles, runs, errors int64) { return c.q.Stats() }
+
+// Rotations reports how often load distribution substituted an alternative
+// plan.
+func (c *Calibrator) Rotations() int {
+	if c.q.LB == nil {
+		return 0
+	}
+	return c.q.LB.Rotations()
+}
+
+// RerouteStats reports runtime rerouting activity: fragments switched at
+// dispatch time vs dispatches checked. Zeros when rerouting is disabled.
+func (c *Calibrator) RerouteStats() (switched, checked int64) {
+	if c.q.Rerouter == nil {
+		return 0, 0
+	}
+	return c.q.Rerouter.Switched()
+}
+
+// SetLoadBalanceMode switches the load-distribution mode at runtime.
+func (c *Calibrator) SetLoadBalanceMode(mode LBMode) error {
+	if c.q.LB == nil {
+		return fmt.Errorf("fedqcc: load balancing unavailable (no enumerator)")
+	}
+	c.q.LB.SetMode(mode)
+	return nil
+}
+
+// CostPolicy folds business logic (QoS goals, region preferences, cost
+// ceilings) into calibrated costs. It receives the server and the fully
+// calibrated total cost in ms and returns the adjusted cost; +Inf bans the
+// server.
+type CostPolicy func(serverID string, costMS float64) float64
+
+// SetCostPolicy installs (or clears, with nil) the business-logic cost
+// policy (§3.5).
+func (c *Calibrator) SetCostPolicy(p CostPolicy) {
+	if p == nil {
+		c.q.SetCostPolicy(nil)
+		return
+	}
+	c.q.SetCostPolicy(func(serverID string, est remoteCostEstimate) remoteCostEstimate {
+		est.TotalMS = p(serverID, est.TotalMS)
+		return est
+	})
+}
+
+// PlacementRecommendation is one advised replication (the paper's
+// data-placement future-work item).
+type PlacementRecommendation = qcc.PlacementRecommendation
+
+// AdvisePlacement mines the explain history and current calibration state
+// and recommends replicating hot, under-replicated nicknames onto cool
+// servers. minFactor is the calibration factor above which a server counts
+// as persistently hot (0 uses the default 1.5).
+func (c *Calibrator) AdvisePlacement(minFactor float64) []PlacementRecommendation {
+	return c.q.AdvisePlacement(
+		c.fed.catalog,
+		c.fed.ii.ExplainTable().Entries(),
+		qcc.AdvisorConfig{MinFactor: minFactor},
+	)
+}
+
+// ApplyReplication executes a placement recommendation: the nickname's data
+// is copied to the target server and the catalog gains the placement.
+func (f *Federation) ApplyReplication(rec PlacementRecommendation) error {
+	return scenario.ReplicateTable(&scenario.Scenario{
+		Clock:   f.clock,
+		Servers: f.servers,
+		Topo:    f.topo,
+		Catalog: f.catalog,
+		MW:      f.mw,
+		IINode:  f.iiNode,
+		II:      f.ii,
+	}, rec.Nickname, rec.From, rec.To)
+}
+
+// WhatIf builds the simulated federated system (§2): a statistics-only
+// clone used to derive alternative plans without touching production data.
+func (c *Calibrator) WhatIf() (*WhatIf, error) {
+	sf, err := qcc.NewSimulatedFederation(c.fed.servers, c.fed.topo, c.fed.catalog, c.fed.iiNode, c.q)
+	if err != nil {
+		return nil, err
+	}
+	return &WhatIf{sf: sf}, nil
+}
+
+// WhatIf is the public handle on the simulated federated system.
+type WhatIf struct {
+	sf *qcc.SimulatedFederation
+}
+
+// EnumeratePlans derives up to topK alternative global plans with calibrated
+// costs, executing nothing.
+func (w *WhatIf) EnumeratePlans(sql string, topK int) ([]*PlanInfo, error) {
+	stmt, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := w.sf.Enumerate(stmt, topK)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*PlanInfo, len(plans))
+	for i, gp := range plans {
+		out[i] = planInfo(gp)
+	}
+	return out, nil
+}
+
+// EnumerateByMasking reproduces §4.2's explain-with-masking trick and
+// reports how many explain runs it used.
+func (w *WhatIf) EnumerateByMasking(sql string) ([]*PlanInfo, int, error) {
+	stmt, err := parseSQL(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	plans, runs, err := w.sf.EnumerateByMasking(stmt)
+	if err != nil {
+		return nil, runs, err
+	}
+	out := make([]*PlanInfo, len(plans))
+	for i, gp := range plans {
+		out[i] = planInfo(gp)
+	}
+	return out, runs, nil
+}
+
+// remoteCostEstimate aliases the engine's cost estimate for policy adapters.
+type remoteCostEstimate = remote.CostEstimate
