@@ -1,0 +1,206 @@
+// Concurrency soak tests: the federated pipeline is exercised from many
+// goroutines at once and its answers are compared row-for-row against a
+// sequential baseline built from the same seed. Run with -race; the suite is
+// the repo's concurrency gate.
+package fedqcc_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	fedqcc "repro"
+	"repro/internal/experiment"
+)
+
+const (
+	soakScale   = 100 // divides the paper's table sizes; keep the soak fast under -race
+	soakSeed    = 7
+	soakQueries = 36
+	soakWorkers = 8
+)
+
+func soakFederation(t testing.TB) *fedqcc.Federation {
+	t.Helper()
+	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: soakScale, Seed: soakSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func soakStatements(n int) []string {
+	r := rand.New(rand.NewSource(soakSeed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = experiment.RandomQuery(r)
+	}
+	return out
+}
+
+// TestConcurrentMatchesSequential runs the same random federated workload
+// through a sequential federation and through a concurrent worker pool over
+// an identically-seeded federation, and requires identical answers in
+// submission order.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	sqls := soakStatements(soakQueries)
+
+	seqFed := soakFederation(t)
+	baseline := make([]*fedqcc.QueryResult, len(sqls))
+	for i, q := range sqls {
+		res, err := seqFed.Query(q)
+		if err != nil {
+			t.Fatalf("sequential query %d (%s): %v", i, q, err)
+		}
+		baseline[i] = res
+	}
+
+	concFed := soakFederation(t)
+	results, errs := concFed.RunConcurrent(context.Background(), sqls, soakWorkers)
+	for i := range sqls {
+		if errs[i] != nil {
+			t.Fatalf("concurrent query %d (%s): %v", i, sqls[i], errs[i])
+		}
+		ordered := strings.Contains(sqls[i], "ORDER BY")
+		if diff := experiment.RelationsEquivalent(baseline[i].Rows, results[i].Rows, ordered); diff != "" {
+			t.Errorf("query %d (%s): concurrent answer differs from sequential: %s", i, sqls[i], diff)
+		}
+	}
+
+	// Virtual-time invariant: concurrent charges stack into disjoint
+	// intervals, so the final clock equals the sum of response times exactly
+	// as in the sequential run.
+	var sum fedqcc.Time
+	for _, r := range results {
+		sum += r.ResponseTime
+	}
+	if got := concFed.Now(); math.Abs(float64(got-sum)) > 1e-6*math.Max(1, float64(sum)) {
+		t.Errorf("clock %v does not equal summed response times %v", got, sum)
+	}
+
+	// Patroller invariant: every submission logged and completed, with a
+	// per-query response time rather than a wall-clock gap.
+	log := concFed.QueryLog()
+	if len(log) != len(sqls) {
+		t.Fatalf("patroller logged %d entries, want %d", len(log), len(sqls))
+	}
+	for _, e := range log {
+		if !e.Completed {
+			t.Errorf("patroller entry %d (%s) not completed", e.ID, e.Query)
+		}
+		if e.Err != "" {
+			t.Errorf("patroller entry %d recorded error %q", e.ID, e.Err)
+		}
+		if e.ResponseTime <= 0 {
+			t.Errorf("patroller entry %d has response time %v", e.ID, e.ResponseTime)
+		}
+	}
+}
+
+// TestConcurrentSessionsWithQCC soaks a QCC-enabled federation with many
+// sessions querying simultaneously (through QueryAsync) and checks that the
+// calibration state stays sane: counters add up and every published factor
+// is finite and positive.
+func TestConcurrentSessionsWithQCC(t *testing.T) {
+	fed := soakFederation(t)
+	cal := fed.EnableQCC(fedqcc.QCCOptions{})
+	sqls := soakStatements(soakQueries)
+
+	const sessions = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions*len(sqls))
+	for s := 0; s < sessions; s++ {
+		sess := fed.NewSession()
+		wg.Add(1)
+		go func(sess *fedqcc.Session, offset int) {
+			defer wg.Done()
+			var pending []*fedqcc.AsyncResult
+			for i := range sqls {
+				pending = append(pending, sess.QueryAsync(context.Background(), sqls[(i+offset)%len(sqls)]))
+			}
+			for _, p := range pending {
+				if _, err := p.Wait(); err != nil {
+					errCh <- err
+				}
+			}
+			st := sess.Stats()
+			if st.Submitted != len(sqls) || st.Completed+st.Failed != st.Submitted {
+				t.Errorf("session stats do not add up: %+v", st)
+			}
+		}(sess, s)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("concurrent session query: %v", err)
+	}
+
+	cal.PublishNow()
+	for _, id := range fed.ServerIDs() {
+		f := cal.ServerFactor(id)
+		if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+			t.Errorf("server %s calibration factor %v after soak", id, f)
+		}
+		if cal.IsFenced(id) {
+			t.Errorf("server %s fenced after a healthy soak", id)
+		}
+	}
+	compiles, runs, qccErrs := cal.Stats()
+	if compiles <= 0 || runs <= 0 {
+		t.Errorf("QCC observed compiles=%d runs=%d, want both > 0", compiles, runs)
+	}
+	if qccErrs != 0 {
+		t.Errorf("QCC observed %d errors during a healthy soak", qccErrs)
+	}
+	if got := fed.QueryLog(); len(got) != sessions*len(sqls) {
+		t.Errorf("patroller logged %d entries, want %d", len(got), sessions*len(sqls))
+	}
+}
+
+// TestQueryContextCancellation submits a query with an already-cancelled
+// context and requires a prompt error that does not corrupt later queries.
+func TestQueryContextCancellation(t *testing.T) {
+	fed := soakFederation(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fed.QueryContext(ctx, "SELECT o.o_id FROM orders AS o WHERE o.o_amount > 100"); err == nil {
+		t.Fatal("expected error from cancelled context")
+	}
+	// The federation must remain fully usable.
+	res, err := fed.Query("SELECT COUNT(*) FROM orders AS o WHERE o.o_amount > 100")
+	if err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+	if res.Rows.Cardinality() != 1 {
+		t.Fatalf("unexpected result shape after cancellation: %d rows", res.Rows.Cardinality())
+	}
+}
+
+// TestRunConcurrentHonorsCancel cancels the pool context mid-run and checks
+// that unstarted items are reported as skipped with context.Canceled.
+func TestRunConcurrentHonorsCancel(t *testing.T) {
+	fed := soakFederation(t)
+	sqls := soakStatements(soakQueries)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, errs := fed.RunConcurrent(ctx, sqls, 4)
+	for i := range sqls {
+		if errs[i] == nil && results[i] == nil {
+			t.Errorf("query %d: nil error with nil result", i)
+		}
+	}
+	// With the context cancelled before dispatch, at least one item must be
+	// skipped rather than silently dropped.
+	var skipped int
+	for _, err := range errs {
+		if err == context.Canceled {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("expected skipped items under a pre-cancelled context")
+	}
+}

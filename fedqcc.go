@@ -29,6 +29,7 @@
 package fedqcc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -145,28 +146,10 @@ type QueryResult struct {
 }
 
 // Query compiles and executes a federated SQL statement, advancing the
-// virtual clock by the query's response time.
+// virtual clock by the query's response time. See QueryContext for
+// caller-supplied cancellation and Session for concurrent submission.
 func (f *Federation) Query(sql string) (*QueryResult, error) {
-	res, err := f.ii.Query(sql)
-	if err != nil {
-		return nil, err
-	}
-	route := map[string]string{}
-	for _, frag := range res.Plan.Fragments {
-		route[frag.Spec.ID] = frag.ServerID
-	}
-	// Runtime rerouting may have moved fragments after compilation.
-	for id, s := range res.ExecutedServers {
-		route[id] = s
-	}
-	return &QueryResult{
-		Rows:          res.Rel,
-		ResponseTime:  res.ResponseTime,
-		Route:         route,
-		FragmentTimes: res.FragmentTimes,
-		MergeTime:     res.MergeTime,
-		Retried:       res.Retried,
-	}, nil
+	return f.QueryContext(context.Background(), sql)
 }
 
 // PlanInfo summarizes a compiled (but not executed) global plan.

@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -104,7 +105,7 @@ func SensitivityStudy(opts Options) ([]SensitivityResult, error) {
 					if err != nil {
 						return nil, fmt.Errorf("experiment: explain %s on %s: %w", qt.Name, server, err)
 					}
-					outc, err := sc.MW.ExecuteFragment(server, stmt.String(), cands[0].Plan, cands[0].RawEst)
+					outc, err := sc.MW.ExecuteFragment(context.Background(), server, stmt.String(), cands[0].Plan, cands[0].RawEst)
 					if err != nil {
 						return nil, fmt.Errorf("experiment: execute %s on %s: %w", qt.Name, server, err)
 					}
@@ -258,7 +259,7 @@ func CalibrationSweep(sc *scenario.Scenario, instance int) error {
 			if err != nil {
 				return fmt.Errorf("sweep explain %s@%s: %w", qt.Name, server, err)
 			}
-			if _, err := sc.MW.ExecuteFragment(server, stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
+			if _, err := sc.MW.ExecuteFragment(context.Background(), server, stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
 				return fmt.Errorf("sweep execute %s@%s: %w", qt.Name, server, err)
 			}
 			sc.Clock.Advance(1)

@@ -232,7 +232,7 @@ func TestMeanAndAverageGains(t *testing.T) {
 // workload performance matches the all-calm phase.
 func TestStep7SelectiveLoadingIsolation(t *testing.T) {
 	out := gainStudy(t)
-	calm := out[0].QCCAvgMS // phase 1: all base
+	calm := out[0].QCCAvgMS           // phase 1: all base
 	for _, idx := range []int{2, 4} { // phase 3 (S2 loaded), phase 5 (S1 loaded)
 		o := out[idx]
 		if o.Phase.Loaded["S3"] {

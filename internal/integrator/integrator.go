@@ -9,7 +9,10 @@
 package integrator
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
@@ -62,13 +65,28 @@ type Config struct {
 	// (the long-running-query extension).
 	Reroute RuntimeRerouter
 	// Retries is the number of re-optimize attempts after a fragment
-	// execution failure (default 2).
-	Retries int
+	// execution failure. Nil selects the default (2); point at zero to
+	// disable retries entirely. Negative values are treated as zero.
+	Retries *int
+	// MaxParallel bounds the fragment-dispatch fan-out per query (default
+	// GOMAXPROCS, minimum 1). Fragments beyond the bound queue for a slot.
+	MaxParallel int
+	// FragmentBudget, when positive, is the per-fragment virtual-time
+	// deadline: a dispatch whose observed response time exceeds it fails
+	// (and is retried through re-optimization like any fragment error).
+	FragmentBudget simclock.Time
 }
+
+// DefaultRetries is the retry count used when Config.Retries is nil.
+const DefaultRetries = 2
+
+// RetryCount returns a *int for Config.Retries.
+func RetryCount(n int) *int { return &n }
 
 // II is the information integrator.
 type II struct {
 	cfg       Config
+	retries   int
 	opt       *optimizer.Optimizer
 	explain   *optimizer.ExplainTable
 	patroller *Patroller
@@ -76,11 +94,19 @@ type II struct {
 
 // New builds an II.
 func New(cfg Config) *II {
-	if cfg.Retries == 0 {
-		cfg.Retries = 2
+	retries := DefaultRetries
+	if cfg.Retries != nil {
+		retries = *cfg.Retries
+		if retries < 0 {
+			retries = 0
+		}
+	}
+	if cfg.MaxParallel <= 0 {
+		cfg.MaxParallel = runtime.GOMAXPROCS(0)
 	}
 	return &II{
-		cfg: cfg,
+		cfg:     cfg,
+		retries: retries,
 		opt: &optimizer.Optimizer{
 			Catalog: cfg.Catalog,
 			MW:      cfg.MW,
@@ -141,15 +167,25 @@ type QueryResult struct {
 
 // Query compiles and executes a federated SQL statement.
 func (ii *II) Query(sql string) (*QueryResult, error) {
+	return ii.QueryContext(context.Background(), sql)
+}
+
+// QueryContext compiles and executes a federated SQL statement under the
+// given context. It is safe for concurrent use: each completed query charges
+// its response time to the shared virtual clock through Clock.Charge, which
+// serializes charges so that concurrent submissions reserve disjoint
+// virtual-time intervals (the final clock value is the sum of all response
+// times, independent of goroutine interleaving).
+func (ii *II) QueryContext(ctx context.Context, sql string) (*QueryResult, error) {
 	logID := ii.patroller.Submit(sql, ii.cfg.Clock.Now())
-	res, err := ii.run(sql)
+	res, err := ii.run(ctx, sql)
 	ii.cfg.Clock.AdvanceTo(ii.cfg.Clock.Now()) // flush due events
 	if err != nil {
 		ii.patroller.Complete(logID, ii.cfg.Clock.Now(), err)
 		return nil, err
 	}
-	ii.cfg.Clock.Advance(res.ResponseTime)
-	ii.patroller.Complete(logID, ii.cfg.Clock.Now(), nil)
+	_, end := ii.cfg.Clock.Charge(res.ResponseTime)
+	ii.patroller.CompleteWithResponse(logID, end, res.ResponseTime, nil)
 	return res, nil
 }
 
@@ -171,47 +207,123 @@ func (ii *II) Compile(sql string) (*optimizer.GlobalPlan, error) {
 	return gp, nil
 }
 
-func (ii *II) run(sql string) (*QueryResult, error) {
+func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
 	var lastErr error
-	retried := 0
-	for attempt := 0; attempt <= ii.cfg.Retries; attempt++ {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("integrator: query cancelled after %d attempts: %w", attempt, lastErr)
+			}
+			return nil, err
+		}
 		gp, err := ii.Compile(sql)
 		if err != nil {
 			return nil, err
 		}
-		res, err := ii.Execute(gp)
+		res, err := ii.ExecuteContext(ctx, gp)
 		if err == nil {
-			res.Retried = retried
+			res.Retried = attempt
 			return res, nil
 		}
 		lastErr = err
-		retried++
+		if attempt >= ii.retries {
+			// attempt counts the retries already consumed: the failed run
+			// above was attempt number attempt+1, of which `attempt` were
+			// retries.
+			return nil, fmt.Errorf("integrator: query failed after %d retries: %w", attempt, lastErr)
+		}
 	}
-	return nil, fmt.Errorf("integrator: query failed after %d retries: %w", retried-1, lastErr)
 }
 
-// Execute runs a compiled global plan: fragments in parallel through MW,
-// then the local merge.
+// Execute runs a compiled global plan with a background context.
 func (ii *II) Execute(gp *optimizer.GlobalPlan) (*QueryResult, error) {
-	fragTimes := map[string]simclock.Time{}
-	executed := map[string]string{}
-	fragRels := make([]*sqltypes.Relation, len(gp.Fragments))
-	var remotePhase simclock.Time
+	return ii.ExecuteContext(context.Background(), gp)
+}
+
+// fragOutcome is one fragment dispatch's result, indexed by plan position so
+// the merge always sees fragments in plan order regardless of completion
+// order.
+type fragOutcome struct {
+	rel      *sqltypes.Relation
+	respTime simclock.Time
+	serverID string
+	fragID   string
+}
+
+// ExecuteContext runs a compiled global plan: fragments dispatch through MW
+// on concurrent goroutines (bounded by Config.MaxParallel), then the local
+// merge runs over the results in plan order. The first fragment error
+// cancels the remaining dispatches; every dispatch context carries the
+// per-fragment virtual-time deadline when Config.FragmentBudget is set.
+func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*QueryResult, error) {
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fctx = simclock.WithDeadline(fctx, ii.cfg.FragmentBudget)
+
+	outcomes := make([]fragOutcome, len(gp.Fragments))
+	sem := make(chan struct{}, ii.cfg.MaxParallel)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
 	for i, f := range gp.Fragments {
-		if ii.cfg.Reroute != nil {
-			if alt := ii.cfg.Reroute.RerouteFragment(f); alt != nil {
-				f = *alt
+		wg.Add(1)
+		go func(i int, f optimizer.FragmentChoice) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-fctx.Done():
+				return
 			}
-		}
-		out, err := ii.cfg.MW.ExecuteFragment(f.ServerID, f.Spec.Stmt.String(), f.Plan, f.RawEst)
-		if err != nil {
-			return nil, fmt.Errorf("integrator: fragment %s at %s: %w", f.Spec.ID, f.ServerID, err)
-		}
-		fragRels[i] = out.Result.Rel
-		fragTimes[f.Spec.ID] = out.ResponseTime
-		executed[f.Spec.ID] = f.ServerID
-		if out.ResponseTime > remotePhase {
-			remotePhase = out.ResponseTime
+			if fctx.Err() != nil {
+				return
+			}
+			if ii.cfg.Reroute != nil {
+				if alt := ii.cfg.Reroute.RerouteFragment(f); alt != nil {
+					f = *alt
+				}
+			}
+			out, err := ii.cfg.MW.ExecuteFragment(fctx, f.ServerID, f.Spec.Stmt.String(), f.Plan, f.RawEst)
+			if err != nil {
+				if fctx.Err() == nil || ctx.Err() != nil {
+					fail(fmt.Errorf("integrator: fragment %s at %s: %w", f.Spec.ID, f.ServerID, err))
+				}
+				return
+			}
+			outcomes[i] = fragOutcome{
+				rel:      out.Result.Rel,
+				respTime: out.ResponseTime,
+				serverID: f.ServerID,
+				fragID:   f.Spec.ID,
+			}
+		}(i, f)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	fragTimes := make(map[string]simclock.Time, len(outcomes))
+	executed := make(map[string]string, len(outcomes))
+	fragRels := make([]*sqltypes.Relation, len(outcomes))
+	var remotePhase simclock.Time
+	for i, o := range outcomes {
+		fragRels[i] = o.rel
+		fragTimes[o.fragID] = o.respTime
+		executed[o.fragID] = o.serverID
+		if o.respTime > remotePhase {
+			remotePhase = o.respTime
 		}
 	}
 

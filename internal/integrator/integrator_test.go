@@ -1,6 +1,11 @@
 package integrator_test
 
 import (
+	"context"
+	"errors"
+	"strings"
+
+	"repro/internal/integrator"
 	"testing"
 
 	"repro/internal/optimizer"
@@ -230,4 +235,99 @@ type routeFunc func(q string, w *optimizer.GlobalPlan) *optimizer.GlobalPlan
 
 func (f routeFunc) ChooseGlobal(queryText string, winner *optimizer.GlobalPlan) *optimizer.GlobalPlan {
 	return f(queryText, winner)
+}
+
+// zeroRetryII builds a second II over the scenario's plumbing with retries
+// disabled — the configuration Config.Retries exists to make expressible.
+func customII(sc *scenario.Scenario, cfg integrator.Config) *integrator.II {
+	cfg.Catalog = sc.Catalog
+	cfg.MW = sc.MW
+	cfg.Node = sc.IINode
+	cfg.Clock = sc.Clock
+	return integrator.New(cfg)
+}
+
+func TestZeroRetriesIsExpressible(t *testing.T) {
+	sc := threeServer(t)
+	ii := customII(sc, integrator.Config{Retries: integrator.RetryCount(0)})
+	gp, err := ii.Compile("SELECT COUNT(*) FROM parts AS p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One transient failure on the chosen server: with zero retries the query
+	// must fail outright instead of re-optimizing around it.
+	sc.Servers[gp.Fragments[0].ServerID].InjectFailures(1)
+	_, err = ii.Query("SELECT COUNT(*) FROM parts AS p")
+	if err == nil {
+		t.Fatal("zero retries must surface the first failure")
+	}
+	if !strings.Contains(err.Error(), "after 0 retries") {
+		t.Fatalf("retry count in message: %v", err)
+	}
+}
+
+func TestRetryMessageCountsRetries(t *testing.T) {
+	sc := threeServer(t)
+	// Default retries (2): three consecutive attempt failures exhaust them.
+	// Every server gets enough injected failures that re-optimization cannot
+	// escape.
+	for _, s := range sc.Servers {
+		s.InjectFailures(3)
+	}
+	_, err := sc.II.Query("SELECT COUNT(*) FROM parts AS p")
+	if err == nil {
+		t.Fatal("expected failure after exhausted retries")
+	}
+	if !strings.Contains(err.Error(), "after 2 retries") {
+		t.Fatalf("message must report the true retry count: %v", err)
+	}
+}
+
+func TestNegativeRetriesTreatedAsZero(t *testing.T) {
+	sc := threeServer(t)
+	ii := customII(sc, integrator.Config{Retries: integrator.RetryCount(-5)})
+	gp, err := ii.Compile("SELECT COUNT(*) FROM parts AS p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Servers[gp.Fragments[0].ServerID].InjectFailures(1)
+	if _, err := ii.Query("SELECT COUNT(*) FROM parts AS p"); err == nil {
+		t.Fatal("negative retries must behave like zero")
+	}
+}
+
+func TestQueryContextPreCancelled(t *testing.T) {
+	sc := threeServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sc.II.QueryContext(ctx, "SELECT COUNT(*) FROM parts AS p")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	log := sc.II.Patroller().Log()
+	if len(log) != 1 || log[0].Err == "" {
+		t.Fatalf("cancelled query must be logged with its error: %+v", log)
+	}
+	// The integrator must stay healthy for the next caller.
+	if _, err := sc.II.Query("SELECT COUNT(*) FROM parts AS p"); err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+}
+
+func TestFragmentBudgetFailsSlowDispatch(t *testing.T) {
+	sc := threeServer(t)
+	// A sub-millisecond budget is unmeetable for any real fragment; with
+	// retries disabled the deadline error must surface to the caller.
+	ii := customII(sc, integrator.Config{
+		Retries:        integrator.RetryCount(0),
+		FragmentBudget: 1e-9,
+	})
+	_, err := ii.Query("SELECT COUNT(*) FROM parts AS p")
+	if err == nil {
+		t.Fatal("unmeetable fragment budget must fail the query")
+	}
+	var de *simclock.ErrDeadlineExceeded
+	if !errors.As(err, &de) {
+		t.Fatalf("want ErrDeadlineExceeded in chain, got %v", err)
+	}
 }

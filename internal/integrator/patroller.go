@@ -48,8 +48,23 @@ func (p *Patroller) Submit(query string, at simclock.Time) int64 {
 	return id
 }
 
-// Complete records a query completion (or failure).
+// Complete records a query completion (or failure). The response time is
+// derived as CompleteAt - SubmitAt, which is only meaningful for
+// sequentially submitted queries; concurrent submitters use
+// CompleteWithResponse.
 func (p *Patroller) Complete(id int64, at simclock.Time, err error) {
+	p.complete(id, at, -1, err)
+}
+
+// CompleteWithResponse records a completion with an explicit response time.
+// Under concurrent submission the gap between a query's submit and complete
+// timestamps spans other queries' serialized virtual-time charges, so the
+// caller supplies the query's own response time instead.
+func (p *Patroller) CompleteWithResponse(id int64, at, responseTime simclock.Time, err error) {
+	p.complete(id, at, responseTime, err)
+}
+
+func (p *Patroller) complete(id int64, at, responseTime simclock.Time, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	e, ok := p.entries[id]
@@ -58,7 +73,11 @@ func (p *Patroller) Complete(id int64, at simclock.Time, err error) {
 	}
 	e.Completed = true
 	e.CompleteAt = at
-	e.ResponseTime = at - e.SubmitAt
+	if responseTime >= 0 {
+		e.ResponseTime = responseTime
+	} else {
+		e.ResponseTime = at - e.SubmitAt
+	}
 	if err != nil {
 		e.Err = err.Error()
 	}

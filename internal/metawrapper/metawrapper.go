@@ -9,6 +9,7 @@
 package metawrapper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -199,18 +200,25 @@ func (mw *MetaWrapper) ExplainFragment(serverID string, stmt *sqlparser.SelectSt
 
 // ExecuteFragment forwards an execution descriptor, records the observed
 // response time against the original (uncalibrated) estimate, and reports
-// errors.
+// errors. The context carries the dispatch's cancellation signal and
+// optional virtual-time deadline down to the wrapper, server and network
+// layers; a cancelled dispatch is NOT reported to QCC as a server error
+// (the server did nothing wrong — a sibling fragment failed first).
 //
 // rawEst must be the wrapper's uncalibrated estimate for the executed plan;
 // fragSig the fragment statement text.
-func (mw *MetaWrapper) ExecuteFragment(serverID, fragSig string, plan *remote.Plan, rawEst remote.CostEstimate) (*wrapper.ExecOutcome, error) {
+func (mw *MetaWrapper) ExecuteFragment(ctx context.Context, serverID, fragSig string, plan *remote.Plan, rawEst remote.CostEstimate) (*wrapper.ExecOutcome, error) {
 	w := mw.Wrapper(serverID)
 	if w == nil {
 		return nil, fmt.Errorf("metawrapper: unknown server %q", serverID)
 	}
 	obs, _ := mw.observerAndCalib()
-	out, err := w.Execute(plan)
+	out, err := w.Execute(ctx, plan)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Cancellation is the integrator's doing, not the source's.
+			return nil, err
+		}
 		if obs != nil {
 			obs.ObserveError(serverID, err)
 		}
@@ -238,14 +246,14 @@ func (mw *MetaWrapper) ExecuteFragment(serverID, fragSig string, plan *remote.Pl
 }
 
 // Probe checks one source's availability and reports the outcome to QCC.
-func (mw *MetaWrapper) Probe(serverID string) (simclock.Time, error) {
+func (mw *MetaWrapper) Probe(ctx context.Context, serverID string) (simclock.Time, error) {
 	w := mw.Wrapper(serverID)
 	if w == nil {
 		return 0, fmt.Errorf("metawrapper: unknown server %q", serverID)
 	}
 	obs, _ := mw.observerAndCalib()
-	rtt, err := w.Probe()
-	if obs != nil {
+	rtt, err := w.Probe(ctx)
+	if obs != nil && ctx.Err() == nil {
 		obs.ObserveProbe(serverID, rtt, err)
 	}
 	return rtt, err

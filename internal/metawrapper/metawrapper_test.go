@@ -1,6 +1,7 @@
 package metawrapper
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/network"
@@ -97,7 +98,7 @@ func TestExecuteFragmentRecordsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := mw.ExecuteFragment("S1", stmt.String(), cands[0].Plan, cands[0].Plan.Est)
+	out, err := mw.ExecuteFragment(context.Background(), "S1", stmt.String(), cands[0].Plan, cands[0].Plan.Est)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestErrorsReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv.SetDown(true)
-	if _, err := mw.ExecuteFragment("S1", stmt.String(), cands[0].Plan, cands[0].Plan.Est); err == nil {
+	if _, err := mw.ExecuteFragment(context.Background(), "S1", stmt.String(), cands[0].Plan, cands[0].Plan.Est); err == nil {
 		t.Fatal("down server must fail")
 	}
 	if _, err := mw.ExplainFragment("S1", stmt); err == nil {
@@ -155,10 +156,10 @@ func TestUnknownServer(t *testing.T) {
 	if _, err := mw.ExplainFragment("S9", stmt); err == nil {
 		t.Fatal("unknown server explain")
 	}
-	if _, err := mw.ExecuteFragment("S9", "", nil, remote.CostEstimate{}); err == nil {
+	if _, err := mw.ExecuteFragment(context.Background(), "S9", "", nil, remote.CostEstimate{}); err == nil {
 		t.Fatal("unknown server execute")
 	}
-	if _, err := mw.Probe("S9"); err == nil {
+	if _, err := mw.Probe(context.Background(), "S9"); err == nil {
 		t.Fatal("unknown server probe")
 	}
 }
@@ -167,11 +168,11 @@ func TestProbeReportsToObserver(t *testing.T) {
 	mw, srv := newMW(t)
 	obs := &recordingObserver{}
 	mw.SetObserver(obs)
-	if _, err := mw.Probe("S1"); err != nil {
+	if _, err := mw.Probe(context.Background(), "S1"); err != nil {
 		t.Fatal(err)
 	}
 	srv.SetDown(true)
-	if _, err := mw.Probe("S1"); err == nil {
+	if _, err := mw.Probe(context.Background(), "S1"); err == nil {
 		t.Fatal("down probe must fail")
 	}
 	if len(obs.probes) != 2 {
@@ -189,11 +190,11 @@ func TestMWLogsRecordCompileRunError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mw.ExecuteFragment("S1", stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
+	if _, err := mw.ExecuteFragment(context.Background(), "S1", stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
 		t.Fatal(err)
 	}
 	srv.SetDown(true)
-	mw.ExecuteFragment("S1", stmt.String(), cands[0].Plan, cands[0].RawEst) //nolint:errcheck
+	mw.ExecuteFragment(context.Background(), "S1", stmt.String(), cands[0].Plan, cands[0].RawEst) //nolint:errcheck
 
 	compiles := mw.CompileLog()
 	if len(compiles) == 0 {

@@ -7,6 +7,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -172,8 +173,11 @@ func (t *Topology) Link(dest string) *Link {
 }
 
 // Transfer computes the one-way transfer time to dest, failing when the
-// destination is unknown or partitioned.
-func (t *Topology) Transfer(dest string, payloadBytes int) (simclock.Time, error) {
+// context is cancelled or the destination is unknown or partitioned.
+func (t *Topology) Transfer(ctx context.Context, dest string, payloadBytes int) (simclock.Time, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	l := t.Link(dest)
 	if l == nil {
 		return 0, fmt.Errorf("network: no link to %q", dest)
@@ -185,12 +189,12 @@ func (t *Topology) Transfer(dest string, payloadBytes int) (simclock.Time, error
 }
 
 // RoundTrip computes request+response transfer time to dest.
-func (t *Topology) RoundTrip(dest string, reqBytes, respBytes int) (simclock.Time, error) {
-	req, err := t.Transfer(dest, reqBytes)
+func (t *Topology) RoundTrip(ctx context.Context, dest string, reqBytes, respBytes int) (simclock.Time, error) {
+	req, err := t.Transfer(ctx, dest, reqBytes)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := t.Transfer(dest, respBytes)
+	resp, err := t.Transfer(ctx, dest, respBytes)
 	if err != nil {
 		return 0, err
 	}
@@ -210,16 +214,24 @@ type CongestionPhase struct {
 // recoveries. The schedule applies each phase at its offset; it returns a
 // cancel function that stops future phases (the current level persists).
 func ScheduleCongestion(clock *simclock.Clock, link *Link, phases []CongestionPhase) simclock.Cancel {
+	var mu sync.Mutex
 	cancelled := false
 	for _, p := range phases {
 		p := p
 		clock.ScheduleAfter(simclock.Time(p.AfterMS), func(simclock.Time) {
-			if !cancelled {
+			mu.Lock()
+			stop := cancelled
+			mu.Unlock()
+			if !stop {
 				link.SetCongestion(p.Level)
 			}
 		})
 	}
-	return func() { cancelled = true }
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		cancelled = true
+	}
 }
 
 // Destinations lists known destinations, sorted.

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -70,15 +71,15 @@ func TestTopologyTransferAndPartition(t *testing.T) {
 	topo := NewTopology()
 	topo.AddLink("S1", NewLink(LinkConfig{LatencyMS: 5}))
 	topo.AddLink("S2", NewLink(LinkConfig{LatencyMS: 50}))
-	tt, err := topo.Transfer("S1", 0)
+	tt, err := topo.Transfer(context.Background(), "S1", 0)
 	if err != nil || tt != 5 {
 		t.Fatalf("transfer: %v %v", tt, err)
 	}
-	if _, err := topo.Transfer("S9", 0); err == nil {
+	if _, err := topo.Transfer(context.Background(), "S9", 0); err == nil {
 		t.Fatal("unknown dest must error")
 	}
 	topo.Link("S1").SetDown(true)
-	_, err = topo.Transfer("S1", 0)
+	_, err = topo.Transfer(context.Background(), "S1", 0)
 	var pe *ErrPartitioned
 	if !errors.As(err, &pe) || pe.Dest != "S1" {
 		t.Fatalf("partition error: %v", err)
@@ -87,15 +88,15 @@ func TestTopologyTransferAndPartition(t *testing.T) {
 		t.Fatal("down getter")
 	}
 	topo.Link("S1").SetDown(false)
-	if _, err := topo.Transfer("S1", 0); err != nil {
+	if _, err := topo.Transfer(context.Background(), "S1", 0); err != nil {
 		t.Fatalf("recovered link: %v", err)
 	}
-	rtt, err := topo.RoundTrip("S2", 10, 10)
+	rtt, err := topo.RoundTrip(context.Background(), "S2", 10, 10)
 	if err != nil || rtt != 100 {
 		t.Fatalf("roundtrip: %v %v", rtt, err)
 	}
 	topo.Link("S2").SetDown(true)
-	if _, err := topo.RoundTrip("S2", 1, 1); err == nil {
+	if _, err := topo.RoundTrip(context.Background(), "S2", 1, 1); err == nil {
 		t.Fatal("roundtrip over down link must fail")
 	}
 	dests := topo.Destinations()

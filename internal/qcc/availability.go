@@ -1,6 +1,7 @@
 package qcc
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -93,7 +94,7 @@ func (a *Availability) StartDaemon(clock *simclock.Clock, mw *metawrapper.MetaWr
 			// availability state and probe histories; nothing more to do
 			// here. The daemon exists so probes happen even when no queries
 			// flow.
-			mw.Probe(id) //nolint:errcheck // outcome flows through the observer
+			mw.Probe(context.Background(), id) //nolint:errcheck // outcome flows through the observer
 		}
 		return 0
 	})

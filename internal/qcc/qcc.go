@@ -1,6 +1,7 @@
 package qcc
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -168,7 +169,7 @@ func (q *QCC) PublishNow() { q.Calib.Publish(q.clock.Now()) }
 // ProbeNow runs one availability-daemon sweep immediately (harness hook).
 func (q *QCC) ProbeNow() {
 	for _, id := range q.mw.Servers() {
-		q.mw.Probe(id) //nolint:errcheck // outcome flows through the observer
+		q.mw.Probe(context.Background(), id) //nolint:errcheck // outcome flows through the observer
 	}
 }
 

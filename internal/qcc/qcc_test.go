@@ -1,6 +1,7 @@
 package qcc_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -85,7 +86,7 @@ func TestQCCFactorsTrackLoadChanges(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sc.MW.ExecuteFragment(server, stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
+		if _, err := sc.MW.ExecuteFragment(context.Background(), server, stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
 			t.Fatal(err)
 		}
 		sc.Clock.Advance(10)
@@ -153,7 +154,7 @@ func TestQCCReliabilitySteersAwayFromFlakyServer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sc.MW.ExecuteFragment(flaky, stmt.String(), cands[0].Plan, cands[0].RawEst) //nolint:errcheck
+		sc.MW.ExecuteFragment(context.Background(), flaky, stmt.String(), cands[0].Plan, cands[0].RawEst) //nolint:errcheck
 	}
 	if q.Avail.IsDown(flaky) {
 		t.Fatal("transient failures must not mark the server down")
@@ -200,7 +201,7 @@ func TestQCCDynamicCycleAdapts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sc.MW.ExecuteFragment(server, stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
+		if _, err := sc.MW.ExecuteFragment(context.Background(), server, stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
 			t.Fatal(err)
 		}
 		sc.Clock.Advance(before * 3 / 2)

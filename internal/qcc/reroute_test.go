@@ -1,6 +1,7 @@
 package qcc_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/qcc"
@@ -39,7 +40,7 @@ func TestRerouterSwitchesWhenTargetDegradesAfterCompile(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sc.MW.ExecuteFragment(compiled, stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
+		if _, err := sc.MW.ExecuteFragment(context.Background(), compiled, stmt.String(), cands[0].Plan, cands[0].RawEst); err != nil {
 			t.Fatal(err)
 		}
 	}

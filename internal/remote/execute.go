@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -21,10 +22,13 @@ type Result struct {
 	Resources exec.Resources
 }
 
-// ExecutePlan runs a previously-explained plan. It fails when the server is
-// down, when failure injection is armed, or when the plan is bound to a
-// different server.
-func (s *Server) ExecutePlan(p *Plan) (*Result, error) {
+// ExecutePlan runs a previously-explained plan. It fails when the context is
+// cancelled, when the server is down, when failure injection is armed, or
+// when the plan is bound to a different server.
+func (s *Server) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.ServerID != s.id {
 		return nil, fmt.Errorf("remote: plan bound to %s executed on %s", p.ServerID, s.id)
 	}
@@ -40,22 +44,22 @@ func (s *Server) ExecutePlan(p *Plan) (*Result, error) {
 	s.executed++
 	s.mu.Unlock()
 
-	ctx := &exec.Context{}
-	rel, err := p.Root.Execute(ctx)
+	ectx := &exec.Context{}
+	rel, err := p.Root.Execute(ectx)
 	if err != nil {
 		return nil, fmt.Errorf("remote: executing on %s: %w", s.id, err)
 	}
-	ctx.Res.OutBytes = rel.ByteSize()
+	ectx.Res.OutBytes = rel.ByteSize()
 	return &Result{
 		Rel:         rel,
-		ServiceTime: s.Observe(ctx.Res),
-		Resources:   ctx.Res,
+		ServiceTime: s.Observe(ectx.Res),
+		Resources:   ectx.Res,
 	}, nil
 }
 
 // ExecuteSQL explains and executes the cheapest plan — the path used by
 // availability daemons and ad-hoc probes.
-func (s *Server) ExecuteSQL(sql string) (*Result, error) {
+func (s *Server) ExecuteSQL(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -64,12 +68,15 @@ func (s *Server) ExecuteSQL(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecutePlan(plans[0])
+	return s.ExecutePlan(ctx, plans[0])
 }
 
 // Probe performs the availability daemon's lightweight health check. It
 // touches the catalog only; the returned time reflects current queueing.
-func (s *Server) Probe() (simclock.Time, error) {
+func (s *Server) Probe(ctx context.Context) (simclock.Time, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if s.Down() {
 		return 0, &ErrServerDown{ID: s.id}
 	}

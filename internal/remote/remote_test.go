@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -119,7 +120,7 @@ func TestExecutePlanMatchesDirectExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.ExecutePlan(plans[0])
+	res, err := s.ExecutePlan(context.Background(), plans[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestExecutePlanWrongServerRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s2.ExecutePlan(plans[0]); err == nil {
+	if _, err := s2.ExecutePlan(context.Background(), plans[0]); err == nil {
 		t.Fatal("cross-server execution must fail")
 	}
 }
@@ -162,12 +163,12 @@ func TestFailureInjection(t *testing.T) {
 	s.InjectFailures(1)
 	stmt := sqlparser.MustParse("SELECT * FROM parts LIMIT 1")
 	plans, _ := s.Explain(stmt)
-	_, err := s.ExecutePlan(plans[0])
+	_, err := s.ExecutePlan(context.Background(), plans[0])
 	var fail *ErrServerFailure
 	if !errors.As(err, &fail) {
 		t.Fatalf("want failure, got %v", err)
 	}
-	if _, err := s.ExecutePlan(plans[0]); err != nil {
+	if _, err := s.ExecutePlan(context.Background(), plans[0]); err != nil {
 		t.Fatalf("second execution should succeed: %v", err)
 	}
 	if s.Executed() != 1 {
@@ -215,31 +216,31 @@ func TestBufferChurnHurtsCachedPlansMost(t *testing.T) {
 
 func TestProbe(t *testing.T) {
 	s := newTestServer(t, ProfileS1("S1"), 200)
-	pt, err := s.Probe()
+	pt, err := s.Probe(context.Background())
 	if err != nil || pt <= 0 {
 		t.Fatalf("probe: %v %v", pt, err)
 	}
 	s.SetLoadLevel(1)
-	pt2, _ := s.Probe()
+	pt2, _ := s.Probe(context.Background())
 	if pt2 <= pt {
 		t.Fatal("probe must reflect load")
 	}
 	s.SetDown(true)
-	if _, err := s.Probe(); err == nil {
+	if _, err := s.Probe(context.Background()); err == nil {
 		t.Fatal("down probe must fail")
 	}
 }
 
 func TestExecuteSQLRoundTrip(t *testing.T) {
 	s := newTestServer(t, ProfileS2("S2"), 100)
-	res, err := s.ExecuteSQL("SELECT COUNT(*) FROM parts AS p")
+	res, err := s.ExecuteSQL(context.Background(), "SELECT COUNT(*) FROM parts AS p")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Rel.Rows[0][0].Int() != int64(s.Table("parts").RowCount()) {
 		t.Fatalf("count: %v", res.Rel.Rows[0])
 	}
-	if _, err := s.ExecuteSQL("NOT SQL"); err == nil {
+	if _, err := s.ExecuteSQL(context.Background(), "NOT SQL"); err == nil {
 		t.Fatal("bad sql must fail")
 	}
 }
@@ -288,7 +289,7 @@ func TestExplainJoinQueryEnumeratesAlgorithms(t *testing.T) {
 	if len(plans) < 2 {
 		t.Fatalf("join query should have >=2 candidate plans, got %d", len(plans))
 	}
-	res, err := s.ExecutePlan(plans[0])
+	res, err := s.ExecutePlan(context.Background(), plans[0])
 	if err != nil {
 		t.Fatalf("executing best plan:\n%s\n%v", plans[0].Explain(), err)
 	}
@@ -296,7 +297,7 @@ func TestExplainJoinQueryEnumeratesAlgorithms(t *testing.T) {
 		t.Fatalf("agg result: %v", res.Rel)
 	}
 	// Both plans must produce identical answers.
-	res2, err := s.ExecutePlan(plans[1])
+	res2, err := s.ExecutePlan(context.Background(), plans[1])
 	if err != nil {
 		t.Fatalf("executing alternative plan:\n%s\n%v", plans[1].Explain(), err)
 	}
@@ -316,7 +317,7 @@ func TestThreeWayJoinPlansAndExecutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ExecutePlan(plans[0]); err != nil {
+	if _, err := s.ExecutePlan(context.Background(), plans[0]); err != nil {
 		t.Fatalf("three-way join failed:\n%s\n%v", plans[0].Explain(), err)
 	}
 }
@@ -340,7 +341,7 @@ func TestPlanCacheHitsAndInvalidation(t *testing.T) {
 		t.Fatalf("second explain should hit: hits=%d", hits)
 	}
 	// Cached plans remain executable.
-	if _, err := s.ExecutePlan(p1[0]); err != nil {
+	if _, err := s.ExecutePlan(context.Background(), p1[0]); err != nil {
 		t.Fatal(err)
 	}
 	// Mutating the table invalidates the entry.

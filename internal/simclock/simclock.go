@@ -25,6 +25,9 @@ type Clock struct {
 	now    Time
 	events eventHeap
 	seq    int64
+	// reserved is the charge watermark: the end of the latest interval
+	// handed out by Charge. It never trails now.
+	reserved Time
 }
 
 // New returns a clock at time zero.
@@ -94,12 +97,20 @@ func (c *Clock) ScheduleAfter(delay Time, fn func(now Time)) Cancel {
 // The callback may adjust its own cadence by returning the next interval;
 // returning 0 keeps the current interval, returning a negative value stops
 // the series. This drives §3.4's dynamic adjustment of calibration cycles.
+// The returned Cancel is safe to invoke from any goroutine, including
+// concurrently with an Advance that is firing the series.
 func (c *Clock) Every(interval Time, fn func(now Time) Time) Cancel {
+	var mu sync.Mutex
 	stopped := false
+	isStopped := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return stopped
+	}
 	var schedule func(iv Time)
 	schedule = func(iv Time) {
 		c.ScheduleAfter(iv, func(now Time) {
-			if stopped {
+			if isStopped() {
 				return
 			}
 			next := fn(now)
@@ -113,7 +124,34 @@ func (c *Clock) Every(interval Time, fn func(now Time) Time) Cancel {
 		})
 	}
 	schedule(interval)
-	return func() { stopped = true }
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		stopped = true
+	}
+}
+
+// Charge atomically reserves a virtual-time interval of length delta and
+// advances the clock to its end, running every event that falls inside it.
+// Concurrent charges serialize: each caller receives a distinct interval
+// [start, end) stacked after all previously reserved ones, so the final
+// clock value is the sum of all charged durations regardless of goroutine
+// interleaving. This replaces the racy Now()+Advance() pair: two goroutines
+// that each charged 5ms from now=0 end the clock at 10ms, not 5ms.
+func (c *Clock) Charge(delta Time) (start, end Time) {
+	if delta < 0 {
+		delta = 0
+	}
+	c.mu.Lock()
+	if c.reserved < c.now {
+		c.reserved = c.now
+	}
+	start = c.reserved
+	end = start + delta
+	c.reserved = end
+	c.mu.Unlock()
+	c.AdvanceTo(end)
+	return start, end
 }
 
 // Advance moves the clock forward by delta, running every event whose time

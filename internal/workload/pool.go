@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// Exec runs one workload item; it is the pool's pluggable query driver.
+// idx is the item's submission position so executors can record results
+// without extra bookkeeping.
+type Exec func(ctx context.Context, idx int, item Item) (simclock.Time, error)
+
+// PoolResult is the outcome of one pooled item, reported in submission order.
+type PoolResult struct {
+	Index        int
+	Item         Item
+	ResponseTime simclock.Time
+	Err          error
+	// Skipped marks items never dispatched because the context was cancelled
+	// before a worker picked them up.
+	Skipped bool
+}
+
+// PoolStats aggregates one pool run.
+type PoolStats struct {
+	Completed     int
+	Failed        int
+	Skipped       int
+	TotalResponse simclock.Time
+	MaxResponse   simclock.Time
+}
+
+// RunPool drives items through exec with at most `workers` concurrent
+// executions. Results come back indexed by submission position regardless of
+// completion order, so concurrent runs are comparable row-for-row against a
+// sequential baseline. Cancelling ctx stops dispatching new items; items
+// already running finish (or observe the cancellation themselves through
+// their own context plumbing).
+func RunPool(ctx context.Context, workers int, items []Item, exec Exec) ([]PoolResult, PoolStats) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([]PoolResult, len(items))
+	for i := range results {
+		results[i] = PoolResult{Index: i, Item: items[i], Skipped: true}
+	}
+
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range feed {
+				// Each worker owns a disjoint set of result slots, so no lock
+				// is needed around the write.
+				rt, err := exec(ctx, idx, items[idx])
+				results[idx] = PoolResult{Index: idx, Item: items[idx], ResponseTime: rt, Err: err}
+			}
+		}()
+	}
+
+dispatch:
+	for i := range items {
+		// Checked first so an already-cancelled context dispatches nothing;
+		// the select alone could still randomly pick a ready worker.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	var stats PoolStats
+	for _, r := range results {
+		switch {
+		case r.Skipped:
+			stats.Skipped++
+		case r.Err != nil:
+			stats.Failed++
+		default:
+			stats.Completed++
+			stats.TotalResponse += r.ResponseTime
+			if r.ResponseTime > stats.MaxResponse {
+				stats.MaxResponse = r.ResponseTime
+			}
+		}
+	}
+	return results, stats
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func poolItems(n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Type: "T", SQL: "Q"}
+	}
+	return items
+}
+
+func TestRunPoolPreservesSubmissionOrder(t *testing.T) {
+	items := poolItems(20)
+	results, stats := RunPool(context.Background(), 4, items, func(_ context.Context, idx int, _ Item) (simclock.Time, error) {
+		return simclock.Time(idx), nil
+	})
+	if len(results) != len(items) {
+		t.Fatalf("results %d, want %d", len(results), len(items))
+	}
+	for i, r := range results {
+		if r.Index != i || r.ResponseTime != simclock.Time(i) || r.Err != nil || r.Skipped {
+			t.Fatalf("result %d out of order or wrong: %+v", i, r)
+		}
+	}
+	if stats.Completed != 20 || stats.Failed != 0 || stats.Skipped != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.MaxResponse != 19 || stats.TotalResponse != 190 {
+		t.Fatalf("response stats: %+v", stats)
+	}
+}
+
+func TestRunPoolBoundsConcurrency(t *testing.T) {
+	var cur, peak int64
+	_, stats := RunPool(context.Background(), 3, poolItems(30), func(context.Context, int, Item) (simclock.Time, error) {
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		defer atomic.AddInt64(&cur, -1)
+		return 1, nil
+	})
+	if stats.Completed != 30 {
+		t.Fatalf("completed %d", stats.Completed)
+	}
+	if got := atomic.LoadInt64(&peak); got > 3 {
+		t.Fatalf("observed %d concurrent executions, bound is 3", got)
+	}
+}
+
+func TestRunPoolRecordsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	results, stats := RunPool(context.Background(), 2, poolItems(6), func(_ context.Context, idx int, _ Item) (simclock.Time, error) {
+		if idx%2 == 1 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if stats.Completed != 3 || stats.Failed != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	for i, r := range results {
+		if (i%2 == 1) != (r.Err != nil) {
+			t.Fatalf("result %d error mismatch: %+v", i, r)
+		}
+	}
+}
+
+func TestRunPoolSkipsAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, stats := RunPool(ctx, 2, poolItems(8), func(context.Context, int, Item) (simclock.Time, error) {
+		return 1, nil
+	})
+	if stats.Skipped != len(results) {
+		t.Fatalf("pre-cancelled pool must skip everything: %+v", stats)
+	}
+	for _, r := range results {
+		if !r.Skipped {
+			t.Fatalf("item %d was dispatched after cancel", r.Index)
+		}
+	}
+}
+
+func TestRunPoolZeroWorkersDegradesToOne(t *testing.T) {
+	_, stats := RunPool(context.Background(), 0, poolItems(3), func(context.Context, int, Item) (simclock.Time, error) {
+		return 1, nil
+	})
+	if stats.Completed != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}

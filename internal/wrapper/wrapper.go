@@ -10,6 +10,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -53,10 +54,11 @@ type Wrapper interface {
 	TableSchema(table string) (*sqltypes.Schema, error)
 	// Explain returns candidate plans for the fragment.
 	Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error)
-	// Execute runs an execution descriptor.
-	Execute(plan *remote.Plan) (*ExecOutcome, error)
+	// Execute runs an execution descriptor. The context carries cancellation
+	// (a sibling fragment failed) and an optional virtual-time deadline.
+	Execute(ctx context.Context, plan *remote.Plan) (*ExecOutcome, error)
 	// Probe checks source availability end to end (network + server).
-	Probe() (simclock.Time, error)
+	Probe(ctx context.Context) (simclock.Time, error)
 }
 
 // Relational wraps a remote DBMS reachable over a network topology.
@@ -111,32 +113,50 @@ func (w *Relational) Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error) {
 }
 
 // Execute implements Wrapper.
-func (w *Relational) Execute(plan *remote.Plan) (*ExecOutcome, error) {
-	reqTime, err := w.topo.Transfer(w.server.ID(), len(plan.SQL)+256)
-	if err != nil {
-		return nil, err
-	}
-	res, err := w.server.ExecutePlan(plan)
-	if err != nil {
-		return nil, err
-	}
-	respTime, err := w.topo.Transfer(w.server.ID(), res.Rel.ByteSize())
-	if err != nil {
-		return nil, err
-	}
-	return &ExecOutcome{
-		Result:       res,
-		ResponseTime: reqTime + res.ServiceTime + respTime,
-	}, nil
+func (w *Relational) Execute(ctx context.Context, plan *remote.Plan) (*ExecOutcome, error) {
+	return executeOverNetwork(ctx, w.server, w.topo, plan)
 }
 
 // Probe implements Wrapper.
-func (w *Relational) Probe() (simclock.Time, error) {
-	rtt, err := w.topo.RoundTrip(w.server.ID(), 64, 64)
+func (w *Relational) Probe(ctx context.Context) (simclock.Time, error) {
+	return probeOverNetwork(ctx, w.server, w.topo)
+}
+
+// executeOverNetwork ships an execution descriptor to the server and the
+// result back, charging request transfer + remote service + result transfer.
+// It honours context cancellation at each hop and enforces the dispatch's
+// virtual-time deadline (if any) against the end-to-end response time.
+func executeOverNetwork(ctx context.Context, server *remote.Server, topo *network.Topology, plan *remote.Plan) (*ExecOutcome, error) {
+	reqTime, err := topo.Transfer(ctx, server.ID(), len(plan.SQL)+256)
+	if err != nil {
+		return nil, err
+	}
+	res, err := server.ExecutePlan(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	respTime, err := topo.Transfer(ctx, server.ID(), res.Rel.ByteSize())
+	if err != nil {
+		return nil, err
+	}
+	out := &ExecOutcome{
+		Result:       res,
+		ResponseTime: reqTime + res.ServiceTime + respTime,
+	}
+	if err := simclock.CheckDeadline(ctx, out.ResponseTime); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// probeOverNetwork is the shared availability probe: round trip + server
+// health check.
+func probeOverNetwork(ctx context.Context, server *remote.Server, topo *network.Topology) (simclock.Time, error) {
+	rtt, err := topo.RoundTrip(ctx, server.ID(), 64, 64)
 	if err != nil {
 		return 0, err
 	}
-	st, err := w.server.Probe()
+	st, err := server.Probe(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -195,31 +215,11 @@ func (w *File) Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error) {
 }
 
 // Execute implements Wrapper.
-func (w *File) Execute(plan *remote.Plan) (*ExecOutcome, error) {
-	reqTime, err := w.topo.Transfer(w.server.ID(), len(plan.SQL)+256)
-	if err != nil {
-		return nil, err
-	}
-	res, err := w.server.ExecutePlan(plan)
-	if err != nil {
-		return nil, err
-	}
-	respTime, err := w.topo.Transfer(w.server.ID(), res.Rel.ByteSize())
-	if err != nil {
-		return nil, err
-	}
-	return &ExecOutcome{Result: res, ResponseTime: reqTime + res.ServiceTime + respTime}, nil
+func (w *File) Execute(ctx context.Context, plan *remote.Plan) (*ExecOutcome, error) {
+	return executeOverNetwork(ctx, w.server, w.topo, plan)
 }
 
 // Probe implements Wrapper.
-func (w *File) Probe() (simclock.Time, error) {
-	rtt, err := w.topo.RoundTrip(w.server.ID(), 64, 64)
-	if err != nil {
-		return 0, err
-	}
-	st, err := w.server.Probe()
-	if err != nil {
-		return 0, err
-	}
-	return rtt + st, nil
+func (w *File) Probe(ctx context.Context) (simclock.Time, error) {
+	return probeOverNetwork(ctx, w.server, w.topo)
 }

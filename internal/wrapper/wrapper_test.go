@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestRelationalExecuteAddsTransferTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := w.Execute(cands[0].Plan)
+	out, err := w.Execute(context.Background(), cands[0].Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,12 +82,12 @@ func TestRelationalPartitionedLink(t *testing.T) {
 	if _, err := w.Explain(stmt); err == nil {
 		t.Fatal("explain over partition must fail")
 	}
-	_, err = w.Execute(cands[0].Plan)
+	_, err = w.Execute(context.Background(), cands[0].Plan)
 	var pe *network.ErrPartitioned
 	if !errors.As(err, &pe) {
 		t.Fatalf("execute: want partition error, got %v", err)
 	}
-	if _, err := w.Probe(); err == nil {
+	if _, err := w.Probe(context.Background()); err == nil {
 		t.Fatal("probe over partition must fail")
 	}
 }
@@ -94,12 +95,12 @@ func TestRelationalPartitionedLink(t *testing.T) {
 func TestRelationalProbeReflectsServerState(t *testing.T) {
 	s, topo := testSetup(t)
 	w := NewRelational(s, topo)
-	pt, err := w.Probe()
+	pt, err := w.Probe(context.Background())
 	if err != nil || pt <= 0 {
 		t.Fatalf("probe: %v %v", pt, err)
 	}
 	s.SetDown(true)
-	if _, err := w.Probe(); err == nil {
+	if _, err := w.Probe(context.Background()); err == nil {
 		t.Fatal("down server probe must fail")
 	}
 }
@@ -137,14 +138,14 @@ func TestFileWrapperNoCost(t *testing.T) {
 	if c.Plan.Est.TotalMS != 0 || c.Plan.Est.Card != 0 {
 		t.Fatalf("estimate must be zeroed: %+v", c.Plan.Est)
 	}
-	out, err := w.Execute(c.Plan)
+	out, err := w.Execute(context.Background(), c.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Result.Rel.Cardinality() != 1 {
 		t.Fatalf("rows: %d", out.Result.Rel.Cardinality())
 	}
-	if _, err := w.Probe(); err != nil {
+	if _, err := w.Probe(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := w.TableSchema("parts"); err != nil {
