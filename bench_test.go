@@ -296,6 +296,88 @@ func BenchmarkAblationRecalibrationCycle(b *testing.B) {
 
 // ---- Substrate micro-benchmarks ----
 
+// BenchmarkCompile measures the federated compile path cold vs warm. Cold
+// resets both caching layers every iteration, so each compile pays parse,
+// decomposition and a remote planner round-trip per candidate server; warm
+// is served by the federated plan cache and re-runs only calibration, winner
+// re-pick and routing. The acceptance bar for the cache is >= 5x.
+func BenchmarkCompile(b *testing.B) {
+	const q = "SELECT SUM(l.l_price) FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > 9000"
+	newFed := func(b *testing.B) *fedqcc.Federation {
+		fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fed
+	}
+	b.Run("cold", func(b *testing.B) {
+		fed := newFed(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fed.ResetCompileCaches()
+			if _, err := fed.Explain(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		fed := newFed(b)
+		if _, err := fed.Explain(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fed.Explain(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		s := fed.PlanCacheStats()
+		b.ReportMetric(float64(s.Hits)/float64(s.Hits+s.Misses)*100, "hit_pct")
+	})
+}
+
+// BenchmarkRepeatedWorkload measures end-to-end Query throughput of a
+// repeated query-type workload (three types, three parameter variants each)
+// with the federated plan cache off vs on — the realistic win: repeated
+// query types skip all compile-time wrapper round-trips.
+func BenchmarkRepeatedWorkload(b *testing.B) {
+	sqls := []string{
+		"SELECT COUNT(*) FROM orders AS o WHERE o.o_amount > 100",
+		"SELECT COUNT(*) FROM orders AS o WHERE o.o_amount > 5000",
+		"SELECT COUNT(*) FROM orders AS o WHERE o.o_amount > 9000",
+		"SELECT o.o_id, l.l_price FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > 9500 AND l.l_qty < 5",
+		"SELECT o.o_id, l.l_price FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > 9900 AND l.l_qty < 3",
+		"SELECT SUM(o.o_amount) FROM customer AS c JOIN orders AS o ON o.o_custkey = c.c_id WHERE c.c_discount > 0.01",
+		"SELECT SUM(o.o_amount) FROM customer AS c JOIN orders AS o ON o.o_custkey = c.c_id WHERE c.c_discount > 0.05",
+	}
+	for _, cached := range []bool{false, true} {
+		name := "cache=off"
+		if cached {
+			name = "cache=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fed.SetPlanCacheEnabled(cached)
+			fed.SetPlanCacheMaxAge(fedqcc.Time(1e15))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Query(sqls[i%len(sqls)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if cached {
+				s := fed.PlanCacheStats()
+				b.ReportMetric(float64(s.Hits), "cache_hits")
+			}
+		})
+	}
+}
+
 func BenchmarkQueryEndToEnd(b *testing.B) {
 	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale})
 	if err != nil {

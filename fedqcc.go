@@ -55,6 +55,12 @@ type (
 	Relation = sqltypes.Relation
 	// Time is simulated time in milliseconds.
 	Time = simclock.Time
+	// PlanCacheStats snapshots the integrator's federated plan cache
+	// counters: hits, misses, live entries and invalidations by cause.
+	PlanCacheStats = integrator.PlanCacheStats
+	// StatementCacheStats snapshots one remote server's statement-cache
+	// counters, including LRU evictions.
+	StatementCacheStats = remote.StatementCacheStats
 )
 
 // Federation is a fully-wired federated system: remote servers, network,
@@ -126,7 +132,29 @@ func (f *Federation) Server(id string) (*ServerHandle, error) {
 	if !ok {
 		return nil, fmt.Errorf("fedqcc: unknown server %q", id)
 	}
-	return &ServerHandle{srv: srv, link: f.topo.Link(id)}, nil
+	return &ServerHandle{srv: srv, link: f.topo.Link(id), mw: f.mw}, nil
+}
+
+// PlanCacheStats snapshots the integrator's federated plan cache counters.
+func (f *Federation) PlanCacheStats() PlanCacheStats { return f.ii.PlanCacheStats() }
+
+// SetPlanCacheEnabled toggles the federated plan cache at runtime; disabling
+// also clears it. Useful for cached-vs-uncached comparisons.
+func (f *Federation) SetPlanCacheEnabled(enabled bool) { f.ii.SetPlanCacheEnabled(enabled) }
+
+// SetPlanCacheMaxAge overrides the plan cache's staleness bound in simulated
+// ms (values <= 0 are ignored). EnableQCC re-aligns it with the load
+// balancer's rotation refresh interval.
+func (f *Federation) SetPlanCacheMaxAge(ms Time) { f.ii.SetPlanCacheMaxAge(ms) }
+
+// ResetCompileCaches drops every cached compilation at both layers — the
+// integrator's federated plan cache and each remote server's statement
+// cache — so the next compile is fully cold. Counters are retained.
+func (f *Federation) ResetCompileCaches() {
+	f.ii.ClearPlanCache()
+	for _, srv := range f.servers {
+		srv.ResetPlanCache()
+	}
 }
 
 // QueryResult is the outcome of a federated query.
@@ -220,6 +248,7 @@ func (f *Federation) ExplainLog() []optimizer.ExplainEntry { return f.ii.Explain
 type ServerHandle struct {
 	srv  *remote.Server
 	link *network.Link
+	mw   *metawrapper.MetaWrapper
 }
 
 // ID returns the server identifier.
@@ -257,6 +286,20 @@ func (h *ServerHandle) PartitionNetwork(cut bool) {
 
 // Executed reports how many fragments the server has executed.
 func (h *ServerHandle) Executed() int64 { return h.srv.Executed() }
+
+// SetMasked hides the server from (or re-offers it to) the optimizer at the
+// meta-wrapper layer: masked servers contribute no candidate plans. Mask
+// transitions in either direction invalidate affected federated plan cache
+// entries.
+func (h *ServerHandle) SetMasked(masked bool) { h.mw.Mask(h.srv.ID(), masked) }
+
+// Masked reports the meta-wrapper mask state.
+func (h *ServerHandle) Masked() bool { return h.mw.Masked(h.srv.ID()) }
+
+// StatementCacheStats snapshots the server's statement-cache counters.
+func (h *ServerHandle) StatementCacheStats() StatementCacheStats {
+	return h.srv.StatementCacheStats()
+}
 
 // ApplyUpdateBurst mutates n random rows of the named table, dirtying pages
 // and drifting statistics.

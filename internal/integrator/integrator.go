@@ -10,6 +10,7 @@ package integrator
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -75,6 +76,12 @@ type Config struct {
 	// deadline: a dispatch whose observed response time exceeds it fails
 	// (and is retried through re-optimization like any fragment error).
 	FragmentBudget simclock.Time
+	// PlanCache tunes the federated plan cache (see plancache.go). The zero
+	// value enables it with defaults.
+	PlanCache PlanCacheConfig
+	// PatrollerCapacity bounds the query patroller's retained log entries:
+	// 0 selects DefaultPatrollerCapacity, negative disables the bound.
+	PatrollerCapacity int
 }
 
 // DefaultRetries is the retry count used when Config.Retries is nil.
@@ -90,6 +97,7 @@ type II struct {
 	opt       *optimizer.Optimizer
 	explain   *optimizer.ExplainTable
 	patroller *Patroller
+	plans     *planCache
 }
 
 // New builds an II.
@@ -114,7 +122,8 @@ func New(cfg Config) *II {
 			IICalib: cfg.IICalib,
 		},
 		explain:   optimizer.NewExplainTable(),
-		patroller: NewPatroller(),
+		patroller: NewPatrollerWithCapacity(cfg.PatrollerCapacity),
+		plans:     newPlanCache(cfg.PlanCache),
 	}
 }
 
@@ -143,6 +152,21 @@ func (ii *II) SetRerouter(r RuntimeRerouter) { ii.cfg.Reroute = r }
 // SetIICalibrator installs the II workload calibrator used when costing
 // merge work during optimization.
 func (ii *II) SetIICalibrator(c optimizer.IICalibrator) { ii.opt.IICalib = c }
+
+// PlanCacheStats snapshots the federated plan cache's counters.
+func (ii *II) PlanCacheStats() PlanCacheStats { return ii.plans.snapshot() }
+
+// SetPlanCacheMaxAge overrides the cache's staleness bound (values <= 0 are
+// ignored). QCC wiring aligns it with the load balancer's rotation refresh
+// interval so cached routing never outlives a rotation epoch.
+func (ii *II) SetPlanCacheMaxAge(maxAge simclock.Time) { ii.plans.setMaxAge(maxAge) }
+
+// SetPlanCacheEnabled toggles the federated plan cache at runtime; disabling
+// also clears it.
+func (ii *II) SetPlanCacheEnabled(enabled bool) { ii.plans.setEnabled(enabled) }
+
+// ClearPlanCache drops every cached compilation.
+func (ii *II) ClearPlanCache() { ii.plans.clear(InvalidateClear) }
 
 // QueryResult is the outcome of one federated query.
 type QueryResult struct {
@@ -190,25 +214,147 @@ func (ii *II) QueryContext(ctx context.Context, sql string) (*QueryResult, error
 }
 
 // Compile optimizes without executing and records the winner in the explain
-// table — the paper's "explain mode".
+// table — the paper's "explain mode". Repeat compilations of a statement are
+// served from the federated plan cache (plancache.go) while its entry stays
+// valid: only calibration, winner re-pick and routing re-run on a hit.
 func (ii *II) Compile(sql string) (*optimizer.GlobalPlan, error) {
+	return ii.compile(sql, nil)
+}
+
+// compile is the cache-aware compilation path. exclude (may be nil) steers
+// the WARM path away from servers that failed the query's earlier fragment
+// attempts. The cold path deliberately ignores it: recompiling from scratch
+// re-Explains every candidate, which is what discovers whether a failed
+// server is really gone — a transient failure may retry on the same (still
+// cheapest) source, exactly as before the cache existed.
+func (ii *II) compile(sql string, exclude optimizer.ExcludeFunc) (*optimizer.GlobalPlan, error) {
+	now := ii.cfg.Clock.Now()
+	if cc := ii.plans.lookup(sql); cc != nil {
+		if cause := ii.validateCached(cc, now); cause != "" {
+			ii.plans.invalidate(sql, cause)
+		} else if gps, err := ii.opt.EnumerateFromOptions(cc.stmt, cc.decomp, cc.frags, 1, exclude); err == nil {
+			ii.plans.recordHit()
+			return ii.finishCompile(gps[0]), nil
+		} else {
+			// Every cached candidate for some fragment is excluded or fenced:
+			// fall through to a cold compile, which sees current Explain
+			// availability.
+			ii.plans.recordMiss()
+		}
+	}
+
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	gp, err := ii.opt.Optimize(stmt)
+	decomp, frags, err := ii.opt.Collect(stmt)
 	if err != nil {
 		return nil, err
 	}
+	// Cache before enumerating: even if every option calibrates to +Inf right
+	// now (fenced), the collected raw candidates stay valid for when the
+	// fence lifts.
+	ii.plans.insert(newCachedCompilation(sql, stmt, decomp, frags, ii.cfg.MW, now))
+	gps, err := ii.opt.EnumerateFromOptions(stmt, decomp, frags, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ii.finishCompile(gps[0]), nil
+}
+
+// finishCompile applies the load-distribution route policy and records the
+// winner — the shared tail of the warm and cold compile paths.
+func (ii *II) finishCompile(gp *optimizer.GlobalPlan) *optimizer.GlobalPlan {
 	if ii.cfg.Route != nil {
 		gp = ii.cfg.Route.ChooseGlobal(gp.Query, gp)
 	}
 	ii.explain.Record(gp, ii.cfg.Clock.Now())
-	return gp, nil
+	return gp
+}
+
+// newCachedCompilation assembles the cacheable artifact for one compile: the
+// parsed statement, decomposition and raw candidate sets, plus the snapshots
+// validation compares against — the mask state of every candidate server
+// (masked ones contributed no options, so an unmask must invalidate too) and
+// each fragment's referenced tables. The mask snapshot is taken here, after
+// collection; a mask flip racing the collect window is caught by the next
+// lookup's re-validation at the latest when it flips back, and is bounded by
+// the staleness age regardless.
+func newCachedCompilation(sql string, stmt *sqlparser.SelectStmt, decomp *optimizer.Decomposition, frags []optimizer.FragmentOptions, mw *metawrapper.MetaWrapper, at simclock.Time) *cachedCompilation {
+	cc := &cachedCompilation{sql: sql, stmt: stmt, decomp: decomp, frags: frags, insertedAt: at}
+	cc.fragTables = make([][]string, len(frags))
+	seen := map[string]bool{}
+	for i, fo := range frags {
+		refs := fo.Spec.Stmt.Tables()
+		tables := make([]string, len(refs))
+		for j, tr := range refs {
+			tables[j] = tr.Name
+		}
+		cc.fragTables[i] = tables
+		for _, sid := range fo.Spec.Candidates {
+			if !seen[sid] {
+				seen[sid] = true
+				cc.servers = append(cc.servers, sid)
+			}
+		}
+	}
+	if mw != nil {
+		cc.maskSnap = mw.MaskedSet(cc.servers)
+	} else {
+		cc.maskSnap = map[string]bool{}
+	}
+	return cc
+}
+
+// validateCached checks a cached compilation against current federation
+// state, returning the invalidation cause or "" when still usable. Note what
+// it does NOT check: calibration factors and availability fencing, which the
+// warm re-pick applies fresh on every hit.
+func (ii *II) validateCached(cc *cachedCompilation, now simclock.Time) string {
+	if maxAge := ii.plans.staleness(); maxAge > 0 && now-cc.insertedAt > maxAge {
+		return InvalidateStale
+	}
+	mw := ii.cfg.MW
+	if mw == nil {
+		return ""
+	}
+	cur := mw.MaskedSet(cc.servers)
+	for id, wasMasked := range cc.maskSnap {
+		if cur[id] != wasMasked {
+			return InvalidateMask
+		}
+	}
+	for i, fo := range cc.frags {
+		checked := map[string]bool{}
+		for _, so := range fo.Options {
+			if checked[so.ServerID] {
+				continue
+			}
+			checked[so.ServerID] = true
+			if so.Versions == nil {
+				return InvalidateVersion
+			}
+			curVers, err := mw.TableVersions(so.ServerID, cc.fragTables[i])
+			if err != nil {
+				return InvalidateVersion
+			}
+			for table, v := range so.Versions {
+				if curVers[table] != v {
+					return InvalidateVersion
+				}
+			}
+		}
+	}
+	return ""
 }
 
 func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
 	var lastErr error
+	// excluded accumulates the (fragment, server) pairs that failed earlier
+	// attempts of THIS query; the warm compile path steers around them so a
+	// retry reuses the cached candidate sets instead of recompiling from
+	// zero.
+	var excluded map[string]map[string]bool
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
@@ -216,7 +362,12 @@ func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
 			}
 			return nil, err
 		}
-		gp, err := ii.Compile(sql)
+		var exclude optimizer.ExcludeFunc
+		if len(excluded) > 0 {
+			ex := excluded
+			exclude = func(fragID, serverID string) bool { return ex[fragID][serverID] }
+		}
+		gp, err := ii.compile(sql, exclude)
 		if err != nil {
 			return nil, err
 		}
@@ -226,6 +377,16 @@ func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
 			return res, nil
 		}
 		lastErr = err
+		var fe *FragmentError
+		if errors.As(err, &fe) {
+			if excluded == nil {
+				excluded = map[string]map[string]bool{}
+			}
+			if excluded[fe.FragID] == nil {
+				excluded[fe.FragID] = map[string]bool{}
+			}
+			excluded[fe.FragID][fe.ServerID] = true
+		}
 		if attempt >= ii.retries {
 			// attempt counts the retries already consumed: the failed run
 			// above was attempt number attempt+1, of which `attempt` were
@@ -239,6 +400,21 @@ func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
 func (ii *II) Execute(gp *optimizer.GlobalPlan) (*QueryResult, error) {
 	return ii.ExecuteContext(context.Background(), gp)
 }
+
+// FragmentError is a fragment execution failure tagged with the routing that
+// produced it. The retry loop unwraps it to steer the next (warm) compile
+// away from the failed server.
+type FragmentError struct {
+	FragID   string
+	ServerID string
+	Err      error
+}
+
+func (e *FragmentError) Error() string {
+	return fmt.Sprintf("integrator: fragment %s at %s: %v", e.FragID, e.ServerID, e.Err)
+}
+
+func (e *FragmentError) Unwrap() error { return e.Err }
 
 // fragOutcome is one fragment dispatch's result, indexed by plan position so
 // the merge always sees fragments in plan order regardless of completion
@@ -294,7 +470,7 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 			out, err := ii.cfg.MW.ExecuteFragment(fctx, f.ServerID, f.Spec.Stmt.String(), f.Plan, f.RawEst)
 			if err != nil {
 				if fctx.Err() == nil || ctx.Err() != nil {
-					fail(fmt.Errorf("integrator: fragment %s at %s: %w", f.Spec.ID, f.ServerID, err))
+					fail(&FragmentError{FragID: f.Spec.ID, ServerID: f.ServerID, Err: err})
 				}
 				return
 			}

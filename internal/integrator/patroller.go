@@ -23,18 +23,41 @@ type LogEntry struct {
 	ResponseTime simclock.Time
 }
 
+// DefaultPatrollerCapacity is the retention bound used when no explicit
+// capacity is configured.
+const DefaultPatrollerCapacity = 4096
+
 // Patroller is the query patroller: the intercepting logger in front of the
-// integrator.
+// integrator. Retention is bounded: once more than `capacity` entries have
+// been submitted, the oldest are evicted ring-buffer style — `order` keeps a
+// moving head index instead of reslicing on every eviction, and compacts
+// amortized O(1) — so a sustained workload cannot grow the log without
+// bound. Log and Len cover the retained window only.
 type Patroller struct {
 	mu      sync.Mutex
 	nextID  int64
 	entries map[int64]*LogEntry
 	order   []int64
+	// head indexes the oldest retained entry in order.
+	head int
+	// capacity bounds retained entries; <= 0 means unbounded.
+	capacity int
+	evicted  int64
 }
 
-// NewPatroller returns an empty patroller.
+// NewPatroller returns an empty patroller with the default retention bound.
 func NewPatroller() *Patroller {
-	return &Patroller{entries: map[int64]*LogEntry{}}
+	return NewPatrollerWithCapacity(0)
+}
+
+// NewPatrollerWithCapacity returns an empty patroller retaining up to
+// capacity entries: 0 selects DefaultPatrollerCapacity, negative disables
+// the bound.
+func NewPatrollerWithCapacity(capacity int) *Patroller {
+	if capacity == 0 {
+		capacity = DefaultPatrollerCapacity
+	}
+	return &Patroller{entries: map[int64]*LogEntry{}, capacity: capacity}
 }
 
 // Submit records a query submission and returns its log ID.
@@ -45,6 +68,19 @@ func (p *Patroller) Submit(query string, at simclock.Time) int64 {
 	id := p.nextID
 	p.entries[id] = &LogEntry{ID: id, Query: query, SubmitAt: at}
 	p.order = append(p.order, id)
+	if p.capacity > 0 {
+		for len(p.order)-p.head > p.capacity {
+			delete(p.entries, p.order[p.head])
+			p.order[p.head] = 0
+			p.head++
+			p.evicted++
+		}
+		// Compact once the dead prefix dominates, amortizing to O(1).
+		if p.head > 64 && p.head*2 >= len(p.order) {
+			p.order = append(p.order[:0:0], p.order[p.head:]...)
+			p.head = 0
+		}
+	}
 	return id
 }
 
@@ -83,20 +119,34 @@ func (p *Patroller) complete(id int64, at, responseTime simclock.Time, err error
 	}
 }
 
-// Log returns a snapshot of all entries in submission order.
+// Log returns a snapshot of the retained entries in submission order.
 func (p *Patroller) Log() []LogEntry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]LogEntry, 0, len(p.order))
-	for _, id := range p.order {
+	out := make([]LogEntry, 0, len(p.order)-p.head)
+	for _, id := range p.order[p.head:] {
 		out = append(out, *p.entries[id])
 	}
 	return out
 }
 
-// Len returns the number of log entries.
+// Len returns the number of retained log entries.
 func (p *Patroller) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.order)
+	return len(p.order) - p.head
+}
+
+// Evicted returns how many entries the retention bound has dropped.
+func (p *Patroller) Evicted() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evicted
+}
+
+// Capacity returns the retention bound (<= 0 means unbounded).
+func (p *Patroller) Capacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity
 }

@@ -2,7 +2,10 @@ package integrator
 
 import (
 	"errors"
+	"fmt"
 	"testing"
+
+	"repro/internal/simclock"
 )
 
 func TestPatrollerSubmitComplete(t *testing.T) {
@@ -54,5 +57,62 @@ func TestPatrollerLogIsSnapshot(t *testing.T) {
 	p.Complete(id, 9, nil)
 	if snap[0].Completed {
 		t.Fatal("snapshot must not see later completion")
+	}
+}
+
+func TestPatrollerRetentionBound(t *testing.T) {
+	p := NewPatrollerWithCapacity(3)
+	var ids []int64
+	for i := 0; i < 10; i++ {
+		ids = append(ids, p.Submit(fmt.Sprintf("Q%d", i), simclock.Time(i)))
+	}
+	if p.Len() != 3 {
+		t.Fatalf("retained %d entries, want 3", p.Len())
+	}
+	if p.Evicted() != 7 {
+		t.Fatalf("evicted %d, want 7", p.Evicted())
+	}
+	log := p.Log()
+	if len(log) != 3 || log[0].Query != "Q7" || log[2].Query != "Q9" {
+		t.Fatalf("retained window wrong: %+v", log)
+	}
+	// Completing a retained entry still works; an evicted one is a no-op.
+	p.Complete(ids[9], 100, nil)
+	p.Complete(ids[0], 100, nil)
+	log = p.Log()
+	if !log[2].Completed {
+		t.Fatalf("retained entry not completed: %+v", log[2])
+	}
+	if p.Len() != 3 {
+		t.Fatal("ghost completion changed retention")
+	}
+}
+
+func TestPatrollerRetentionCompacts(t *testing.T) {
+	// Push far past the compaction threshold and check the window stays
+	// exact — the ring-buffer head/compaction must never drop live entries.
+	p := NewPatrollerWithCapacity(16)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		p.Submit(fmt.Sprintf("Q%d", i), simclock.Time(i))
+	}
+	if p.Len() != 16 || p.Evicted() != n-16 {
+		t.Fatalf("len=%d evicted=%d", p.Len(), p.Evicted())
+	}
+	log := p.Log()
+	for i, e := range log {
+		if want := fmt.Sprintf("Q%d", n-16+i); e.Query != want {
+			t.Fatalf("entry %d: %q, want %q", i, e.Query, want)
+		}
+	}
+}
+
+func TestPatrollerUnboundedWithNegativeCapacity(t *testing.T) {
+	p := NewPatrollerWithCapacity(-1)
+	for i := 0; i < DefaultPatrollerCapacity+10; i++ {
+		p.Submit("Q", simclock.Time(i))
+	}
+	if p.Len() != DefaultPatrollerCapacity+10 || p.Evicted() != 0 {
+		t.Fatalf("unbounded patroller evicted: len=%d evicted=%d", p.Len(), p.Evicted())
 	}
 }

@@ -140,6 +140,21 @@ func (mw *MetaWrapper) Masked(serverID string) bool {
 	return mw.masked[serverID]
 }
 
+// MaskedSet snapshots the mask state of the given servers under one lock —
+// the federated plan cache records this at insert time and invalidates
+// entries when any relevant server's mask flips (in either direction: a
+// masked server contributed no candidates, an unmasked one is missing from
+// the cached candidate sets).
+func (mw *MetaWrapper) MaskedSet(serverIDs []string) map[string]bool {
+	mw.mu.RLock()
+	defer mw.mu.RUnlock()
+	out := make(map[string]bool, len(serverIDs))
+	for _, id := range serverIDs {
+		out[id] = mw.masked[id]
+	}
+	return out
+}
+
 func (mw *MetaWrapper) observerAndCalib() (Observer, Calibrator) {
 	mw.mu.RLock()
 	defer mw.mu.RUnlock()
@@ -193,9 +208,35 @@ func (mw *MetaWrapper) ExplainFragment(serverID string, stmt *sqlparser.SelectSt
 		// raw estimate stays on record for calibration updates.
 		cp := *c.Plan
 		cp.Est = calibrated
-		out[i] = wrapper.Candidate{Plan: &cp, RawEst: c.Plan.Est, CostKnown: c.CostKnown}
+		out[i] = wrapper.Candidate{Plan: &cp, RawEst: c.Plan.Est, CostKnown: c.CostKnown, Versions: c.Versions}
 	}
 	return out, nil
+}
+
+// CalibrateCandidate applies the CURRENT calibrator to a raw (uncalibrated)
+// estimate without contacting the wrapper or the remote planner. This is the
+// cheap tail of compilation the federated plan cache re-runs on every hit:
+// the expensive head (parse, decompose, remote plan enumeration) is reused,
+// while load, network, reliability and availability calibration always
+// reflect the present. fragSig must be the fragment's canonical signature
+// (the same key ExplainFragment records compile observations under).
+func (mw *MetaWrapper) CalibrateCandidate(serverID, fragSig string, est remote.CostEstimate, costKnown bool) remote.CostEstimate {
+	_, calib := mw.observerAndCalib()
+	if calib == nil {
+		return est
+	}
+	return calib.CalibrateFragment(FragmentKey{ServerID: serverID, Signature: fragSig}, est, costKnown)
+}
+
+// TableVersions snapshots the current mutation counters of the named tables
+// on one server — a local read with no simulated network traffic, used to
+// validate cached compilations against remote table changes.
+func (mw *MetaWrapper) TableVersions(serverID string, tables []string) (map[string]int64, error) {
+	w := mw.Wrapper(serverID)
+	if w == nil {
+		return nil, fmt.Errorf("metawrapper: unknown server %q", serverID)
+	}
+	return w.TableVersions(tables)
 }
 
 // ExecuteFragment forwards an execution descriptor, records the observed

@@ -104,17 +104,64 @@ func (o *Optimizer) Optimize(stmt *sqlparser.SelectStmt) (*GlobalPlan, error) {
 	return plans[0], nil
 }
 
+// SourceOption is one RAW candidate for a fragment: a (server, plan) pair
+// carrying the wrapper's uncalibrated estimate and the table-version
+// snapshot it was computed against. Raw options are what the federated plan
+// cache stores — calibration is re-applied at use time, so cached
+// compilations always route on current load, network, reliability and
+// availability factors.
+type SourceOption struct {
+	ServerID string
+	// Plan carries the RAW estimate in Plan.Est.
+	Plan   *remote.Plan
+	RawEst remote.CostEstimate
+	// CostKnown mirrors the wrapper candidate flag.
+	CostKnown bool
+	// Versions snapshots the fragment tables' versions on ServerID as of the
+	// explain that produced this option.
+	Versions map[string]int64
+}
+
+// FragmentOptions couples a fragment spec with its canonical signature (the
+// calibration key) and raw candidate set.
+type FragmentOptions struct {
+	Spec *FragmentSpec
+	// Sig is the fragment statement's canonical form — the identity under
+	// which QCC keeps calibration factors.
+	Sig     string
+	Options []SourceOption
+}
+
+// ExcludeFunc filters fragment candidates during plan selection; retry
+// loops use it to steer a recompile away from a server that just failed a
+// fragment. Nil excludes nothing.
+type ExcludeFunc func(fragID, serverID string) bool
+
 // Enumerate returns up to topK global plans ranked by calibrated cost.
 // QCC's simulated federated system uses topK > 1 to derive alternative
 // plans; the production path uses topK == 1.
 func (o *Optimizer) Enumerate(stmt *sqlparser.SelectStmt, topK int) ([]*GlobalPlan, error) {
-	decomp, err := Decompose(stmt, o.Catalog)
+	decomp, frags, err := o.Collect(stmt)
 	if err != nil {
 		return nil, err
 	}
-	options := make([][]FragmentChoice, len(decomp.Fragments))
+	return o.EnumerateFromOptions(stmt, decomp, frags, topK, nil)
+}
+
+// Collect runs the EXPENSIVE head of compilation: it decomposes the
+// statement and gathers each fragment's raw candidate set through the
+// meta-wrapper (one remote planner round-trip per candidate server). The
+// result is reusable across compilations of the same statement — it depends
+// only on the statement, the catalog and remote table state, never on
+// calibration factors.
+func (o *Optimizer) Collect(stmt *sqlparser.SelectStmt) (*Decomposition, []FragmentOptions, error) {
+	decomp, err := Decompose(stmt, o.Catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+	frags := make([]FragmentOptions, len(decomp.Fragments))
 	for i, frag := range decomp.Fragments {
-		var opts []FragmentChoice
+		fo := FragmentOptions{Spec: frag, Sig: sqlparser.CanonicalizeSQL(frag.Stmt.String())}
 		var lastErr error
 		for _, serverID := range frag.Candidates {
 			cands, err := o.MW.ExplainFragment(serverID, frag.Stmt)
@@ -123,23 +170,62 @@ func (o *Optimizer) Enumerate(stmt *sqlparser.SelectStmt, topK int) ([]*GlobalPl
 				continue
 			}
 			for _, c := range cands {
-				if math.IsInf(c.Plan.Est.TotalMS, 1) {
-					continue // calibrated to infinity: unavailable
-				}
-				opts = append(opts, FragmentChoice{
-					Spec:      frag,
+				// Keep the raw estimate on the stored plan; calibrated
+				// copies are minted per use in EnumerateFromOptions.
+				rawPlan := *c.Plan
+				rawPlan.Est = c.RawEst
+				fo.Options = append(fo.Options, SourceOption{
 					ServerID:  serverID,
-					Plan:      c.Plan,
+					Plan:      &rawPlan,
 					RawEst:    c.RawEst,
 					CostKnown: c.CostKnown,
+					Versions:  c.Versions,
 				})
 			}
 		}
-		if len(opts) == 0 {
+		if len(fo.Options) == 0 {
 			if lastErr != nil {
-				return nil, fmt.Errorf("optimizer: fragment %s has no available source: %w", frag.ID, lastErr)
+				return nil, nil, fmt.Errorf("optimizer: fragment %s has no available source: %w", frag.ID, lastErr)
 			}
-			return nil, fmt.Errorf("optimizer: fragment %s has no available source", frag.ID)
+			return nil, nil, fmt.Errorf("optimizer: fragment %s has no available source", frag.ID)
+		}
+		frags[i] = fo
+	}
+	return decomp, frags, nil
+}
+
+// EnumerateFromOptions runs the CHEAP tail of compilation over previously
+// collected (or cached) raw candidate sets: apply the current calibration
+// factors, drop unavailable candidates (calibrated to +Inf) and excluded
+// servers, enumerate global combinations and rank them. No meta-wrapper,
+// wrapper or remote-planner round-trips happen here.
+func (o *Optimizer) EnumerateFromOptions(stmt *sqlparser.SelectStmt, decomp *Decomposition, frags []FragmentOptions, topK int, exclude ExcludeFunc) ([]*GlobalPlan, error) {
+	options := make([][]FragmentChoice, len(frags))
+	for i, fo := range frags {
+		var opts []FragmentChoice
+		for _, so := range fo.Options {
+			if exclude != nil && exclude(fo.Spec.ID, so.ServerID) {
+				continue
+			}
+			calibrated := so.RawEst
+			if o.MW != nil {
+				calibrated = o.MW.CalibrateCandidate(so.ServerID, fo.Sig, so.RawEst, so.CostKnown)
+			}
+			if math.IsInf(calibrated.TotalMS, 1) {
+				continue // calibrated to infinity: unavailable
+			}
+			cp := *so.Plan
+			cp.Est = calibrated
+			opts = append(opts, FragmentChoice{
+				Spec:      fo.Spec,
+				ServerID:  so.ServerID,
+				Plan:      &cp,
+				RawEst:    so.RawEst,
+				CostKnown: so.CostKnown,
+			})
+		}
+		if len(opts) == 0 {
+			return nil, fmt.Errorf("optimizer: fragment %s has no available source", fo.Spec.ID)
 		}
 		options[i] = opts
 	}

@@ -118,6 +118,16 @@ func (lb *LoadBalancer) Rotations() int {
 	return lb.rotatedCount
 }
 
+// RefreshInterval returns the resolved rotation refresh interval (defaults
+// applied). The integrator's plan cache aligns its staleness bound with
+// this, so a cached compilation never outlives the rotation epoch its
+// routing was derived under.
+func (lb *LoadBalancer) RefreshInterval() simclock.Time {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.cfg.RefreshInterval
+}
+
 // SetMode changes the balancing mode at runtime (rotation sets reset).
 func (lb *LoadBalancer) SetMode(mode LBMode) {
 	lb.mu.Lock()

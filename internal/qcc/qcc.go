@@ -149,6 +149,19 @@ func (q *QCC) Stop() {
 	q.cancels = nil
 }
 
+// PlanRefreshInterval returns the rotation refresh interval the federated
+// plan cache should align its staleness bound with. When load balancing is
+// attached this is the balancer's resolved interval; otherwise it is the
+// same default an attached balancer would have resolved to.
+func (q *QCC) PlanRefreshInterval() simclock.Time {
+	if q.LB != nil {
+		return q.LB.RefreshInterval()
+	}
+	var cfg LBConfig
+	cfg.fill()
+	return cfg.RefreshInterval
+}
+
 // SetCostPolicy installs (or clears, with nil) the business-logic cost
 // policy.
 func (q *QCC) SetCostPolicy(p CostPolicy) {

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/sqlparser"
@@ -15,17 +16,24 @@ import (
 // Cached entries hold the enumerated plans; estimates inside them were
 // computed against the table versions recorded at insert time, so any
 // mutation (update bursts, replication) invalidates the entry.
+//
+// Eviction is LRU: a lookup hit refreshes the entry's recency, so a hot
+// statement survives a sweep of one-off statements that would have rolled a
+// FIFO cache over.
 type planCache struct {
 	mu      sync.Mutex
-	entries map[string]*planCacheEntry
-	hits    int64
-	misses  int64
-	// capacity bounds the cache (simple FIFO eviction; default 256).
+	entries map[string]*list.Element
+	// lru orders entries most-recently-used first.
+	lru       *list.List
+	hits      int64
+	misses    int64
+	evictions int64
+	// capacity bounds the cache (default 256).
 	capacity int
-	order    []string
 }
 
 type planCacheEntry struct {
+	key   string
 	plans []*Plan
 	// versions snapshots each referenced table's mutation counter.
 	versions map[string]int64
@@ -35,7 +43,7 @@ func newPlanCache(capacity int) *planCache {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &planCache{entries: map[string]*planCacheEntry{}, capacity: capacity}
+	return &planCache{entries: map[string]*list.Element{}, lru: list.New(), capacity: capacity}
 }
 
 // lookup returns cached plans when fresh. The caller must hold no server
@@ -43,18 +51,21 @@ func newPlanCache(capacity int) *planCache {
 func (pc *planCache) lookup(key string, currentVersions map[string]int64) []*Plan {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	e, ok := pc.entries[key]
+	el, ok := pc.entries[key]
 	if !ok {
 		pc.misses++
 		return nil
 	}
+	e := el.Value.(*planCacheEntry)
 	for table, v := range e.versions {
 		if currentVersions[table] != v {
+			pc.lru.Remove(el)
 			delete(pc.entries, key)
 			pc.misses++
 			return nil
 		}
 	}
+	pc.lru.MoveToFront(el)
 	pc.hits++
 	return e.plans
 }
@@ -62,15 +73,26 @@ func (pc *planCache) lookup(key string, currentVersions map[string]int64) []*Pla
 func (pc *planCache) insert(key string, plans []*Plan, versions map[string]int64) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if _, exists := pc.entries[key]; !exists {
-		pc.order = append(pc.order, key)
-		if len(pc.order) > pc.capacity {
-			evict := pc.order[0]
-			pc.order = pc.order[1:]
-			delete(pc.entries, evict)
-		}
+	if el, exists := pc.entries[key]; exists {
+		e := el.Value.(*planCacheEntry)
+		e.plans, e.versions = plans, versions
+		pc.lru.MoveToFront(el)
+		return
 	}
-	pc.entries[key] = &planCacheEntry{plans: plans, versions: versions}
+	pc.entries[key] = pc.lru.PushFront(&planCacheEntry{key: key, plans: plans, versions: versions})
+	for pc.lru.Len() > pc.capacity {
+		oldest := pc.lru.Back()
+		pc.lru.Remove(oldest)
+		delete(pc.entries, oldest.Value.(*planCacheEntry).key)
+		pc.evictions++
+	}
+}
+
+func (pc *planCache) clear() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.entries = map[string]*list.Element{}
+	pc.lru.Init()
 }
 
 // stats returns hit/miss counters.
@@ -80,10 +102,36 @@ func (pc *planCache) stats() (hits, misses int64) {
 	return pc.hits, pc.misses
 }
 
+// StatementCacheStats is a snapshot of a server's statement-cache counters.
+type StatementCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
 // PlanCacheStats reports the server's statement-cache hit/miss counters.
 func (s *Server) PlanCacheStats() (hits, misses int64) {
 	return s.planCache.stats()
 }
+
+// StatementCacheStats reports the full statement-cache counter snapshot,
+// including LRU evictions and the live entry count.
+func (s *Server) StatementCacheStats() StatementCacheStats {
+	pc := s.planCache
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return StatementCacheStats{
+		Hits:      pc.hits,
+		Misses:    pc.misses,
+		Evictions: pc.evictions,
+		Entries:   len(pc.entries),
+	}
+}
+
+// ResetPlanCache drops every cached statement (counters are retained) —
+// benchmark and test hook for cold-compile measurements.
+func (s *Server) ResetPlanCache() { s.planCache.clear() }
 
 // cacheKeyAndVersions derives the cache key and the referenced tables'
 // current versions for a statement; ok is false when a table is missing.
@@ -98,4 +146,21 @@ func (s *Server) cacheKeyAndVersions(stmt *sqlparser.SelectStmt) (string, map[st
 		versions[tr.Name] = tab.Version()
 	}
 	return key, versions, true
+}
+
+// TableVersions snapshots the current mutation counters of the named tables;
+// ok is false when the server does not host one of them. The federated plan
+// cache compares these snapshots against the versions recorded when a
+// candidate plan was explained to decide whether the cached compilation is
+// still valid.
+func (s *Server) TableVersions(tables []string) (map[string]int64, bool) {
+	out := make(map[string]int64, len(tables))
+	for _, name := range tables {
+		tab := s.Table(name)
+		if tab == nil {
+			return nil, false
+		}
+		out[name] = tab.Version()
+	}
+	return out, true
 }

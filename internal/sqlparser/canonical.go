@@ -15,16 +15,42 @@ func CanonicalizeSQL(src string) string {
 		return strings.Join(strings.Fields(src), " ")
 	}
 	parts := make([]string, 0, len(toks))
-	for _, t := range toks {
+	for i, t := range toks {
 		switch t.kind {
 		case tokEOF:
 		case tokInt, tokFloat, tokString:
 			parts = append(parts, "?")
-		case tokKeyword:
+		case tokSymbol:
+			// Fold a unary minus into the literal's placeholder: "x > -5" and
+			// "x > 5" are parameter variants of the same query type and must
+			// share a canonical form. The minus is binary — and kept — only
+			// when the preceding token can terminate an operand.
+			if t.text == "-" && i+1 < len(toks) &&
+				(toks[i+1].kind == tokInt || toks[i+1].kind == tokFloat) &&
+				!operandBefore(toks, i) {
+				continue
+			}
 			parts = append(parts, t.text)
 		default:
 			parts = append(parts, t.text)
 		}
 	}
 	return strings.Join(parts, " ")
+}
+
+// operandBefore reports whether the token before position i can terminate an
+// operand, which makes a following '-' a binary subtraction rather than a
+// sign.
+func operandBefore(toks []token, i int) bool {
+	if i == 0 {
+		return false
+	}
+	switch p := toks[i-1]; p.kind {
+	case tokIdent, tokInt, tokFloat, tokString:
+		return true
+	case tokSymbol:
+		return p.text == ")"
+	default:
+		return false
+	}
 }

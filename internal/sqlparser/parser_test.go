@@ -276,3 +276,44 @@ func TestCanonicalizeSQL(t *testing.T) {
 		t.Fatalf("fallback: %q", got)
 	}
 }
+
+func TestCanonicalizeSQLParameterVariants(t *testing.T) {
+	// Every literal kind — ints, floats, strings, and negative numbers via a
+	// unary minus — must collapse to the same placeholder, so parameter
+	// variants share one canonical form (and thus one plan cache entry and
+	// one calibration identity).
+	variants := []string{
+		"SELECT x FROM t WHERE y > 100",
+		"SELECT x FROM t WHERE y > 2.5",
+		"SELECT x FROM t WHERE y > -100",
+		"SELECT x FROM t WHERE y > -2.5",
+		"select x from t where y > 'k'",
+	}
+	want := CanonicalizeSQL(variants[0])
+	for _, v := range variants[1:] {
+		if got := CanonicalizeSQL(v); got != want {
+			t.Errorf("%q: canonical %q, want %q", v, got, want)
+		}
+	}
+	// A binary minus is arithmetic, not a sign: it must survive, and its own
+	// parameter variants must share a form distinct from the plain
+	// comparison.
+	bin := CanonicalizeSQL("SELECT x FROM t WHERE y - 5 > 100")
+	if !strings.Contains(bin, "-") {
+		t.Fatalf("binary minus folded away: %q", bin)
+	}
+	if bin == want {
+		t.Fatalf("subtraction and comparison must differ: %q", bin)
+	}
+	if b2 := CanonicalizeSQL("SELECT x FROM t WHERE y - 50 > 1"); b2 != bin {
+		t.Fatalf("binary-minus variants must share form: %q vs %q", b2, bin)
+	}
+	// A closing paren terminates an operand, so the minus after it is binary.
+	if got := CanonicalizeSQL("SELECT ( y ) - 5 FROM t"); !strings.Contains(got, "-") {
+		t.Fatalf("minus after paren folded away: %q", got)
+	}
+	// Lex errors (unterminated string) fall back to whitespace collapsing.
+	if got := CanonicalizeSQL("SELECT 'oops  FROM t"); got != "SELECT 'oops FROM t" {
+		t.Fatalf("lex-error fallback: %q", got)
+	}
+}

@@ -32,6 +32,11 @@ type Candidate struct {
 	// CostKnown is false for sources (file wrappers) that cannot estimate;
 	// Plan.Est is zero in that case and QCC must supply a seed estimate.
 	CostKnown bool
+	// Versions snapshots the referenced tables' mutation counters as of this
+	// explain (taken BEFORE plan enumeration, so a concurrent mutation makes
+	// the snapshot conservatively stale). The federated plan cache compares
+	// them against TableVersions to invalidate cached compilations.
+	Versions map[string]int64
 }
 
 // ExecOutcome is the wrapper-observed outcome of executing a fragment.
@@ -54,6 +59,10 @@ type Wrapper interface {
 	TableSchema(table string) (*sqltypes.Schema, error)
 	// Explain returns candidate plans for the fragment.
 	Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error)
+	// TableVersions snapshots the current mutation counters of the named
+	// tables — a cheap local read (no simulated network traffic) used to
+	// validate cached compilations.
+	TableVersions(tables []string) (map[string]int64, error)
 	// Execute runs an execution descriptor. The context carries cancellation
 	// (a sibling fragment failed) and an optional virtual-time deadline.
 	Execute(ctx context.Context, plan *remote.Plan) (*ExecOutcome, error)
@@ -94,6 +103,7 @@ func (w *Relational) Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error) {
 	if link := w.topo.Link(w.server.ID()); link != nil && link.Down() {
 		return nil, &network.ErrPartitioned{Dest: w.server.ID()}
 	}
+	versions := versionSnapshot(w.server, stmt)
 	plans, err := w.server.Explain(stmt)
 	if err != nil {
 		return nil, err
@@ -107,9 +117,14 @@ func (w *Relational) Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error) {
 			cp.Est.TotalMS += float64(link.StaticTransferTime(len(cp.SQL)) + link.StaticTransferTime(cp.Est.OutBytes))
 			cp.Est.FirstTupleMS += float64(link.StaticTransferTime(len(cp.SQL)))
 		}
-		out[i] = Candidate{Plan: &cp, RawEst: cp.Est, CostKnown: true}
+		out[i] = Candidate{Plan: &cp, RawEst: cp.Est, CostKnown: true, Versions: versions}
 	}
 	return out, nil
+}
+
+// TableVersions implements Wrapper.
+func (w *Relational) TableVersions(tables []string) (map[string]int64, error) {
+	return serverTableVersions(w.server, tables)
 }
 
 // Execute implements Wrapper.
@@ -147,6 +162,31 @@ func executeOverNetwork(ctx context.Context, server *remote.Server, topo *networ
 		return nil, err
 	}
 	return out, nil
+}
+
+// versionSnapshot captures the referenced tables' versions before an
+// explain; a missing table yields a nil snapshot (the explain itself will
+// report the error).
+func versionSnapshot(server *remote.Server, stmt *sqlparser.SelectStmt) map[string]int64 {
+	refs := stmt.Tables()
+	names := make([]string, len(refs))
+	for i, tr := range refs {
+		names[i] = tr.Name
+	}
+	versions, ok := server.TableVersions(names)
+	if !ok {
+		return nil
+	}
+	return versions
+}
+
+// serverTableVersions is the shared TableVersions implementation.
+func serverTableVersions(server *remote.Server, tables []string) (map[string]int64, error) {
+	versions, ok := server.TableVersions(tables)
+	if !ok {
+		return nil, fmt.Errorf("wrapper: %s does not host all of %v", server.ID(), tables)
+	}
+	return versions, nil
 }
 
 // probeOverNetwork is the shared availability probe: round trip + server
@@ -197,6 +237,7 @@ func (w *File) Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error) {
 	if link := w.topo.Link(w.server.ID()); link != nil && link.Down() {
 		return nil, &network.ErrPartitioned{Dest: w.server.ID()}
 	}
+	versions := versionSnapshot(w.server, stmt)
 	plans, err := w.server.Explain(stmt)
 	if err != nil {
 		return nil, err
@@ -211,7 +252,12 @@ func (w *File) Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error) {
 	}
 	cp := *chosen
 	cp.Est = remote.CostEstimate{}
-	return []Candidate{{Plan: &cp, CostKnown: false}}, nil
+	return []Candidate{{Plan: &cp, CostKnown: false, Versions: versions}}, nil
+}
+
+// TableVersions implements Wrapper.
+func (w *File) TableVersions(tables []string) (map[string]int64, error) {
+	return serverTableVersions(w.server, tables)
 }
 
 // Execute implements Wrapper.

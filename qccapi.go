@@ -99,6 +99,10 @@ func (f *Federation) EnableQCC(opts QCCOptions) *Calibrator {
 		DisableDaemons: opts.DisableDaemons,
 	}
 	f.qcc = qcc.Attach(cfg, f.ii)
+	// Align the federated plan cache's staleness bound with the load
+	// balancer's rotation refresh interval: a cached compilation never
+	// outlives the rotation epoch its routing was derived under.
+	f.ii.SetPlanCacheMaxAge(f.qcc.PlanRefreshInterval())
 	return &Calibrator{q: f.qcc, fed: f}
 }
 

@@ -115,6 +115,10 @@ type SessionStats struct {
 	MaxResponse   Time
 }
 
+// PlanCacheStats snapshots the federation's plan cache counters — the cache
+// is shared across sessions, so this mirrors Federation.PlanCacheStats.
+func (s *Session) PlanCacheStats() PlanCacheStats { return s.fed.PlanCacheStats() }
+
 // Stats returns a snapshot of the session's counters.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
