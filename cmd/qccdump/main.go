@@ -15,12 +15,16 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 50, "table-size divisor")
+	telemetry := flag.Bool("telemetry", false, "collect and dump traces, metrics and the calibration timeline")
 	flag.Parse()
 
 	fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: *scale})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qccdump:", err)
 		os.Exit(1)
+	}
+	if *telemetry {
+		fed.EnableTelemetry()
 	}
 	cal := fed.EnableQCC(fedqcc.QCCOptions{})
 
@@ -68,6 +72,16 @@ func main() {
 		}
 		fmt.Printf("  [%8s] %-3s %.2fms\n", e.SubmitAt, status, float64(e.ResponseTime))
 	}
+
+	if *telemetry {
+		tel := fed.Telemetry()
+		fmt.Println("\nlast query trace:")
+		fmt.Print(tel.Tracer().Last().Tree())
+		fmt.Println("\nmetrics:")
+		fmt.Print(fedqcc.FormatMetrics(tel.Metrics()))
+		fmt.Println("\ncalibration timeline:")
+		fmt.Print(fedqcc.FormatTimeline(tel.Timelines()))
+	}
 }
 
 func step(fed *fedqcc.Federation, cal *fedqcc.Calibrator, title string, fn func()) {
@@ -77,9 +91,9 @@ func step(fed *fedqcc.Federation, cal *fedqcc.Calibrator, title string, fn func(
 		fmt.Printf("  %s: factor=%.3f reliability=%.3f fenced=%v\n",
 			id, cal.ServerFactor(id), cal.ReliabilityFactor(id), cal.IsFenced(id))
 	}
-	compiles, runs, errs := cal.Stats()
+	st := cal.StatsSnapshot()
 	fmt.Printf("  cycle=%s compiles=%d runs=%d errors=%d t=%s\n\n",
-		cal.RecalibrationInterval(), compiles, runs, errs, fed.Now())
+		cal.RecalibrationInterval(), st.Compiles, st.Runs, st.Errors, fed.Now())
 }
 
 func must(res *fedqcc.QueryResult, err error) {

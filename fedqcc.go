@@ -42,6 +42,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/simclock"
 	"repro/internal/sqltypes"
+	"repro/internal/telemetry"
 )
 
 // Re-exported fundamental types. These are stable aliases into the engine's
@@ -61,6 +62,11 @@ type (
 	// StatementCacheStats snapshots one remote server's statement-cache
 	// counters, including LRU evictions.
 	StatementCacheStats = remote.StatementCacheStats
+	// Telemetry is the observability subsystem: per-query traces, the
+	// metrics registry and calibration timelines (see EnableTelemetry).
+	Telemetry = telemetry.Telemetry
+	// Trace is one query's span tree on virtual time.
+	Trace = telemetry.Trace
 )
 
 // Federation is a fully-wired federated system: remote servers, network,
@@ -74,6 +80,7 @@ type Federation struct {
 	iiNode  *remote.Server
 	ii      *integrator.II
 	qcc     *qcc.QCC
+	tel     *telemetry.Telemetry
 }
 
 // FederationOptions configures the canned paper federation.
@@ -106,6 +113,19 @@ func NewReplicaFederation(opts FederationOptions) (*Federation, error) {
 }
 
 func fromScenario(sc *scenario.Scenario) *Federation {
+	// Telemetry is always constructed and wired but starts disabled: every
+	// instrumentation site no-ops behind one atomic load until
+	// EnableTelemetry flips it on.
+	tel := telemetry.New(telemetry.Config{})
+	sc.II.SetTelemetry(tel)
+	sc.MW.SetTelemetry(tel)
+	sc.Topo.SetTelemetry(tel)
+	for _, srv := range sc.Servers {
+		srv.SetTelemetry(tel)
+	}
+	if sc.IINode != nil {
+		sc.IINode.SetTelemetry(tel)
+	}
 	return &Federation{
 		clock:   sc.Clock,
 		servers: sc.Servers,
@@ -114,8 +134,33 @@ func fromScenario(sc *scenario.Scenario) *Federation {
 		mw:      sc.MW,
 		iiNode:  sc.IINode,
 		ii:      sc.II,
+		tel:     tel,
 	}
 }
+
+// Telemetry returns the federation's observability subsystem. It is always
+// non-nil but collects nothing until EnableTelemetry switches it on.
+func (f *Federation) Telemetry() *Telemetry { return f.tel }
+
+// EnableTelemetry switches the observability subsystem on and returns it:
+// subsequent queries produce span traces, the metrics registry fills, and
+// recalibration cycles append to the calibration timeline.
+func (f *Federation) EnableTelemetry() *Telemetry {
+	f.tel.SetEnabled(true)
+	return f.tel
+}
+
+// DisableTelemetry switches the observability subsystem off. Collected
+// traces, metrics and timelines are retained for inspection.
+func (f *Federation) DisableTelemetry() { f.tel.SetEnabled(false) }
+
+// FormatMetrics renders a metrics registry (Telemetry().Metrics()) as an
+// aligned human-readable table.
+func FormatMetrics(r *telemetry.Registry) string { return telemetry.FormatMetrics(r) }
+
+// FormatTimeline renders the calibration-factor timeline
+// (Telemetry().Timelines()) grouped by server in time order.
+func FormatTimeline(ts *telemetry.TimelineStore) string { return telemetry.FormatTimeline(ts) }
 
 // Clock returns the federation's virtual clock.
 func (f *Federation) Clock() *simclock.Clock { return f.clock }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
+	"repro/internal/telemetry"
 )
 
 // RoutePolicy lets QCC substitute an alternative global plan for load
@@ -82,6 +83,8 @@ type Config struct {
 	// PatrollerCapacity bounds the query patroller's retained log entries:
 	// 0 selects DefaultPatrollerCapacity, negative disables the bound.
 	PatrollerCapacity int
+	// Telemetry is the observability subsystem (nil or disabled is a no-op).
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultRetries is the retry count used when Config.Retries is nil.
@@ -153,6 +156,14 @@ func (ii *II) SetRerouter(r RuntimeRerouter) { ii.cfg.Reroute = r }
 // merge work during optimization.
 func (ii *II) SetIICalibrator(c optimizer.IICalibrator) { ii.opt.IICalib = c }
 
+// Telemetry exposes the observability subsystem (may be nil).
+func (ii *II) Telemetry() *telemetry.Telemetry { return ii.cfg.Telemetry }
+
+// SetTelemetry installs the observability subsystem (nil disables). Like the
+// other setters, install before serving queries; runtime on/off switching
+// goes through telemetry.SetEnabled.
+func (ii *II) SetTelemetry(t *telemetry.Telemetry) { ii.cfg.Telemetry = t }
+
 // PlanCacheStats snapshots the federated plan cache's counters.
 func (ii *II) PlanCacheStats() PlanCacheStats { return ii.plans.snapshot() }
 
@@ -202,12 +213,24 @@ func (ii *II) Query(sql string) (*QueryResult, error) {
 // times, independent of goroutine interleaving).
 func (ii *II) QueryContext(ctx context.Context, sql string) (*QueryResult, error) {
 	logID := ii.patroller.Submit(sql, ii.cfg.Clock.Now())
+	tel := ii.cfg.Telemetry
+	trace := tel.StartTrace(sql, ii.cfg.Clock.Now())
+	if trace != nil {
+		ctx = telemetry.ContextWithSpan(ctx, trace.Root)
+	}
 	res, err := ii.run(ctx, sql)
 	ii.cfg.Clock.AdvanceTo(ii.cfg.Clock.Now()) // flush due events
 	if err != nil {
+		tel.Active().Counter("ii.query_errors", "").Inc()
+		tel.Tracer().FinishTrace(trace, err)
 		ii.patroller.Complete(logID, ii.cfg.Clock.Now(), err)
 		return nil, err
 	}
+	if trace != nil {
+		trace.Root.End(res.ResponseTime)
+		tel.Tracer().FinishTrace(trace, nil)
+	}
+	tel.Active().Counter("ii.queries", "").Inc()
 	_, end := ii.cfg.Clock.Charge(res.ResponseTime)
 	ii.patroller.CompleteWithResponse(logID, end, res.ResponseTime, nil)
 	return res, nil
@@ -218,7 +241,7 @@ func (ii *II) QueryContext(ctx context.Context, sql string) (*QueryResult, error
 // served from the federated plan cache (plancache.go) while its entry stays
 // valid: only calibration, winner re-pick and routing re-run on a hit.
 func (ii *II) Compile(sql string) (*optimizer.GlobalPlan, error) {
-	return ii.compile(sql, nil)
+	return ii.compile(context.Background(), sql, nil)
 }
 
 // compile is the cache-aware compilation path. exclude (may be nil) steers
@@ -227,13 +250,18 @@ func (ii *II) Compile(sql string) (*optimizer.GlobalPlan, error) {
 // re-Explains every candidate, which is what discovers whether a failed
 // server is really gone — a transient failure may retry on the same (still
 // cheapest) source, exactly as before the cache existed.
-func (ii *II) compile(sql string, exclude optimizer.ExcludeFunc) (*optimizer.GlobalPlan, error) {
+func (ii *II) compile(ctx context.Context, sql string, exclude optimizer.ExcludeFunc) (*optimizer.GlobalPlan, error) {
 	now := ii.cfg.Clock.Now()
+	sp := telemetry.SpanFrom(ctx)
+	tel := ii.cfg.Telemetry
 	if cc := ii.plans.lookup(sql); cc != nil {
 		if cause := ii.validateCached(cc, now); cause != "" {
 			ii.plans.invalidate(sql, cause)
 		} else if gps, err := ii.opt.EnumerateFromOptions(cc.stmt, cc.decomp, cc.frags, 1, exclude); err == nil {
 			ii.plans.recordHit()
+			tel.Active().Counter("ii.plancache_hits", "").Inc()
+			sp.Emit("plancache.lookup", telemetry.LayerII, "", 0).SetAttr("hit", "true")
+			sp.Emit("calibrate", telemetry.LayerQCC, "", 0)
 			return ii.finishCompile(gps[0]), nil
 		} else {
 			// Every cached candidate for some fragment is excluded or fenced:
@@ -242,12 +270,15 @@ func (ii *II) compile(sql string, exclude optimizer.ExcludeFunc) (*optimizer.Glo
 			ii.plans.recordMiss()
 		}
 	}
+	sp.Emit("plancache.lookup", telemetry.LayerII, "", 0).SetAttr("hit", "false")
+	tel.Active().Counter("ii.plancache_misses", "").Inc()
 
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	decomp, frags, err := ii.opt.Collect(stmt)
+	sp.Emit("parse", telemetry.LayerII, "", 0)
+	decomp, frags, err := ii.opt.CollectContext(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +286,7 @@ func (ii *II) compile(sql string, exclude optimizer.ExcludeFunc) (*optimizer.Glo
 	// now (fenced), the collected raw candidates stay valid for when the
 	// fence lifts.
 	ii.plans.insert(newCachedCompilation(sql, stmt, decomp, frags, ii.cfg.MW, now))
+	sp.Emit("calibrate", telemetry.LayerQCC, "", 0)
 	gps, err := ii.opt.EnumerateFromOptions(stmt, decomp, frags, 1, nil)
 	if err != nil {
 		return nil, err
@@ -367,7 +399,7 @@ func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
 			ex := excluded
 			exclude = func(fragID, serverID string) bool { return ex[fragID][serverID] }
 		}
-		gp, err := ii.compile(sql, exclude)
+		gp, err := ii.compile(ctx, sql, exclude)
 		if err != nil {
 			return nil, err
 		}
@@ -386,6 +418,12 @@ func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
 				excluded[fe.FragID] = map[string]bool{}
 			}
 			excluded[fe.FragID][fe.ServerID] = true
+		}
+		if attempt < ii.retries {
+			ii.cfg.Telemetry.Active().Counter("ii.retries", "").Inc()
+			rs := telemetry.SpanFrom(ctx).Emit("retry", telemetry.LayerII, "", 0)
+			rs.SetAttr("attempt", fmt.Sprint(attempt+1))
+			rs.SetAttr("cause", err.Error())
 		}
 		if attempt >= ii.retries {
 			// attempt counts the retries already consumed: the failed run
@@ -432,6 +470,7 @@ type fragOutcome struct {
 // cancels the remaining dispatches; every dispatch context carries the
 // per-fragment virtual-time deadline when Config.FragmentBudget is set.
 func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*QueryResult, error) {
+	root := telemetry.SpanFrom(ctx)
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	fctx = simclock.WithDeadline(fctx, ii.cfg.FragmentBudget)
@@ -462,18 +501,38 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 			if fctx.Err() != nil {
 				return
 			}
+			rerouted := false
 			if ii.cfg.Reroute != nil {
 				if alt := ii.cfg.Reroute.RerouteFragment(f); alt != nil {
 					f = *alt
+					rerouted = true
 				}
 			}
-			out, err := ii.cfg.MW.ExecuteFragment(fctx, f.ServerID, f.Spec.Stmt.String(), f.Plan, f.RawEst)
+			fspan := root.Child("fragment", telemetry.LayerMW, f.ServerID)
+			fspan.SetAttr("frag", f.Spec.ID)
+			if rerouted {
+				fspan.SetAttr("rerouted", "true")
+				ii.cfg.Telemetry.Active().Counter("ii.reroutes", f.ServerID).Inc()
+			}
+			// Queue wait is zero in virtual time: the dispatch semaphore bounds
+			// REAL concurrency only — every fragment starts at the same virtual
+			// instant. The sub-span records the model's claim explicitly.
+			fspan.Emit("queue", telemetry.LayerII, "", 0)
+			dctx := fctx
+			if fspan != nil {
+				dctx = telemetry.ContextWithSpan(fctx, fspan)
+			}
+			out, err := ii.cfg.MW.ExecuteFragment(dctx, f.ServerID, f.Spec.Stmt.String(), f.Plan, f.RawEst)
 			if err != nil {
+				fspan.SetAttr("error", err.Error())
+				fspan.End(0)
 				if fctx.Err() == nil || ctx.Err() != nil {
 					fail(&FragmentError{FragID: f.Spec.ID, ServerID: f.ServerID, Err: err})
 				}
 				return
 			}
+			fspan.End(out.ResponseTime)
+			ii.cfg.Telemetry.Active().Counter("ii.fragments", f.ServerID).Inc()
 			outcomes[i] = fragOutcome{
 				rel:      out.Result.Rel,
 				respTime: out.ResponseTime,
@@ -507,6 +566,10 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 	if err != nil {
 		return nil, err
 	}
+	// The parallel remote phase occupies max(fragment times) of the root's
+	// virtual timeline; the merge follows it sequentially.
+	root.Advance(remotePhase)
+	root.Emit("merge", telemetry.LayerII, "", mergeTime)
 	if ii.cfg.MergeObs != nil {
 		ii.cfg.MergeObs.ObserveIIMerge(gp.MergeEstMS, mergeTime)
 	}

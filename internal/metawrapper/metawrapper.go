@@ -12,11 +12,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/remote"
 	"repro/internal/simclock"
 	"repro/internal/sqlparser"
+	"repro/internal/telemetry"
 	"repro/internal/wrapper"
 )
 
@@ -77,6 +79,7 @@ type MetaWrapper struct {
 	observer Observer
 	calib    Calibrator
 	masked   map[string]bool
+	tel      *telemetry.Telemetry
 	log      mwLog
 }
 
@@ -101,6 +104,19 @@ func (mw *MetaWrapper) SetCalibrator(c Calibrator) {
 	mw.mu.Lock()
 	defer mw.mu.Unlock()
 	mw.calib = c
+}
+
+// SetTelemetry installs the observability subsystem (nil disables).
+func (mw *MetaWrapper) SetTelemetry(t *telemetry.Telemetry) {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	mw.tel = t
+}
+
+func (mw *MetaWrapper) telemetry() *telemetry.Telemetry {
+	mw.mu.RLock()
+	defer mw.mu.RUnlock()
+	return mw.tel
 }
 
 // Wrapper returns the wrapper for a server, or nil.
@@ -164,22 +180,38 @@ func (mw *MetaWrapper) observerAndCalib() (Observer, Calibrator) {
 // ExplainFragment asks one server's wrapper for candidate plans, records the
 // compile-time information, and returns candidates with CALIBRATED costs.
 func (mw *MetaWrapper) ExplainFragment(serverID string, stmt *sqlparser.SelectStmt) ([]wrapper.Candidate, error) {
+	return mw.ExplainFragmentContext(context.Background(), serverID, stmt)
+}
+
+// ExplainFragmentContext is ExplainFragment under a context carrying the
+// active trace span: each call records one per-candidate remote-planning
+// span. Remote planning is free in virtual time (compile cost is not charged
+// to the clock), so the spans carry zero duration but preserve structure and
+// outcome.
+func (mw *MetaWrapper) ExplainFragmentContext(ctx context.Context, serverID string, stmt *sqlparser.SelectStmt) ([]wrapper.Candidate, error) {
+	sp := telemetry.SpanFrom(ctx).Emit("remote.plan", telemetry.LayerMW, serverID, 0)
 	if mw.Masked(serverID) {
+		sp.SetAttr("error", "masked")
 		return nil, fmt.Errorf("metawrapper: server %s is masked", serverID)
 	}
 	w := mw.Wrapper(serverID)
 	if w == nil {
+		sp.SetAttr("error", "unknown server")
 		return nil, fmt.Errorf("metawrapper: unknown server %q", serverID)
 	}
 	obs, calib := mw.observerAndCalib()
 	cands, err := w.Explain(stmt)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		mw.telemetry().Active().Counter("mw.explain_errors", serverID).Inc()
 		if obs != nil {
 			obs.ObserveError(serverID, err)
 		}
 		mw.log.addError(ErrorLogEntry{ServerID: serverID, Err: err.Error()})
 		return nil, err
 	}
+	sp.SetAttr("candidates", strconv.Itoa(len(cands)))
+	mw.telemetry().Active().Counter("mw.explains", serverID).Inc()
 	key := FragmentKey{ServerID: serverID, Signature: sqlparser.CanonicalizeSQL(stmt.String())}
 	out := make([]wrapper.Candidate, len(cands))
 	for i, c := range cands {
@@ -260,12 +292,14 @@ func (mw *MetaWrapper) ExecuteFragment(ctx context.Context, serverID, fragSig st
 			// Cancellation is the integrator's doing, not the source's.
 			return nil, err
 		}
+		mw.telemetry().Active().Counter("mw.errors", serverID).Inc()
 		if obs != nil {
 			obs.ObserveError(serverID, err)
 		}
 		mw.log.addError(ErrorLogEntry{ServerID: serverID, Err: err.Error()})
 		return nil, err
 	}
+	mw.telemetry().Active().Histogram("mw.response_ms", serverID, nil).Observe(float64(out.ResponseTime))
 	if obs != nil {
 		obs.ObserveRun(RunRecord{
 			Key:      FragmentKey{ServerID: serverID, Signature: sqlparser.CanonicalizeSQL(fragSig)},
@@ -294,6 +328,9 @@ func (mw *MetaWrapper) Probe(ctx context.Context, serverID string) (simclock.Tim
 	}
 	obs, _ := mw.observerAndCalib()
 	rtt, err := w.Probe(ctx)
+	if err == nil {
+		mw.telemetry().Active().Histogram("network.rtt_ms", serverID, nil).Observe(float64(rtt))
+	}
 	if obs != nil && ctx.Err() == nil {
 		obs.ObserveProbe(serverID, rtt, err)
 	}

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // Link models one direction-agnostic network path.
@@ -151,6 +152,21 @@ func (l *Link) StaticTransferTime(payloadBytes int) simclock.Time {
 type Topology struct {
 	mu    sync.RWMutex
 	links map[string]*Link
+	tel   *telemetry.Telemetry
+}
+
+// SetTelemetry installs the observability subsystem: every successful
+// Transfer feeds the per-destination transfer-time histogram. Nil disables.
+func (t *Topology) SetTelemetry(tel *telemetry.Telemetry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tel = tel
+}
+
+func (t *Topology) telemetry() *telemetry.Telemetry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tel
 }
 
 // NewTopology returns an empty topology.
@@ -185,7 +201,9 @@ func (t *Topology) Transfer(ctx context.Context, dest string, payloadBytes int) 
 	if l.Down() {
 		return 0, &ErrPartitioned{Dest: dest}
 	}
-	return l.TransferTime(payloadBytes), nil
+	tt := l.TransferTime(payloadBytes)
+	t.telemetry().Active().Histogram("network.transfer_ms", dest, nil).Observe(float64(tt))
+	return tt, nil
 }
 
 // RoundTrip computes request+response transfer time to dest.

@@ -1,9 +1,11 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/catalog"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/metawrapper"
 	"repro/internal/remote"
 	"repro/internal/sqlparser"
+	"repro/internal/telemetry"
 )
 
 // FragmentChoice is one fragment's selected (server, plan) pair in a global
@@ -155,16 +158,25 @@ func (o *Optimizer) Enumerate(stmt *sqlparser.SelectStmt, topK int) ([]*GlobalPl
 // only on the statement, the catalog and remote table state, never on
 // calibration factors.
 func (o *Optimizer) Collect(stmt *sqlparser.SelectStmt) (*Decomposition, []FragmentOptions, error) {
+	return o.CollectContext(context.Background(), stmt)
+}
+
+// CollectContext is Collect under a context carrying the active trace span,
+// so each candidate server's remote planning round-trip is recorded as a
+// per-candidate span.
+func (o *Optimizer) CollectContext(ctx context.Context, stmt *sqlparser.SelectStmt) (*Decomposition, []FragmentOptions, error) {
 	decomp, err := Decompose(stmt, o.Catalog)
 	if err != nil {
 		return nil, nil, err
 	}
+	telemetry.SpanFrom(ctx).Emit("decompose", telemetry.LayerII, "", 0).
+		SetAttr("fragments", strconv.Itoa(len(decomp.Fragments)))
 	frags := make([]FragmentOptions, len(decomp.Fragments))
 	for i, frag := range decomp.Fragments {
 		fo := FragmentOptions{Spec: frag, Sig: sqlparser.CanonicalizeSQL(frag.Stmt.String())}
 		var lastErr error
 		for _, serverID := range frag.Candidates {
-			cands, err := o.MW.ExplainFragment(serverID, frag.Stmt)
+			cands, err := o.MW.ExplainFragmentContext(ctx, serverID, frag.Stmt)
 			if err != nil {
 				lastErr = err
 				continue

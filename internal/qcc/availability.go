@@ -41,21 +41,29 @@ func NewAvailability(cfg AvailabilityConfig) *Availability {
 	return &Availability{cfg: cfg, down: map[string]bool{}, downEvents: map[string]int{}}
 }
 
-// MarkDown fences a server off.
-func (a *Availability) MarkDown(serverID string) {
+// MarkDown fences a server off. It reports whether this call was the
+// up→down transition (false when the server was already fenced).
+func (a *Availability) MarkDown(serverID string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down[serverID] {
+		return false
+	}
+	a.down[serverID] = true
+	a.downEvents[serverID]++
+	return true
+}
+
+// MarkUp restores a server. It reports whether this call was the down→up
+// transition (false when the server was already up).
+func (a *Availability) MarkUp(serverID string) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if !a.down[serverID] {
-		a.down[serverID] = true
-		a.downEvents[serverID]++
+		return false
 	}
-}
-
-// MarkUp restores a server.
-func (a *Availability) MarkUp(serverID string) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.down[serverID] = false
+	return true
 }
 
 // IsDown reports the fenced state.

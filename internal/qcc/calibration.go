@@ -145,7 +145,15 @@ type Calibration struct {
 	pubII       float64
 	pubProbe    map[string]float64
 	publishes   int64
+
+	// hook receives each publish's factor snapshot (telemetry timelines).
+	hook PublishHook
 }
+
+// PublishHook receives the effective per-server factors and the II workload
+// factor each time Publish runs. It is invoked AFTER the calibration lock is
+// released — implementations may freely call back into the store.
+type PublishHook func(at simclock.Time, serverFactors map[string]float64, iiFactor float64)
 
 // NewCalibration builds a calibration store.
 func NewCalibration(cfg CalibrationConfig) *Calibration {
@@ -215,12 +223,19 @@ func (c *Calibration) RecordProbe(serverID string, rtt float64) {
 	c.probeLatest[serverID] = rtt
 }
 
+// SetPublishHook installs (or clears, with nil) the per-publish snapshot
+// hook.
+func (c *Calibration) SetPublishHook(h PublishHook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = h
+}
+
 // Publish recomputes the published factors from current histories and
 // returns the maximum relative drift across servers — the signal the cycle
 // controller adapts on (§3.4).
 func (c *Calibration) Publish(now simclock.Time) float64 {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.publishes++
 	maxDrift := 0.0
 	for id, h := range c.perServer {
@@ -250,6 +265,27 @@ func (c *Calibration) Publish(now simclock.Time) float64 {
 	}
 	for id := range c.probeLatest {
 		c.pubProbe[id] = c.probeFactorLocked(id)
+	}
+	// Snapshot for the hook while locked, invoke after unlocking: the hook
+	// may read ServerFactor and friends, which take this lock.
+	hook := c.hook
+	var snap map[string]float64
+	var iiFactor float64
+	if hook != nil {
+		snap = make(map[string]float64, len(c.pubServer)+len(c.pubProbe))
+		for id := range c.pubServer {
+			snap[id] = c.serverFactorLocked(id)
+		}
+		for id := range c.pubProbe {
+			if _, ok := snap[id]; !ok {
+				snap[id] = c.serverFactorLocked(id)
+			}
+		}
+		iiFactor = c.pubII
+	}
+	c.mu.Unlock()
+	if hook != nil {
+		hook(now, snap, iiFactor)
 	}
 	return maxDrift
 }
@@ -307,6 +343,10 @@ func (c *Calibration) FragmentFactor(key metawrapper.FragmentKey) float64 {
 func (c *Calibration) ServerFactor(serverID string) float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.serverFactorLocked(serverID)
+}
+
+func (c *Calibration) serverFactorLocked(serverID string) float64 {
 	if f, ok := c.pubServer[serverID]; ok {
 		return f
 	}

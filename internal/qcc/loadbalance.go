@@ -7,6 +7,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/simclock"
 	"repro/internal/sqlparser"
+	"repro/internal/telemetry"
 )
 
 // LBMode selects the load-distribution level (§4).
@@ -97,6 +98,7 @@ type LoadBalancer struct {
 	usages    map[string]*usage
 	// rotatedCount counts times an alternative (non-winner) plan was chosen.
 	rotatedCount int
+	tel          *telemetry.Telemetry
 }
 
 // NewLoadBalancer builds the balancer.
@@ -109,6 +111,14 @@ func NewLoadBalancer(cfg LBConfig, clock *simclock.Clock, enumerate EnumerateFun
 		rotations: map[string]*rotation{},
 		usages:    map[string]*usage{},
 	}
+}
+
+// SetTelemetry installs the observability subsystem: routing decisions feed
+// the per-server-set rotation distribution. Nil disables.
+func (lb *LoadBalancer) SetTelemetry(t *telemetry.Telemetry) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.tel = t
 }
 
 // Rotations reports how often an alternative plan was substituted.
@@ -179,8 +189,12 @@ func (lb *LoadBalancer) ChooseGlobal(queryText string, winner *optimizer.GlobalP
 	}
 	chosen := rot.plans[rot.idx%len(rot.plans)]
 	rot.idx++
+	if reg := lb.tel.Active(); reg != nil {
+		reg.Counter("qcc.lb_choices", chosen.ServerSetKey()).Inc()
+	}
 	if chosen.RouteKey() != winner.RouteKey() {
 		lb.rotatedCount++
+		lb.tel.Active().Counter("qcc.rotations", "").Inc()
 	}
 	return chosen
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/remote"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // Config wires a QCC instance.
@@ -32,6 +33,9 @@ type Config struct {
 	// FileSeedMultiplier scales a probe round-trip into the initial cost
 	// seed for no-estimate (file) sources (default 20).
 	FileSeedMultiplier float64
+	// Telemetry, when non-nil and enabled, receives calibration timelines,
+	// per-server factor gauges and fence/rotation/reroute counters.
+	Telemetry *telemetry.Telemetry
 	// DisableDaemons skips scheduling the availability and recalibration
 	// daemons; tests and harnesses then drive PublishNow/ProbeNow manually.
 	DisableDaemons bool
@@ -62,6 +66,7 @@ type QCC struct {
 	Rerouter *Rerouter
 
 	fileSeedMultiplier float64
+	tel                *telemetry.Telemetry
 
 	policyMu sync.RWMutex
 	policy   CostPolicy
@@ -88,12 +93,32 @@ func New(cfg Config) *QCC {
 		Avail:              NewAvailability(cfg.Availability),
 		Cycle:              NewCycleController(cfg.Cycle, calib),
 		fileSeedMultiplier: cfg.FileSeedMultiplier,
+		tel:                cfg.Telemetry,
 	}
+	// The publish hook feeds the calibration timeline and factor gauges on
+	// every recalibration cycle. It must be installed before the daemons
+	// start so no publish escapes observation.
+	calib.SetPublishHook(func(at simclock.Time, serverFactors map[string]float64, iiFactor float64) {
+		for id, f := range serverFactors {
+			q.tel.AppendFactor(at, id, f)
+		}
+		reg := q.tel.Active()
+		if reg == nil {
+			return
+		}
+		for id, f := range serverFactors {
+			reg.Gauge("qcc.calibration_factor", id).Set(f)
+		}
+		reg.Gauge("qcc.ii_factor", "").Set(iiFactor)
+		reg.Counter("qcc.publishes", "").Inc()
+	})
 	if cfg.Enumerate != nil {
 		q.LB = NewLoadBalancer(cfg.LB, cfg.Clock, cfg.Enumerate)
+		q.LB.SetTelemetry(cfg.Telemetry)
 	}
 	if cfg.Reroute.Enabled {
 		q.Rerouter = NewRerouter(cfg.Reroute, cfg.MW)
+		q.Rerouter.SetTelemetry(cfg.Telemetry)
 	}
 	if !cfg.DisableDaemons {
 		q.mu.Lock()
@@ -186,12 +211,31 @@ func (q *QCC) ProbeNow() {
 	}
 }
 
-// Stats reports QCC's interaction counters: compiles seen, runs observed,
-// errors recorded.
-func (q *QCC) Stats() (compiles, runs, errors int64) {
+// Stats is a consistent snapshot of QCC's interaction counters.
+type Stats struct {
+	// Compiles counts compile records observed.
+	Compiles int64
+	// Runs counts fragment runs observed.
+	Runs int64
+	// Errors counts fragment errors observed.
+	Errors int64
+}
+
+// StatsSnapshot returns a consistent snapshot of QCC's interaction counters:
+// compiles seen, runs observed, errors recorded.
+func (q *QCC) StatsSnapshot() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.compiles, q.runs, q.errors
+	return Stats{Compiles: q.compiles, Runs: q.runs, Errors: q.errors}
+}
+
+// Stats reports QCC's interaction counters.
+//
+// Deprecated: use StatsSnapshot, which returns a named struct instead of
+// positional values.
+func (q *QCC) Stats() (compiles, runs, errors int64) {
+	s := q.StatsSnapshot()
+	return s.Compiles, s.Runs, s.Errors
 }
 
 // ---- metawrapper.Observer ----
@@ -201,6 +245,7 @@ func (q *QCC) ObserveCompile(rec metawrapper.CompileRecord) {
 	q.mu.Lock()
 	q.compiles++
 	q.mu.Unlock()
+	q.tel.Active().Counter("qcc.compiles", "").Inc()
 }
 
 // ObserveRun implements metawrapper.Observer: the runtime response time is
@@ -212,7 +257,11 @@ func (q *QCC) ObserveRun(rec metawrapper.RunRecord) {
 	q.mu.Unlock()
 	q.Calib.RecordRun(q.clock.Now(), rec.Key, rec.Est.TotalMS, float64(rec.Observed))
 	q.Rel.RecordSuccess(rec.Key.ServerID)
-	q.Avail.MarkUp(rec.Key.ServerID)
+	if q.Avail.MarkUp(rec.Key.ServerID) {
+		q.tel.Active().Counter("qcc.unfences", rec.Key.ServerID).Inc()
+	}
+	q.noteServerHealth(rec.Key.ServerID)
+	q.tel.Active().Counter("qcc.runs", "").Inc()
 }
 
 // ObserveError implements metawrapper.Observer.
@@ -221,23 +270,44 @@ func (q *QCC) ObserveError(serverID string, err error) {
 	q.errors++
 	q.mu.Unlock()
 	q.Rel.RecordFailure(serverID)
-	if IsDownError(err) {
-		q.Avail.MarkDown(serverID)
+	if IsDownError(err) && q.Avail.MarkDown(serverID) {
+		q.tel.Active().Counter("qcc.fences", serverID).Inc()
 	}
+	q.noteServerHealth(serverID)
+	q.tel.Active().Counter("qcc.errors", "").Inc()
 }
 
 // ObserveProbe implements metawrapper.Observer.
 func (q *QCC) ObserveProbe(serverID string, rtt simclock.Time, err error) {
 	if err != nil {
 		q.Rel.RecordFailure(serverID)
-		if IsDownError(err) {
-			q.Avail.MarkDown(serverID)
+		if IsDownError(err) && q.Avail.MarkDown(serverID) {
+			q.tel.Active().Counter("qcc.fences", serverID).Inc()
 		}
+		q.noteServerHealth(serverID)
 		return
 	}
-	q.Avail.MarkUp(serverID)
+	if q.Avail.MarkUp(serverID) {
+		q.tel.Active().Counter("qcc.unfences", serverID).Inc()
+	}
 	q.Rel.RecordSuccess(serverID)
 	q.Calib.RecordProbe(serverID, float64(rtt))
+	q.noteServerHealth(serverID)
+}
+
+// noteServerHealth refreshes the per-server reliability and fence gauges
+// after any observation that may have moved them.
+func (q *QCC) noteServerHealth(serverID string) {
+	reg := q.tel.Active()
+	if reg == nil {
+		return
+	}
+	reg.Gauge("qcc.reliability_factor", serverID).Set(q.Rel.Factor(serverID))
+	fenced := 0.0
+	if q.Avail.IsDown(serverID) {
+		fenced = 1
+	}
+	reg.Gauge("qcc.fenced", serverID).Set(fenced)
 }
 
 // ---- metawrapper.Calibrator ----

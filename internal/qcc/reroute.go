@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metawrapper"
 	"repro/internal/optimizer"
+	"repro/internal/telemetry"
 )
 
 // RerouteConfig tunes runtime fragment rerouting — the paper's extension for
@@ -38,12 +39,21 @@ type Rerouter struct {
 	mw       *metawrapper.MetaWrapper
 	switched int64
 	checked  int64
+	tel      *telemetry.Telemetry
 }
 
 // NewRerouter builds the rerouter over the production meta-wrapper.
 func NewRerouter(cfg RerouteConfig, mw *metawrapper.MetaWrapper) *Rerouter {
 	cfg.fill()
 	return &Rerouter{cfg: cfg, mw: mw}
+}
+
+// SetTelemetry installs the observability subsystem: dispatch-time checks
+// and switches feed counters. Nil disables.
+func (r *Rerouter) SetTelemetry(t *telemetry.Telemetry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tel = t
 }
 
 // Switched reports how many fragments were moved at dispatch time, and how
@@ -61,7 +71,9 @@ func (r *Rerouter) RerouteFragment(choice optimizer.FragmentChoice) *optimizer.F
 	}
 	r.mu.Lock()
 	r.checked++
+	tel := r.tel
 	r.mu.Unlock()
+	tel.Active().Counter("qcc.reroute_checks", "").Inc()
 
 	currentCost := math.Inf(1)
 	best := choice
@@ -102,5 +114,6 @@ func (r *Rerouter) RerouteFragment(choice optimizer.FragmentChoice) *optimizer.F
 	r.mu.Lock()
 	r.switched++
 	r.mu.Unlock()
+	tel.Active().Counter("qcc.reroute_switches", best.ServerID).Inc()
 	return &best
 }

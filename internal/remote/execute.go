@@ -9,6 +9,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
+	"repro/internal/telemetry"
 )
 
 // Result is the outcome of executing a plan at the server.
@@ -50,11 +51,14 @@ func (s *Server) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
 		return nil, fmt.Errorf("remote: executing on %s: %w", s.id, err)
 	}
 	ectx.Res.OutBytes = rel.ByteSize()
-	return &Result{
+	res := &Result{
 		Rel:         rel,
 		ServiceTime: s.Observe(ectx.Res),
 		Resources:   ectx.Res,
-	}, nil
+	}
+	telemetry.SpanFrom(ctx).Emit("remote.exec", telemetry.LayerRemote, s.id, res.ServiceTime).
+		SetAttr("plan", p.Signature)
+	return res, nil
 }
 
 // ExecuteSQL explains and executes the cheapest plan — the path used by

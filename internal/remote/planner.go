@@ -47,8 +47,10 @@ func (s *Server) Explain(stmt *sqlparser.SelectStmt) ([]*Plan, error) {
 	cacheKey, versions, cacheable := s.cacheKeyAndVersions(stmt)
 	if cacheable {
 		if plans := s.planCache.lookup(cacheKey, versions); plans != nil {
+			s.telemetry().Active().Counter("remote.stmtcache_hits", s.id).Inc()
 			return plans, nil
 		}
+		s.telemetry().Active().Counter("remote.stmtcache_misses", s.id).Inc()
 	}
 	tables := stmt.Tables()
 	aliasToTable := map[string]string{}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // HardwareProfile describes the physical characteristics that a DBA would
@@ -108,6 +109,9 @@ type Server struct {
 	// planCache is the statement cache (see plancache.go).
 	planCache *planCache
 
+	// tel is the observability subsystem (nil/disabled is a no-op).
+	tel *telemetry.Telemetry
+
 	// induced-load state: recent service-time samples within the window.
 	induced InducedLoadProfile
 	clock   *simclock.Clock
@@ -134,6 +138,20 @@ func NewServer(cfg Config) *Server {
 		planCache:  newPlanCache(0),
 		induced:    cfg.InducedLoad,
 	}
+}
+
+// SetTelemetry installs the observability subsystem: statement-cache lookups
+// feed per-server hit/miss counters. Nil disables.
+func (s *Server) SetTelemetry(t *telemetry.Telemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = t
+}
+
+func (s *Server) telemetry() *telemetry.Telemetry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tel
 }
 
 // ID returns the server identifier.

@@ -161,6 +161,29 @@ func (s *Session) command(line string) {
 			hosts, _ := s.Fed.PlacementsOf(n)
 			fmt.Fprintf(s.Out, "-- %s on %s\n", n, strings.Join(hosts, ", "))
 		}
+	case "\\telemetry":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(s.Out, "usage: \\telemetry on|off")
+			return
+		}
+		if fields[1] == "on" {
+			s.Fed.EnableTelemetry()
+		} else {
+			s.Fed.DisableTelemetry()
+		}
+		fmt.Fprintf(s.Out, "-- telemetry %s\n", fields[1])
+	case "\\trace":
+		tel := s.Fed.Telemetry()
+		tr := tel.Tracer().Last()
+		if tr == nil {
+			fmt.Fprintln(s.Out, "-- no traces collected (try \\telemetry on, then run a query)")
+			return
+		}
+		fmt.Fprint(s.Out, tr.Tree())
+	case "\\metrics":
+		fmt.Fprint(s.Out, fedqcc.FormatMetrics(s.Fed.Telemetry().Metrics()))
+	case "\\timeline":
+		fmt.Fprint(s.Out, fedqcc.FormatTimeline(s.Fed.Telemetry().Timelines()))
 	default:
 		fmt.Fprintln(s.Out, "unknown command:", fields[0], "(try \\help)")
 	}
@@ -178,6 +201,10 @@ const helpText = `commands:
   \replicate <nick> <from> <to>  apply a replication
   \export <server> <table>     dump a table as CSV
   \log                         query patroller log
+  \telemetry on|off            toggle trace/metric collection
+  \trace                       span tree of the most recent query
+  \metrics                     metrics registry dump
+  \timeline                    calibration factor timeline per server
 `
 
 func indent(s string) string {

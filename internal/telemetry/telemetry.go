@@ -1,0 +1,139 @@
+// Package telemetry is the federation's zero-dependency observability
+// subsystem: per-query distributed traces timestamped on simclock virtual
+// time, a bounded metrics registry (counters, gauges, fixed-bucket
+// histograms), and calibration-factor timelines that make the paper's
+// central artifact — calibration factor vs. load over time — reproducible
+// from a live run.
+//
+// Everything is nil-safe and compiles to near-zero cost when disabled: a nil
+// *Telemetry (or a disabled one) hands out nil traces, nil spans and nil
+// instruments, and every method on those is a no-op. Instrumented layers
+// therefore never guard their telemetry calls; the zero value of the whole
+// subsystem is "off".
+//
+// Retention is bounded everywhere, mirroring the query patroller: the trace
+// ring evicts oldest traces, the metrics registry caps label cardinality,
+// and the timeline ring evicts oldest samples — each with an eviction/drop
+// counter so silent loss is visible.
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"repro/internal/simclock"
+)
+
+// Layer names the architectural layer a span belongs to. The acceptance bar
+// for a federated query trace is that all five execution layers appear:
+// II, meta-wrapper, wrapper, network and remote.
+type Layer string
+
+// The federation's layers, top to bottom.
+const (
+	LayerII      Layer = "ii"
+	LayerMW      Layer = "metawrapper"
+	LayerWrapper Layer = "wrapper"
+	LayerNetwork Layer = "network"
+	LayerRemote  Layer = "remote"
+	LayerQCC     Layer = "qcc"
+)
+
+// Config tunes the subsystem. The zero value selects all defaults with
+// collection DISABLED; call SetEnabled(true) (or set Enabled) to collect.
+type Config struct {
+	// Enabled starts the subsystem collecting immediately.
+	Enabled bool
+	// TraceCapacity bounds the retained trace ring (0 selects
+	// DefaultTraceCapacity, negative disables the bound).
+	TraceCapacity int
+	// MaxSeries caps distinct (metric, label) series in the registry (0
+	// selects DefaultMaxSeries, negative disables the bound).
+	MaxSeries int
+	// TimelineCapacity bounds retained calibration samples (0 selects
+	// DefaultTimelineCapacity, negative disables the bound).
+	TimelineCapacity int
+}
+
+// Telemetry bundles the tracer, the metrics registry and the calibration
+// timeline store behind one switchable handle.
+type Telemetry struct {
+	enabled  atomic.Bool
+	tracer   *Tracer
+	metrics  *Registry
+	timeline *TimelineStore
+}
+
+// New builds a Telemetry handle.
+func New(cfg Config) *Telemetry {
+	t := &Telemetry{
+		tracer:   NewTracer(cfg.TraceCapacity),
+		metrics:  NewRegistry(cfg.MaxSeries),
+		timeline: NewTimelineStore(cfg.TimelineCapacity),
+	}
+	t.enabled.Store(cfg.Enabled)
+	return t
+}
+
+// Enabled reports whether collection is on. Nil-safe.
+func (t *Telemetry) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled switches collection on or off. Disabling stops new traces,
+// metric updates and timeline appends but retains everything already
+// collected. Nil-safe no-op.
+func (t *Telemetry) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Tracer returns the trace ring (always, for inspection). Nil-safe.
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Metrics returns the registry (always, for inspection). Nil-safe.
+func (t *Telemetry) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// Timelines returns the calibration timeline store (always, for inspection).
+// Nil-safe.
+func (t *Telemetry) Timelines() *TimelineStore {
+	if t == nil {
+		return nil
+	}
+	return t.timeline
+}
+
+// Active returns the registry only while collection is enabled — the fast
+// path instrumented layers use, so a disabled subsystem costs one atomic
+// load per call site. Nil-safe.
+func (t *Telemetry) Active() *Registry {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	return t.metrics
+}
+
+// StartTrace opens a trace for one query when collection is enabled,
+// retaining it in the trace ring immediately (an in-flight query is
+// observable). Returns nil — and the query runs untraced — when disabled.
+func (t *Telemetry) StartTrace(query string, at simclock.Time) *Trace {
+	if !t.Enabled() {
+		return nil
+	}
+	return t.tracer.StartTrace(query, at)
+}
+
+// AppendFactor records one calibration-factor sample when enabled. Nil-safe.
+func (t *Telemetry) AppendFactor(at simclock.Time, server string, factor float64) {
+	if t.Enabled() {
+		t.timeline.Append(at, server, factor)
+	}
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// DefaultTraceCapacity bounds the trace ring when no capacity is configured.
+const DefaultTraceCapacity = 256
+
+// TraceSink receives every finished trace — wire an exporter (file, test
+// collector) without polling the ring. The sink runs synchronously on the
+// query's completion path; keep it cheap.
+type TraceSink interface {
+	ExportTrace(t *Trace)
+}
+
+// Tracer retains recent traces in a bounded ring, evicting oldest first,
+// mirroring the query patroller's retention scheme. Evictions are counted so
+// silent drops are visible.
+type Tracer struct {
+	mu     sync.Mutex
+	nextID int64
+	traces []*Trace
+	// head indexes the oldest retained trace.
+	head int
+	// capacity bounds retained traces; <= 0 means unbounded.
+	capacity int
+	evicted  int64
+	sink     TraceSink
+}
+
+// NewTracer builds a tracer retaining up to capacity traces: 0 selects
+// DefaultTraceCapacity, negative disables the bound.
+func NewTracer(capacity int) *Tracer {
+	if capacity == 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// SetSink installs (or clears, with nil) the finished-trace sink.
+func (tr *Tracer) SetSink(s TraceSink) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.sink = s
+}
+
+// StartTrace opens and retains a trace. The root span starts at the
+// submission time with the query-level name.
+func (tr *Tracer) StartTrace(query string, at simclock.Time) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.nextID++
+	t := &Trace{
+		ID:       tr.nextID,
+		Query:    query,
+		SubmitAt: at,
+		Root:     &Span{name: "query", layer: LayerII, start: at},
+	}
+	tr.traces = append(tr.traces, t)
+	if tr.capacity > 0 {
+		for len(tr.traces)-tr.head > tr.capacity {
+			tr.traces[tr.head] = nil
+			tr.head++
+			tr.evicted++
+		}
+		// Compact once the dead prefix dominates, amortizing to O(1).
+		if tr.head > 64 && tr.head*2 >= len(tr.traces) {
+			tr.traces = append(tr.traces[:0:0], tr.traces[tr.head:]...)
+			tr.head = 0
+		}
+	}
+	return t
+}
+
+// FinishTrace marks the trace done and hands it to the sink, if any.
+func (tr *Tracer) FinishTrace(t *Trace, err error) {
+	if tr == nil || t == nil {
+		return
+	}
+	t.Finish(err)
+	tr.mu.Lock()
+	sink := tr.sink
+	tr.mu.Unlock()
+	if sink != nil {
+		sink.ExportTrace(t)
+	}
+}
+
+// Traces snapshots the retained traces, oldest first.
+func (tr *Tracer) Traces() []*Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]*Trace(nil), tr.traces[tr.head:]...)
+}
+
+// Last returns the most recently started trace, or nil.
+func (tr *Tracer) Last() *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.traces) == tr.head {
+		return nil
+	}
+	return tr.traces[len(tr.traces)-1]
+}
+
+// Len returns the number of retained traces.
+func (tr *Tracer) Len() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.traces) - tr.head
+}
+
+// Evicted returns how many traces the retention bound has dropped.
+func (tr *Tracer) Evicted() int64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.evicted
+}
+
+// Capacity returns the retention bound (<= 0 means unbounded).
+func (tr *Tracer) Capacity() int {
+	if tr == nil {
+		return 0
+	}
+	return tr.capacity
+}

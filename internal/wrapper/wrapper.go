@@ -19,6 +19,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
+	"repro/internal/telemetry"
 )
 
 // Candidate is one plan option a wrapper offers for a fragment.
@@ -141,24 +142,39 @@ func (w *Relational) Probe(ctx context.Context) (simclock.Time, error) {
 // result back, charging request transfer + remote service + result transfer.
 // It honours context cancellation at each hop and enforces the dispatch's
 // virtual-time deadline (if any) against the end-to-end response time.
+//
+// When the context carries a trace span, the hops become sub-spans: the
+// wrapper-layer span wraps a network.send, the remote.exec the server emits,
+// and a network.recv, whose durations sum exactly to the response time.
 func executeOverNetwork(ctx context.Context, server *remote.Server, topo *network.Topology, plan *remote.Plan) (*ExecOutcome, error) {
+	wsp := telemetry.SpanFrom(ctx).Child("wrapper.execute", telemetry.LayerWrapper, server.ID())
+	if wsp != nil {
+		ctx = telemetry.ContextWithSpan(ctx, wsp)
+	}
 	reqTime, err := topo.Transfer(ctx, server.ID(), len(plan.SQL)+256)
 	if err != nil {
+		wsp.SetAttr("error", err.Error())
 		return nil, err
 	}
+	wsp.Emit("network.send", telemetry.LayerNetwork, server.ID(), reqTime)
 	res, err := server.ExecutePlan(ctx, plan)
 	if err != nil {
+		wsp.SetAttr("error", err.Error())
 		return nil, err
 	}
 	respTime, err := topo.Transfer(ctx, server.ID(), res.Rel.ByteSize())
 	if err != nil {
+		wsp.SetAttr("error", err.Error())
 		return nil, err
 	}
+	wsp.Emit("network.recv", telemetry.LayerNetwork, server.ID(), respTime)
 	out := &ExecOutcome{
 		Result:       res,
 		ResponseTime: reqTime + res.ServiceTime + respTime,
 	}
+	wsp.End(out.ResponseTime)
 	if err := simclock.CheckDeadline(ctx, out.ResponseTime); err != nil {
+		wsp.SetAttr("error", err.Error())
 		return nil, err
 	}
 	return out, nil

@@ -97,6 +97,7 @@ func (f *Federation) EnableQCC(opts QCCOptions) *Calibrator {
 			Improvement: opts.RerouteImprovement,
 		},
 		DisableDaemons: opts.DisableDaemons,
+		Telemetry:      f.tel,
 	}
 	f.qcc = qcc.Attach(cfg, f.ii)
 	// Align the federated plan cache's staleness bound with the load
@@ -143,7 +144,17 @@ func (c *Calibrator) ProbeNow() { c.q.ProbeNow() }
 // RecalibrationInterval returns the current (possibly adapted) cycle length.
 func (c *Calibrator) RecalibrationInterval() Time { return c.q.Cycle.Interval() }
 
+// QCCStats is a consistent snapshot of the calibrator's interaction
+// counters.
+type QCCStats = qcc.Stats
+
+// StatsSnapshot returns a consistent snapshot of QCC's interaction counters.
+func (c *Calibrator) StatsSnapshot() QCCStats { return c.q.StatsSnapshot() }
+
 // Stats reports QCC's interaction counters.
+//
+// Deprecated: use StatsSnapshot, which returns a named struct instead of
+// positional values.
 func (c *Calibrator) Stats() (compiles, runs, errors int64) { return c.q.Stats() }
 
 // Rotations reports how often load distribution substituted an alternative

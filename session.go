@@ -119,6 +119,10 @@ type SessionStats struct {
 // is shared across sessions, so this mirrors Federation.PlanCacheStats.
 func (s *Session) PlanCacheStats() PlanCacheStats { return s.fed.PlanCacheStats() }
 
+// Telemetry returns the federation's observability subsystem — shared across
+// sessions, so this mirrors Federation.Telemetry.
+func (s *Session) Telemetry() *Telemetry { return s.fed.Telemetry() }
+
 // Stats returns a snapshot of the session's counters.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()

@@ -1,0 +1,269 @@
+package fedqcc_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	fedqcc "repro"
+	"repro/internal/experiment"
+	"repro/internal/telemetry"
+)
+
+const crossJoin = "SELECT COUNT(*) FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE o.o_amount > 5000"
+
+// TestTelemetryFiveLayerTrace is the tentpole acceptance check: a
+// two-fragment federated join under background update load must yield one
+// trace whose spans cover all five layers, with virtual-time durations that
+// sum consistently bottom-up, plus a calibration timeline holding at least
+// two distinct samples for every loaded server.
+func TestTelemetryFiveLayerTrace(t *testing.T) {
+	fed, err := fedqcc.NewReplicaFederation(fedqcc.FederationOptions{Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := fed.EnableTelemetry()
+	cal := fed.EnableQCC(fedqcc.QCCOptions{DisableDaemons: true})
+
+	// Background update load on the join's source groups.
+	tables := map[string]string{"S1": "orders", "S2": "lineitem"}
+	loaded := []string{"S1", "S2"}
+	for _, id := range loaded {
+		h, err := fed.Server(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.SetLoad(0.8)
+		if err := h.ApplyUpdateBurst(tables[id], 50, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two recalibration cycles with load shifting in between: the timeline
+	// must record the factors at two distinct virtual times per server.
+	// Probing first gives every server calibration state (fragments may
+	// route to replicas), so each publish covers each loaded server.
+	for i := 0; i < 4; i++ {
+		if _, err := fed.Query(crossJoin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cal.ProbeNow()
+	cal.PublishNow()
+	for _, id := range loaded {
+		h, _ := fed.Server(id)
+		h.SetLoad(0.3)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := fed.Query(crossJoin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cal.ProbeNow()
+	cal.PublishNow()
+
+	res, err := fed.Query(crossJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FragmentTimes) != 2 {
+		t.Fatalf("want a 2-fragment join, got fragments %v", res.FragmentTimes)
+	}
+
+	tr := tel.Tracer().Last()
+	if tr == nil || !tr.Done() || tr.Err() != "" {
+		t.Fatalf("last trace must be complete and clean: %+v", tr)
+	}
+
+	// All five layers appear in the span tree.
+	layers := map[telemetry.Layer]bool{}
+	var walk func(s *telemetry.Span)
+	walk = func(s *telemetry.Span) {
+		layers[s.Layer()] = true
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	for _, l := range []telemetry.Layer{
+		telemetry.LayerII, telemetry.LayerMW, telemetry.LayerWrapper,
+		telemetry.LayerNetwork, telemetry.LayerRemote,
+	} {
+		if !layers[l] {
+			t.Fatalf("trace missing layer %q; tree:\n%s", l, tr.Tree())
+		}
+	}
+
+	// Durations sum consistently bottom-up on virtual time.
+	const eps = 1e-6
+	root := tr.Root
+	if d := float64(root.Dur()) - float64(res.ResponseTime); math.Abs(d) > eps {
+		t.Fatalf("root span %.6fms != response time %.6fms", float64(root.Dur()), float64(res.ResponseTime))
+	}
+	var maxFrag, mergeDur float64
+	frags := 0
+	for _, c := range root.Children() {
+		switch c.Name() {
+		case "fragment":
+			frags++
+			maxFrag = math.Max(maxFrag, float64(c.Dur()))
+			// fragment == wrapper.execute == send + remote.exec + recv.
+			var wexec *telemetry.Span
+			for _, cc := range c.Children() {
+				if cc.Name() == "wrapper.execute" {
+					wexec = cc
+				}
+			}
+			if wexec == nil {
+				t.Fatalf("fragment(%s) has no wrapper.execute child:\n%s", c.Server(), tr.Tree())
+			}
+			if d := float64(c.Dur()) - float64(wexec.Dur()); math.Abs(d) > eps {
+				t.Fatalf("fragment(%s) %.6fms != wrapper.execute %.6fms", c.Server(), float64(c.Dur()), float64(wexec.Dur()))
+			}
+			var sum float64
+			for _, hop := range wexec.Children() {
+				sum += float64(hop.Dur())
+			}
+			if d := sum - float64(wexec.Dur()); math.Abs(d) > eps {
+				t.Fatalf("wrapper.execute(%s) children sum %.6fms != %.6fms", c.Server(), sum, float64(wexec.Dur()))
+			}
+		case "merge":
+			mergeDur = float64(c.Dur())
+		}
+	}
+	if frags != 2 {
+		t.Fatalf("trace must hold 2 fragment spans, got %d:\n%s", frags, tr.Tree())
+	}
+	// Root = parallel remote phase (max fragment) + II-side merge.
+	if d := maxFrag + mergeDur - float64(root.Dur()); math.Abs(d) > eps {
+		t.Fatalf("max fragment %.6f + merge %.6f != root %.6f", maxFrag, mergeDur, float64(root.Dur()))
+	}
+
+	// Calibration timeline: >= 2 distinct-time samples per loaded server.
+	for _, id := range loaded {
+		samples := tel.Timelines().ServerSamples(id)
+		times := map[float64]bool{}
+		for _, s := range samples {
+			times[float64(s.At)] = true
+		}
+		if len(times) < 2 {
+			t.Fatalf("server %s: want >=2 distinct timeline samples, got %v", id, samples)
+		}
+	}
+}
+
+// TestTelemetryDisabledStaysSilent guards the fast path through the public
+// API: with telemetry never enabled, queries must leave no traces, metrics
+// or timeline samples behind.
+func TestTelemetryDisabledStaysSilent(t *testing.T) {
+	fed, err := fedqcc.NewReplicaFederation(fedqcc.FederationOptions{Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := fed.EnableQCC(fedqcc.QCCOptions{DisableDaemons: true})
+	if _, err := fed.Query(crossJoin); err != nil {
+		t.Fatal(err)
+	}
+	cal.PublishNow()
+	tel := fed.Telemetry()
+	if tel.Tracer().Len() != 0 {
+		t.Fatal("disabled telemetry collected traces")
+	}
+	if snap := tel.Metrics().Snapshot(); len(snap) != 0 {
+		t.Fatalf("disabled telemetry collected metrics: %v", snap)
+	}
+	if tel.Timelines().Len() != 0 {
+		t.Fatal("disabled telemetry collected timeline samples")
+	}
+}
+
+// TestTelemetryOverheadSmoke compares wall-clock throughput of the same
+// concurrent workload with telemetry off vs on and fails when enabling it
+// costs more than 10%. Wall-time comparisons are noisy, so the check only
+// runs when CI (or a developer) opts in via TELEMETRY_OVERHEAD_CHECK=1.
+func TestTelemetryOverheadSmoke(t *testing.T) {
+	if os.Getenv("TELEMETRY_OVERHEAD_CHECK") == "" {
+		t.Skip("set TELEMETRY_OVERHEAD_CHECK=1 to run the overhead comparison")
+	}
+	sqls := make([]string, 0, 16)
+	r := rand.New(rand.NewSource(1))
+	for len(sqls) < cap(sqls) {
+		sqls = append(sqls, experiment.RandomQuery(r))
+	}
+	run := func(enable bool) time.Duration {
+		fed, err := fedqcc.NewPaperFederation(fedqcc.FederationOptions{Scale: benchScale, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enable {
+			fed.EnableTelemetry()
+		}
+		drive := func(rounds int) {
+			for i := 0; i < rounds; i++ {
+				_, errs := fed.RunConcurrent(context.Background(), sqls, 8)
+				for _, e := range errs {
+					if e != nil {
+						t.Fatal(e)
+					}
+				}
+			}
+		}
+		drive(2) // warm caches and steady-state the scheduler
+		best := time.Duration(math.MaxInt64)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			drive(4)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	off := run(false)
+	on := run(true)
+	overhead := float64(on-off) / float64(off)
+	t.Logf("telemetry off=%v on=%v overhead=%.1f%%", off, on, overhead*100)
+	if overhead > 0.10 {
+		t.Fatalf("telemetry overhead %.1f%% exceeds the 10%% budget (off=%v on=%v)", overhead*100, off, on)
+	}
+}
+
+// TestReplTelemetryCommands drives the REPL surface end to end: toggling
+// collection, then dumping the trace tree, metrics and timeline.
+func TestReplTelemetryCommands(t *testing.T) {
+	fed, err := fedqcc.NewReplicaFederation(fedqcc.FederationOptions{Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := fed.EnableQCC(fedqcc.QCCOptions{DisableDaemons: true})
+	fed.EnableTelemetry()
+	if _, err := fed.Query(crossJoin); err != nil {
+		t.Fatal(err)
+	}
+	cal.PublishNow()
+
+	tr := fed.Telemetry().Tracer().Last()
+	if tr == nil {
+		t.Fatal("no trace collected")
+	}
+	tree := tr.Tree()
+	for _, want := range []string{"query", "fragment(", "wrapper.execute(", "remote.exec(", "merge"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("trace tree missing %q:\n%s", want, tree)
+		}
+	}
+	metrics := fedqcc.FormatMetrics(fed.Telemetry().Metrics())
+	for _, want := range []string{"ii.queries", "mw.response_ms", "qcc.calibration_factor"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, metrics)
+		}
+	}
+	timeline := fedqcc.FormatTimeline(fed.Telemetry().Timelines())
+	if !strings.Contains(timeline, "factor=") {
+		t.Fatalf("timeline dump missing samples:\n%s", timeline)
+	}
+}
