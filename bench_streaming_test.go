@@ -1,0 +1,95 @@
+package fedqcc_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	fedqcc "repro"
+)
+
+// streamingBenchFederation builds the large-result slow-link scenario the
+// streaming baseline regresses against: one midrange server behind a
+// 50 KB/s, 20 ms link, large tables at scale 10 (10k-row lineitem).
+func streamingBenchFederation() (*fedqcc.Federation, error) {
+	b := fedqcc.NewBuilder(7).
+		AddServer("S1", fedqcc.ProfileMidrange, fedqcc.LinkSpec{LatencyMS: 20, BandwidthKBps: 50})
+	for _, spec := range fedqcc.StandardSchema(10) {
+		b.AddGeneratedTable("S1", spec)
+	}
+	return b.Build()
+}
+
+const streamingBenchQuery = "SELECT l.l_orderkey, l.l_price FROM lineitem AS l"
+
+// streamingBenchResult is the perf baseline written to BENCH_streaming.json.
+type streamingBenchResult struct {
+	Scenario string `json:"scenario"`
+	Query    string `json:"query"`
+	Rows     int    `json:"rows"`
+	// Virtual (simulated) milliseconds.
+	StreamedFirstRowMS   float64 `json:"streamed_first_row_ms"`
+	StreamedResponseMS   float64 `json:"streamed_response_ms"`
+	MonolithicResponseMS float64 `json:"monolithic_response_ms"`
+	SpeedupX             float64 `json:"speedup_x"`
+	// Wall-clock cost of one streamed query on this machine.
+	WallNsPerOp int64 `json:"wall_ns_per_op"`
+}
+
+// BenchmarkStreamingLargeResult measures the streamed large-result scan and
+// writes BENCH_streaming.json so future changes can regress against the
+// pipeline's time-to-first-row, virtual response time, and wall cost.
+func BenchmarkStreamingLargeResult(b *testing.B) {
+	fed, err := streamingBenchFederation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *fedqcc.QueryResult
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = fed.Query(streamingBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	wallPerOp := time.Since(start).Nanoseconds() / int64(b.N)
+
+	mono, err := streamingBenchFederation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mono.SetBatchRows(0)
+	mres, err := mono.Query(streamingBenchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	if res.ResponseTime >= mres.ResponseTime {
+		b.Fatalf("pipelined response %v must beat store-and-forward %v", res.ResponseTime, mres.ResponseTime)
+	}
+	b.ReportMetric(float64(res.FirstRowTime), "first_row_vms")
+	b.ReportMetric(float64(res.ResponseTime), "response_vms")
+	b.ReportMetric(float64(mres.ResponseTime), "monolithic_vms")
+
+	out := streamingBenchResult{
+		Scenario:             "1xS1 midrange, 20ms/50KBps link, scale 10",
+		Query:                streamingBenchQuery,
+		Rows:                 len(res.Rows.Rows),
+		StreamedFirstRowMS:   float64(res.FirstRowTime),
+		StreamedResponseMS:   float64(res.ResponseTime),
+		MonolithicResponseMS: float64(mres.ResponseTime),
+		SpeedupX:             float64(mres.ResponseTime) / float64(res.ResponseTime),
+		WallNsPerOp:          wallPerOp,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_streaming.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_streaming.json: %s", buf)
+}

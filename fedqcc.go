@@ -214,9 +214,23 @@ type QueryResult struct {
 	FragmentTimes map[string]Time
 	// MergeTime is the integrator-side merge time.
 	MergeTime Time
+	// FirstRowTime is when the first merged result row could be emitted —
+	// under streaming execution (the default), the latest first-batch
+	// arrival across fragments plus the merge; under monolithic execution
+	// (SetBatchRows(0)) it equals ResponseTime.
+	FirstRowTime Time
 	// Retried counts re-optimizations after fragment failures.
 	Retried int
 }
+
+// SetBatchRows changes the streaming fragment data path's batch size at
+// runtime: results ship from the remote servers in batches of n rows,
+// overlapping remote compute with network transfer. n <= 0 disables
+// streaming and reproduces monolithic store-and-forward execution exactly.
+func (f *Federation) SetBatchRows(n int) { f.ii.SetBatchRows(n) }
+
+// BatchRows returns the current streaming batch size (0 = monolithic).
+func (f *Federation) BatchRows() int { return f.ii.BatchRows() }
 
 // Query compiles and executes a federated SQL statement, advancing the
 // virtual clock by the query's response time. See QueryContext for

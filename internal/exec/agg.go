@@ -20,27 +20,36 @@ type Aggregate struct {
 }
 
 // KeyName returns the output column name of group key i.
-func (a *Aggregate) KeyName(i int) string {
-	if ref, ok := a.GroupBy[i].(*sqlparser.ColumnRef); ok {
+func (a *Aggregate) KeyName(i int) string { return aggKeyName(a.GroupBy, i) }
+
+// AggName returns the output column name of aggregate i.
+func (a *Aggregate) AggName(i int) string { return aggColName(i) }
+
+func aggKeyName(groupBy []sqlparser.Expr, i int) string {
+	if ref, ok := groupBy[i].(*sqlparser.ColumnRef); ok {
 		return ref.Name
 	}
 	return fmt.Sprintf("g%d", i)
 }
 
-// AggName returns the output column name of aggregate i.
-func (a *Aggregate) AggName(i int) string { return fmt.Sprintf("a%d", i) }
+func aggColName(i int) string { return fmt.Sprintf("a%d", i) }
+
+// aggSchema derives the aggregation output schema from an input schema: the
+// group keys followed by one column per aggregate.
+func aggSchema(groupBy []sqlparser.Expr, aggs []*sqlparser.AggExpr, in *sqltypes.Schema) *sqltypes.Schema {
+	var cols []sqltypes.Column
+	for i, g := range groupBy {
+		cols = append(cols, sqltypes.Column{Name: aggKeyName(groupBy, i), Type: inferType(g, in)})
+	}
+	for i, agg := range aggs {
+		cols = append(cols, sqltypes.Column{Name: aggColName(i), Type: inferType(agg, in)})
+	}
+	return sqltypes.NewSchema(cols...)
+}
 
 // Schema implements Operator.
 func (a *Aggregate) Schema() *sqltypes.Schema {
-	in := a.Input.Schema()
-	var cols []sqltypes.Column
-	for i, g := range a.GroupBy {
-		cols = append(cols, sqltypes.Column{Name: a.KeyName(i), Type: inferType(g, in)})
-	}
-	for i, agg := range a.Aggs {
-		cols = append(cols, sqltypes.Column{Name: a.AggName(i), Type: inferType(agg, in)})
-	}
-	return sqltypes.NewSchema(cols...)
+	return aggSchema(a.GroupBy, a.Aggs, a.Input.Schema())
 }
 
 type aggState struct {
@@ -101,81 +110,111 @@ func (s *aggState) result(fn sqlparser.AggFunc) sqltypes.Value {
 	}
 }
 
-// Execute implements Operator.
-func (a *Aggregate) Execute(ctx *Context) (*sqltypes.Relation, error) {
-	in, err := a.Input.Execute(ctx)
-	if err != nil {
-		return nil, err
-	}
-	type group struct {
-		keys   sqltypes.Row
-		states []*aggState
-		// countStar counts all rows in the group for COUNT(*).
-		countStar int64
-	}
-	groups := map[uint64][]*group{}
-	var order []*group
+// aggGroup is one group's accumulated state.
+type aggGroup struct {
+	keys   sqltypes.Row
+	states []*aggState
+	// countStar counts all rows in the group for COUNT(*).
+	countStar int64
+}
 
+// aggFolder is the incremental grouping kernel shared by the materialized
+// Aggregate operator and the streaming AggregateStream source: input rows
+// fold into per-group states one batch at a time, so streamed and
+// materialized aggregation are identical by construction.
+type aggFolder struct {
+	groupBy []sqlparser.Expr
+	aggs    []*sqlparser.AggExpr
+	groups  map[uint64][]*aggGroup
+	order   []*aggGroup
+}
+
+func newAggFolder(groupBy []sqlparser.Expr, aggs []*sqlparser.AggExpr) *aggFolder {
+	return &aggFolder{groupBy: groupBy, aggs: aggs, groups: map[uint64][]*aggGroup{}}
+}
+
+// fold accumulates one batch of rows, charging the same per-row CPU cost the
+// materialized operator charges for its whole input.
+func (f *aggFolder) fold(in *sqltypes.Relation, ctx *Context) error {
 	for _, row := range in.Rows {
-		keys := make(sqltypes.Row, len(a.GroupBy))
-		for i, g := range a.GroupBy {
+		keys := make(sqltypes.Row, len(f.groupBy))
+		for i, g := range f.groupBy {
 			v, err := sqlparser.Eval(g, row, in.Schema)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			keys[i] = v
 		}
 		h := rowHash(keys)
-		var grp *group
-		for _, g := range groups[h] {
+		var grp *aggGroup
+		for _, g := range f.groups[h] {
 			if rowsIdentical(g.keys, keys) {
 				grp = g
 				break
 			}
 		}
 		if grp == nil {
-			grp = &group{keys: keys, states: make([]*aggState, len(a.Aggs))}
+			grp = &aggGroup{keys: keys, states: make([]*aggState, len(f.aggs))}
 			for i := range grp.states {
 				grp.states[i] = newAggState()
 			}
-			groups[h] = append(groups[h], grp)
-			order = append(order, grp)
+			f.groups[h] = append(f.groups[h], grp)
+			f.order = append(f.order, grp)
 		}
 		grp.countStar++
-		for i, agg := range a.Aggs {
+		for i, agg := range f.aggs {
 			if agg.Arg == nil {
 				continue // COUNT(*): handled by countStar
 			}
 			v, err := sqlparser.Eval(agg.Arg, row, in.Schema)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			grp.states[i].add(v)
 		}
 	}
+	ctx.Res.CPUOps += float64(len(in.Rows)) * float64(1+len(f.aggs))
+	return nil
+}
+
+// result finalizes the groups into the output relation.
+func (f *aggFolder) result(out *sqltypes.Schema) *sqltypes.Relation {
+	order := f.order
 	// Scalar aggregation over an empty input still yields one row.
-	if len(a.GroupBy) == 0 && len(order) == 0 {
-		grp := &group{states: make([]*aggState, len(a.Aggs))}
+	if len(f.groupBy) == 0 && len(order) == 0 {
+		grp := &aggGroup{states: make([]*aggState, len(f.aggs))}
 		for i := range grp.states {
 			grp.states[i] = newAggState()
 		}
 		order = append(order, grp)
 	}
-	out := sqltypes.NewRelation(a.Schema())
+	rel := sqltypes.NewRelation(out)
 	for _, grp := range order {
-		row := make(sqltypes.Row, 0, len(a.GroupBy)+len(a.Aggs))
+		row := make(sqltypes.Row, 0, len(f.groupBy)+len(f.aggs))
 		row = append(row, grp.keys...)
-		for i, agg := range a.Aggs {
+		for i, agg := range f.aggs {
 			if agg.Func == sqlparser.AggCount && agg.Arg == nil {
 				row = append(row, sqltypes.NewInt(grp.countStar))
 				continue
 			}
 			row = append(row, grp.states[i].result(agg.Func))
 		}
-		out.Rows = append(out.Rows, row)
+		rel.Rows = append(rel.Rows, row)
 	}
-	ctx.Res.CPUOps += float64(len(in.Rows)) * float64(1+len(a.Aggs))
-	return out, nil
+	return rel
+}
+
+// Execute implements Operator.
+func (a *Aggregate) Execute(ctx *Context) (*sqltypes.Relation, error) {
+	in, err := a.Input.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	folder := newAggFolder(a.GroupBy, a.Aggs)
+	if err := folder.fold(in, ctx); err != nil {
+		return nil, err
+	}
+	return folder.result(a.Schema()), nil
 }
 
 // Explain implements Operator.

@@ -100,12 +100,36 @@ func BuildPlan(stmt *sqlparser.SelectStmt, leaves map[string]Operator) (Operator
 	return BuildTop(stmt, current)
 }
 
-// BuildTop applies the non-join tail of a SELECT statement — aggregation,
-// HAVING, projection, ORDER BY, DISTINCT and LIMIT — on top of an input
-// operator that already produces the joined, filtered rows. The remote
-// planner reuses this after assembling its own join tree.
-func BuildTop(stmt *sqlparser.SelectStmt, current Operator) (Operator, error) {
-	// Aggregation.
+// topStepKind enumerates the logical stages of the non-join SELECT tail.
+type topStepKind int
+
+const (
+	stepAggregate topStepKind = iota
+	stepFilter
+	stepSort
+	stepProject
+	stepDistinct
+	stepLimit
+)
+
+// topStep is one stage of the non-join tail. The materialized (BuildTop)
+// and streaming (BuildTopSource) assemblers interpret the same step list,
+// so the two execution paths cannot diverge on plan shape.
+type topStep struct {
+	kind    topStepKind
+	pred    sqlparser.Expr         // stepFilter (HAVING)
+	groupBy []sqlparser.Expr       // stepAggregate
+	aggs    []*sqlparser.AggExpr   // stepAggregate
+	items   []sqlparser.SelectItem // stepProject
+	keys    []sqlparser.OrderItem  // stepSort
+	n       int                    // stepLimit
+}
+
+// planTopSteps compiles the non-join tail of a SELECT — aggregation, HAVING,
+// projection, ORDER BY, DISTINCT and LIMIT — into an ordered step list given
+// the schema of the joined, filtered input.
+func planTopSteps(stmt *sqlparser.SelectStmt, schema *sqltypes.Schema) ([]topStep, error) {
+	var steps []topStep
 	selectItems := stmt.Select
 	having := stmt.Having
 	orderBy := stmt.OrderBy
@@ -123,12 +147,12 @@ func BuildTop(stmt *sqlparser.SelectStmt, current Operator) (Operator, error) {
 		for _, o := range orderBy {
 			aggs = CollectAggregates(o.Expr, aggs)
 		}
-		aggOp := &Aggregate{Input: current, GroupBy: stmt.GroupBy, Aggs: aggs}
+		steps = append(steps, topStep{kind: stepAggregate, groupBy: stmt.GroupBy, aggs: aggs})
 		mapping := map[string]string{}
 		for i, a := range aggs {
-			mapping[a.String()] = aggOp.AggName(i)
+			mapping[a.String()] = aggColName(i)
 		}
-		current = aggOp
+		schema = aggSchema(stmt.GroupBy, aggs, schema)
 		rewritten := make([]sqlparser.SelectItem, len(selectItems))
 		for i, item := range selectItems {
 			rewritten[i] = sqlparser.SelectItem{
@@ -142,7 +166,7 @@ func BuildTop(stmt *sqlparser.SelectStmt, current Operator) (Operator, error) {
 		}
 		selectItems = rewritten
 		if having != nil {
-			current = &Filter{Input: current, Pred: RewriteAggregates(having, mapping)}
+			steps = append(steps, topStep{kind: stepFilter, pred: RewriteAggregates(having, mapping)})
 		}
 		newOrder := make([]sqlparser.OrderItem, len(orderBy))
 		for i, o := range orderBy {
@@ -156,28 +180,56 @@ func BuildTop(stmt *sqlparser.SelectStmt, current Operator) (Operator, error) {
 	if len(orderBy) > 0 {
 		resolvable := true
 		for _, o := range orderBy {
-			if !exprResolves(o.Expr, current.Schema()) {
+			if !exprResolves(o.Expr, schema) {
 				resolvable = false
 				break
 			}
 		}
 		if resolvable {
-			current = &Sort{Input: current, Keys: orderBy}
+			steps = append(steps, topStep{kind: stepSort, keys: orderBy})
 			orderBy = nil
 		}
 	}
 
-	current = &Project{Input: current, Items: selectItems}
+	steps = append(steps, topStep{kind: stepProject, items: selectItems})
 
 	// Any ORDER BY keys that reference projection aliases sort here.
 	if len(orderBy) > 0 {
-		current = &Sort{Input: current, Keys: orderBy}
+		steps = append(steps, topStep{kind: stepSort, keys: orderBy})
 	}
 	if stmt.Distinct {
-		current = &Distinct{Input: current}
+		steps = append(steps, topStep{kind: stepDistinct})
 	}
 	if stmt.Limit >= 0 {
-		current = &Limit{Input: current, N: stmt.Limit}
+		steps = append(steps, topStep{kind: stepLimit, n: stmt.Limit})
+	}
+	return steps, nil
+}
+
+// BuildTop applies the non-join tail of a SELECT statement — aggregation,
+// HAVING, projection, ORDER BY, DISTINCT and LIMIT — on top of an input
+// operator that already produces the joined, filtered rows. The remote
+// planner reuses this after assembling its own join tree.
+func BuildTop(stmt *sqlparser.SelectStmt, current Operator) (Operator, error) {
+	steps, err := planTopSteps(stmt, current.Schema())
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range steps {
+		switch s.kind {
+		case stepAggregate:
+			current = &Aggregate{Input: current, GroupBy: s.groupBy, Aggs: s.aggs}
+		case stepFilter:
+			current = &Filter{Input: current, Pred: s.pred}
+		case stepSort:
+			current = &Sort{Input: current, Keys: s.keys}
+		case stepProject:
+			current = &Project{Input: current, Items: s.items}
+		case stepDistinct:
+			current = &Distinct{Input: current}
+		case stepLimit:
+			current = &Limit{Input: current, N: s.n}
+		}
 	}
 	return current, nil
 }

@@ -24,9 +24,16 @@ func (f *Filter) Execute(ctx *Context) (*sqltypes.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	return filterRel(f.Pred, in, ctx)
+}
+
+// filterRel is the row-level filter kernel shared by the materialized
+// operator and FilterStream: it evaluates the predicate over one relation
+// (or batch) and charges one CPU op per input row.
+func filterRel(pred sqlparser.Expr, in *sqltypes.Relation, ctx *Context) (*sqltypes.Relation, error) {
 	out := sqltypes.NewRelation(in.Schema)
 	for _, row := range in.Rows {
-		ok, err := sqlparser.EvalBool(f.Pred, row, in.Schema)
+		ok, err := sqlparser.EvalBool(pred, row, in.Schema)
 		if err != nil {
 			return nil, err
 		}
@@ -52,20 +59,22 @@ type Project struct {
 }
 
 // Schema implements Operator.
-func (p *Project) Schema() *sqltypes.Schema {
-	in := p.Input.Schema()
+func (p *Project) Schema() *sqltypes.Schema { return projectSchema(p.Items, p.Input.Schema()) }
+
+// projectSchema derives the projection output schema from an input schema.
+func projectSchema(items []sqlparser.SelectItem, in *sqltypes.Schema) *sqltypes.Schema {
 	var cols []sqltypes.Column
-	for _, item := range p.Items {
+	for _, item := range items {
 		if item.Star {
 			cols = append(cols, in.Columns...)
 			continue
 		}
-		cols = append(cols, sqltypes.Column{Name: p.outputName(item), Type: inferType(item.Expr, in)})
+		cols = append(cols, sqltypes.Column{Name: projectOutputName(item), Type: inferType(item.Expr, in)})
 	}
 	return sqltypes.NewSchema(cols...)
 }
 
-func (p *Project) outputName(item sqlparser.SelectItem) string {
+func projectOutputName(item sqlparser.SelectItem) string {
 	if item.Alias != "" {
 		return item.Alias
 	}
@@ -132,10 +141,16 @@ func (p *Project) Execute(ctx *Context) (*sqltypes.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := sqltypes.NewRelation(p.Schema())
+	return projectRel(p.Items, in, ctx)
+}
+
+// projectRel is the row-level projection kernel shared by the materialized
+// operator and ProjectStream.
+func projectRel(items []sqlparser.SelectItem, in *sqltypes.Relation, ctx *Context) (*sqltypes.Relation, error) {
+	out := sqltypes.NewRelation(projectSchema(items, in.Schema))
 	for _, row := range in.Rows {
 		var outRow sqltypes.Row
-		for _, item := range p.Items {
+		for _, item := range items {
 			if item.Star {
 				outRow = append(outRow, row...)
 				continue
@@ -148,7 +163,7 @@ func (p *Project) Execute(ctx *Context) (*sqltypes.Relation, error) {
 		}
 		out.Rows = append(out.Rows, outRow)
 	}
-	ctx.Res.CPUOps += float64(len(in.Rows)) * float64(len(p.Items))
+	ctx.Res.CPUOps += float64(len(in.Rows)) * float64(len(items))
 	return out, nil
 }
 
@@ -179,14 +194,20 @@ func (s *Sort) Execute(ctx *Context) (*sqltypes.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	return sortRel(s.Keys, in, ctx)
+}
+
+// sortRel is the sort kernel shared by the materialized operator and
+// SortSource; the n·log2(n) CPU charge covers the full input once.
+func sortRel(keys []sqlparser.OrderItem, in *sqltypes.Relation, ctx *Context) (*sqltypes.Relation, error) {
 	type keyed struct {
 		row  sqltypes.Row
 		keys []sqltypes.Value
 	}
 	items := make([]keyed, len(in.Rows))
 	for i, row := range in.Rows {
-		ks := make([]sqltypes.Value, len(s.Keys))
-		for j, k := range s.Keys {
+		ks := make([]sqltypes.Value, len(keys))
+		for j, k := range keys {
 			v, err := sqlparser.Eval(k.Expr, row, in.Schema)
 			if err != nil {
 				return nil, err
@@ -196,7 +217,7 @@ func (s *Sort) Execute(ctx *Context) (*sqltypes.Relation, error) {
 		items[i] = keyed{row: row, keys: ks}
 	}
 	sort.SliceStable(items, func(a, b int) bool {
-		for j, k := range s.Keys {
+		for j, k := range keys {
 			c := sqltypes.Compare(items[a].keys[j], items[b].keys[j])
 			if c == 0 {
 				continue
@@ -286,24 +307,41 @@ func (d *Distinct) Execute(ctx *Context) (*sqltypes.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	state := newDistinctState()
+	return state.fold(in, ctx), nil
+}
+
+// distinctState is the duplicate-elimination kernel shared by the
+// materialized operator and DistinctStream: the seen-set persists across
+// fold calls so duplicates are removed across batches.
+type distinctState struct {
+	seen map[uint64][]sqltypes.Row
+}
+
+func newDistinctState() *distinctState {
+	return &distinctState{seen: map[uint64][]sqltypes.Row{}}
+}
+
+// fold returns the not-seen-before rows of one relation (or batch),
+// charging two CPU ops per input row.
+func (s *distinctState) fold(in *sqltypes.Relation, ctx *Context) *sqltypes.Relation {
 	out := sqltypes.NewRelation(in.Schema)
-	seen := map[uint64][]sqltypes.Row{}
 	for _, row := range in.Rows {
 		h := rowHash(row)
 		dup := false
-		for _, prev := range seen[h] {
+		for _, prev := range s.seen[h] {
 			if rowsIdentical(prev, row) {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			seen[h] = append(seen[h], row)
+			s.seen[h] = append(s.seen[h], row)
 			out.Rows = append(out.Rows, row)
 		}
 	}
 	ctx.Res.CPUOps += float64(len(in.Rows)) * 2
-	return out, nil
+	return out
 }
 
 // Explain implements Operator.

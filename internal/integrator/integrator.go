@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
@@ -70,6 +71,13 @@ type Config struct {
 	// execution failure. Nil selects the default (2); point at zero to
 	// disable retries entirely. Negative values are treated as zero.
 	Retries *int
+	// BatchRows sizes the row batches of the streaming fragment data path:
+	// results ship from the remote servers as they are produced, overlapping
+	// remote compute with network transfer. Nil selects DefaultBatchRows;
+	// point at zero (see BatchRowsCount) to disable streaming and reproduce
+	// monolithic store-and-forward execution exactly. Negative values are
+	// treated as zero.
+	BatchRows *int
 	// MaxParallel bounds the fragment-dispatch fan-out per query (default
 	// GOMAXPROCS, minimum 1). Fragments beyond the bound queue for a slot.
 	MaxParallel int
@@ -93,10 +101,20 @@ const DefaultRetries = 2
 // RetryCount returns a *int for Config.Retries.
 func RetryCount(n int) *int { return &n }
 
+// DefaultBatchRows is the streaming batch size used when Config.BatchRows is
+// nil: large enough to amortize per-batch latency, small enough that a
+// multi-thousand-row fragment pipelines through many transfer/produce
+// overlaps.
+const DefaultBatchRows = 256
+
+// BatchRowsCount returns a *int for Config.BatchRows.
+func BatchRowsCount(n int) *int { return &n }
+
 // II is the information integrator.
 type II struct {
 	cfg       Config
 	retries   int
+	batchRows atomic.Int64
 	opt       *optimizer.Optimizer
 	explain   *optimizer.ExplainTable
 	patroller *Patroller
@@ -115,7 +133,14 @@ func New(cfg Config) *II {
 	if cfg.MaxParallel <= 0 {
 		cfg.MaxParallel = runtime.GOMAXPROCS(0)
 	}
-	return &II{
+	batchRows := DefaultBatchRows
+	if cfg.BatchRows != nil {
+		batchRows = *cfg.BatchRows
+		if batchRows < 0 {
+			batchRows = 0
+		}
+	}
+	ii := &II{
 		cfg:     cfg,
 		retries: retries,
 		opt: &optimizer.Optimizer{
@@ -128,6 +153,20 @@ func New(cfg Config) *II {
 		patroller: NewPatrollerWithCapacity(cfg.PatrollerCapacity),
 		plans:     newPlanCache(cfg.PlanCache),
 	}
+	ii.batchRows.Store(int64(batchRows))
+	return ii
+}
+
+// BatchRows returns the current streaming batch size (0 = monolithic).
+func (ii *II) BatchRows() int { return int(ii.batchRows.Load()) }
+
+// SetBatchRows changes the streaming batch size at runtime; n <= 0 disables
+// streaming (monolithic store-and-forward execution).
+func (ii *II) SetBatchRows(n int) {
+	if n < 0 {
+		n = 0
+	}
+	ii.batchRows.Store(int64(n))
 }
 
 // Optimizer exposes the global optimizer (QCC's what-if analysis drives it
@@ -196,6 +235,10 @@ type QueryResult struct {
 	// ResponseTime is the end-user response time: parallel remote phase
 	// (max fragment time) plus merge.
 	ResponseTime simclock.Time
+	// FirstRowTime is when the first merged result row could be emitted:
+	// under streaming, the latest first-batch arrival across fragments plus
+	// the merge; under monolithic execution it equals ResponseTime.
+	FirstRowTime simclock.Time
 	// Retried counts re-optimizations after fragment failures.
 	Retried int
 }
@@ -231,6 +274,9 @@ func (ii *II) QueryContext(ctx context.Context, sql string) (*QueryResult, error
 		tel.Tracer().FinishTrace(trace, nil)
 	}
 	tel.Active().Counter("ii.queries", "").Inc()
+	if ii.BatchRows() > 0 {
+		tel.Active().Histogram("query.first_row_ms", "", nil).Observe(float64(res.FirstRowTime))
+	}
 	_, end := ii.cfg.Clock.Charge(res.ResponseTime)
 	ii.patroller.CompleteWithResponse(logID, end, res.ResponseTime, nil)
 	return res, nil
@@ -460,8 +506,51 @@ func (e *FragmentError) Unwrap() error { return e.Err }
 type fragOutcome struct {
 	rel      *sqltypes.Relation
 	respTime simclock.Time
+	firstRow simclock.Time
 	serverID string
 	fragID   string
+}
+
+// dispatchFragment runs one fragment through MW, streaming when batchRows is
+// positive (rows accumulate at the II as batches arrive) and monolithically
+// otherwise — the latter is the bit-for-bit compatible escape hatch.
+func (ii *II) dispatchFragment(ctx context.Context, f optimizer.FragmentChoice, batchRows int) (fragOutcome, error) {
+	if batchRows <= 0 {
+		out, err := ii.cfg.MW.ExecuteFragment(ctx, f.ServerID, f.Spec.Stmt.String(), f.Plan, f.RawEst)
+		if err != nil {
+			return fragOutcome{}, err
+		}
+		return fragOutcome{
+			rel:      out.Result.Rel,
+			respTime: out.ResponseTime,
+			firstRow: out.ResponseTime,
+			serverID: f.ServerID,
+			fragID:   f.Spec.ID,
+		}, nil
+	}
+	st, err := ii.cfg.MW.OpenFragmentStream(ctx, f.ServerID, f.Spec.Stmt.String(), f.Plan, f.RawEst, batchRows)
+	if err != nil {
+		return fragOutcome{}, err
+	}
+	rel := sqltypes.NewRelation(st.Schema())
+	for {
+		b, err := st.Next(ctx)
+		if err != nil {
+			return fragOutcome{}, err
+		}
+		if b == nil {
+			break
+		}
+		rel.Rows = append(rel.Rows, b.Rel.Rows...)
+	}
+	out := st.Outcome()
+	return fragOutcome{
+		rel:      rel,
+		respTime: out.ResponseTime,
+		firstRow: out.FirstRowTime,
+		serverID: f.ServerID,
+		fragID:   f.Spec.ID,
+	}, nil
 }
 
 // ExecuteContext runs a compiled global plan: fragments dispatch through MW
@@ -475,6 +564,7 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 	defer cancel()
 	fctx = simclock.WithDeadline(fctx, ii.cfg.FragmentBudget)
 
+	batchRows := ii.BatchRows()
 	outcomes := make([]fragOutcome, len(gp.Fragments))
 	sem := make(chan struct{}, ii.cfg.MaxParallel)
 	var (
@@ -522,7 +612,7 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 			if fspan != nil {
 				dctx = telemetry.ContextWithSpan(fctx, fspan)
 			}
-			out, err := ii.cfg.MW.ExecuteFragment(dctx, f.ServerID, f.Spec.Stmt.String(), f.Plan, f.RawEst)
+			out, err := ii.dispatchFragment(dctx, f, batchRows)
 			if err != nil {
 				fspan.SetAttr("error", err.Error())
 				fspan.End(0)
@@ -531,14 +621,9 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 				}
 				return
 			}
-			fspan.End(out.ResponseTime)
+			fspan.End(out.respTime)
 			ii.cfg.Telemetry.Active().Counter("ii.fragments", f.ServerID).Inc()
-			outcomes[i] = fragOutcome{
-				rel:      out.Result.Rel,
-				respTime: out.ResponseTime,
-				serverID: f.ServerID,
-				fragID:   f.Spec.ID,
-			}
+			outcomes[i] = out
 		}(i, f)
 	}
 	wg.Wait()
@@ -552,7 +637,7 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 	fragTimes := make(map[string]simclock.Time, len(outcomes))
 	executed := make(map[string]string, len(outcomes))
 	fragRels := make([]*sqltypes.Relation, len(outcomes))
-	var remotePhase simclock.Time
+	var remotePhase, firstPhase simclock.Time
 	for i, o := range outcomes {
 		fragRels[i] = o.rel
 		fragTimes[o.fragID] = o.respTime
@@ -560,16 +645,22 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 		if o.respTime > remotePhase {
 			remotePhase = o.respTime
 		}
+		if o.firstRow > firstPhase {
+			firstPhase = o.firstRow
+		}
 	}
 
-	rel, mergeTime, err := ii.merge(gp, fragRels)
+	rel, mergeTime, blocking, err := ii.merge(gp, fragRels, batchRows)
 	if err != nil {
 		return nil, err
 	}
 	// The parallel remote phase occupies max(fragment times) of the root's
 	// virtual timeline; the merge follows it sequentially.
 	root.Advance(remotePhase)
-	root.Emit("merge", telemetry.LayerII, "", mergeTime)
+	msp := root.Emit("merge", telemetry.LayerII, "", mergeTime)
+	if blocking != "" {
+		msp.SetAttr("blocking", blocking)
+	}
 	if ii.cfg.MergeObs != nil {
 		ii.cfg.MergeObs.ObserveIIMerge(gp.MergeEstMS, mergeTime)
 	}
@@ -580,16 +671,36 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 		ExecutedServers: executed,
 		MergeTime:       mergeTime,
 		ResponseTime:    remotePhase + mergeTime,
+		// A join merge needs every fragment's first batch before it can
+		// emit anything, so the query-level first row waits on the slowest
+		// fragment's first batch plus the merge.
+		FirstRowTime: firstPhase + mergeTime,
 	}, nil
 }
 
-// merge combines fragment results at the II node.
-func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation) (*sqltypes.Relation, simclock.Time, error) {
+// merge combines fragment results at the II node. With batchRows > 0 the
+// non-join tail runs as a streaming pipeline over the shared kernels (union
+// passes batches through, aggregation folds per batch, sort blocks and is
+// reported via the returned blocking stage name); batchRows <= 0 keeps the
+// historical materialized path. Both paths interpret the same planTopSteps
+// list over the same kernels, so results and resource charges are identical
+// — except LIMIT, which under streaming stops pulling once satisfied.
+func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, batchRows int) (*sqltypes.Relation, simclock.Time, string, error) {
 	ctx := &exec.Context{}
 	if gp.Decomp.SingleFragment {
+		if batchRows > 0 {
+			// Union/concat pass-through: batches fold straight into the
+			// result as they arrive; the per-row cursor charge matches the
+			// materialized accounting below exactly.
+			rel, err := exec.Collect(exec.NewValuesSource(fragRels[0], batchRows), ctx)
+			if err != nil {
+				return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
+			}
+			return rel, ii.cfg.Node.Observe(ctx.Res), "", nil
+		}
 		rel := fragRels[0]
 		ctx.Res.CPUOps = float64(rel.Cardinality())
-		return rel, ii.cfg.Node.Observe(ctx.Res), nil
+		return rel, ii.cfg.Node.Observe(ctx.Res), "", nil
 	}
 	// Join fragments left-to-right on the cross-source conjuncts.
 	cross := append([]sqlparser.Expr(nil), gp.Decomp.Cross...)
@@ -632,15 +743,33 @@ func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation) (*s
 	if len(cross) > 0 {
 		current = &exec.Filter{Input: current, Pred: sqlparser.JoinConjuncts(cross)}
 	}
+	if batchRows > 0 {
+		// The join tree materializes (hash/NL joins need their full inputs),
+		// then the non-join tail streams over it batch by batch.
+		joined, err := current.Execute(ctx)
+		if err != nil {
+			return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
+		}
+		src, err := exec.BuildTopSource(gp.Stmt, exec.SourceFromRelation(joined, batchRows))
+		if err != nil {
+			return nil, 0, "", fmt.Errorf("integrator: building merge pipeline: %w", err)
+		}
+		blocking := exec.SourceBlockingStage(src)
+		rel, err := exec.Collect(src, ctx)
+		if err != nil {
+			return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
+		}
+		return rel, ii.cfg.Node.Observe(ctx.Res), blocking, nil
+	}
 	top, err := exec.BuildTop(gp.Stmt, current)
 	if err != nil {
-		return nil, 0, fmt.Errorf("integrator: building merge plan: %w", err)
+		return nil, 0, "", fmt.Errorf("integrator: building merge plan: %w", err)
 	}
 	rel, err := top.Execute(ctx)
 	if err != nil {
-		return nil, 0, fmt.Errorf("integrator: merging: %w", err)
+		return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
 	}
-	return rel, ii.cfg.Node.Observe(ctx.Res), nil
+	return rel, ii.cfg.Node.Observe(ctx.Res), "", nil
 }
 
 func exprResolves(e sqlparser.Expr, schema *sqltypes.Schema) bool {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/remote"
 	"repro/internal/simclock"
 	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
 	"repro/internal/telemetry"
 	"repro/internal/wrapper"
 )
@@ -51,6 +52,9 @@ type RunRecord struct {
 	Est remote.CostEstimate
 	// Observed is the wrapper-visible response time.
 	Observed simclock.Time
+	// FirstRow is the wrapper-visible time-to-first-row; zero when the
+	// fragment ran monolithically (no separate first-row observation).
+	FirstRow simclock.Time
 	// OutBytes is the actual result volume.
 	OutBytes int
 }
@@ -288,15 +292,9 @@ func (mw *MetaWrapper) ExecuteFragment(ctx context.Context, serverID, fragSig st
 	obs, _ := mw.observerAndCalib()
 	out, err := w.Execute(ctx, plan)
 	if err != nil {
-		if ctx.Err() != nil {
-			// Cancellation is the integrator's doing, not the source's.
-			return nil, err
-		}
-		mw.telemetry().Active().Counter("mw.errors", serverID).Inc()
-		if obs != nil {
-			obs.ObserveError(serverID, err)
-		}
-		mw.log.addError(ErrorLogEntry{ServerID: serverID, Err: err.Error()})
+		// Cancellation is the integrator's doing, not the source's;
+		// reportExecError stays silent on it.
+		mw.reportExecError(ctx, serverID, err)
 		return nil, err
 	}
 	mw.telemetry().Active().Histogram("mw.response_ms", serverID, nil).Observe(float64(out.ResponseTime))
@@ -318,6 +316,96 @@ func (mw *MetaWrapper) ExecuteFragment(ctx context.Context, serverID, fragSig st
 		OutBytes:   out.Result.Rel.ByteSize(),
 	})
 	return out, nil
+}
+
+// OpenFragmentStream forwards an execution descriptor as a batch stream
+// (wrapper.Open) and instruments its lifecycle the way ExecuteFragment
+// instruments monolithic execution: errors are classified (a cancelled
+// dispatch is not a server error), and successful exhaustion records the
+// response time AND the time-to-first-row against the uncalibrated
+// estimate, feeding QCC's separate FirstTupleMS calibration.
+func (mw *MetaWrapper) OpenFragmentStream(ctx context.Context, serverID, fragSig string, plan *remote.Plan, rawEst remote.CostEstimate, batchRows int) (wrapper.ResultStream, error) {
+	w := mw.Wrapper(serverID)
+	if w == nil {
+		return nil, fmt.Errorf("metawrapper: unknown server %q", serverID)
+	}
+	inner, err := w.Open(ctx, plan, batchRows)
+	if err != nil {
+		mw.reportExecError(ctx, serverID, err)
+		return nil, err
+	}
+	return &mwStream{mw: mw, inner: inner, serverID: serverID, fragSig: fragSig, plan: plan, rawEst: rawEst}, nil
+}
+
+// reportExecError is the shared run-time error classification: cancellation
+// is the integrator's doing and stays silent; anything else feeds the error
+// counter, the observer (QCC) and the MW log.
+func (mw *MetaWrapper) reportExecError(ctx context.Context, serverID string, err error) {
+	if ctx.Err() != nil {
+		return
+	}
+	obs, _ := mw.observerAndCalib()
+	mw.telemetry().Active().Counter("mw.errors", serverID).Inc()
+	if obs != nil {
+		obs.ObserveError(serverID, err)
+	}
+	mw.log.addError(ErrorLogEntry{ServerID: serverID, Err: err.Error()})
+}
+
+// mwStream decorates a wrapper stream with MW's observation duties.
+type mwStream struct {
+	mw       *MetaWrapper
+	inner    wrapper.ResultStream
+	serverID string
+	fragSig  string
+	plan     *remote.Plan
+	rawEst   remote.CostEstimate
+	finished bool
+}
+
+// Schema implements wrapper.ResultStream.
+func (s *mwStream) Schema() *sqltypes.Schema { return s.inner.Schema() }
+
+// Outcome implements wrapper.ResultStream.
+func (s *mwStream) Outcome() *wrapper.StreamOutcome { return s.inner.Outcome() }
+
+// Next implements wrapper.ResultStream.
+func (s *mwStream) Next(ctx context.Context) (*wrapper.StreamBatch, error) {
+	b, err := s.inner.Next(ctx)
+	if err != nil {
+		s.mw.reportExecError(ctx, s.serverID, err)
+		return nil, err
+	}
+	if b == nil && !s.finished {
+		s.finished = true
+		s.observeOutcome(s.inner.Outcome())
+	}
+	return b, nil
+}
+
+func (s *mwStream) observeOutcome(out *wrapper.StreamOutcome) {
+	mw := s.mw
+	mw.telemetry().Active().Histogram("mw.response_ms", s.serverID, nil).Observe(float64(out.ResponseTime))
+	mw.telemetry().Active().Histogram("mw.first_row_ms", s.serverID, nil).Observe(float64(out.FirstRowTime))
+	obs, _ := mw.observerAndCalib()
+	if obs != nil {
+		obs.ObserveRun(RunRecord{
+			Key:      FragmentKey{ServerID: s.serverID, Signature: sqlparser.CanonicalizeSQL(s.fragSig)},
+			PlanSig:  s.plan.Signature,
+			Est:      s.rawEst,
+			Observed: out.ResponseTime,
+			FirstRow: out.FirstRowTime,
+			OutBytes: out.Result.Rel.ByteSize(),
+		})
+	}
+	mw.log.addRun(RunLogEntry{
+		Fragment:   sqlparser.CanonicalizeSQL(s.fragSig),
+		ServerID:   s.serverID,
+		PlanSig:    s.plan.Signature,
+		EstMS:      s.rawEst.TotalMS,
+		ObservedMS: float64(out.ResponseTime),
+		OutBytes:   out.Result.Rel.ByteSize(),
+	})
 }
 
 // Probe checks one source's availability and reports the outcome to QCC.

@@ -100,24 +100,45 @@ func (e *ErrPartitioned) Error() string {
 	return fmt.Sprintf("network: link to %s is partitioned", e.Dest)
 }
 
+// transferParts computes one transfer draw split into propagation latency
+// (with congestion and jitter) and serialization delay. Callers hold l.mu.
+func (l *Link) transferParts(payloadBytes int) (lat, ser float64) {
+	lat = l.latencyMS * l.congestion
+	if l.jitterFrac > 0 {
+		lat += lat * l.jitterFrac * (2*l.rng.Float64() - 1)
+	}
+	if l.bytesPerMS > 0 {
+		ser = float64(payloadBytes) / (l.bytesPerMS / l.congestion)
+	}
+	return lat, ser
+}
+
 // TransferTime returns the simulated time to move payloadBytes one way over
 // the link, including latency, serialization delay, congestion and jitter.
 func (l *Link) TransferTime(payloadBytes int) simclock.Time {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	lat := l.latencyMS * l.congestion
-	if l.jitterFrac > 0 {
-		lat += lat * l.jitterFrac * (2*l.rng.Float64() - 1)
-	}
-	xfer := 0.0
-	if l.bytesPerMS > 0 {
-		xfer = float64(payloadBytes) / (l.bytesPerMS / l.congestion)
-	}
-	t := lat + xfer
+	lat, ser := l.transferParts(payloadBytes)
+	t := lat + ser
 	if t < 0 {
 		t = 0
 	}
 	return simclock.Time(t)
+}
+
+// TransferParts is TransferTime with the two delay components exposed:
+// propagation latency (one draw of the same jitter stream) and serialization
+// time. Streamed batches need the split because consecutive batches share the
+// wire — serialization occupies the link serially while each batch's
+// propagation overlaps the next batch's send.
+func (l *Link) TransferParts(payloadBytes int) (lat, ser simclock.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	la, se := l.transferParts(payloadBytes)
+	if la < 0 {
+		la = 0
+	}
+	return simclock.Time(la), simclock.Time(se)
 }
 
 // RoundTripTime returns the time for a request of reqBytes and a response of
@@ -205,6 +226,35 @@ func (t *Topology) Transfer(ctx context.Context, dest string, payloadBytes int) 
 	t.telemetry().Active().Histogram("network.transfer_ms", dest, nil).Observe(float64(tt))
 	return tt, nil
 }
+
+// TransferBatch computes the one-way delay of one streamed result batch,
+// split into propagation latency and serialization time: batches of one
+// stream share the wire, so serialization is serial across batches while
+// propagation overlaps the next batch's send. The total (lat+ser) matches a
+// Transfer of the same payload draw for draw. It additionally records the
+// batch size on the network.batch_bytes histogram, so it is only used on the
+// streaming path — monolithic transfers leave no batch series behind.
+func (t *Topology) TransferBatch(ctx context.Context, dest string, payloadBytes int) (lat, ser simclock.Time, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	l := t.Link(dest)
+	if l == nil {
+		return 0, 0, fmt.Errorf("network: no link to %q", dest)
+	}
+	if l.Down() {
+		return 0, 0, &ErrPartitioned{Dest: dest}
+	}
+	lat, ser = l.TransferParts(payloadBytes)
+	t.telemetry().Active().Histogram("network.transfer_ms", dest, nil).Observe(float64(lat + ser))
+	t.telemetry().Active().Histogram("network.batch_bytes", dest, batchBytesBuckets).Observe(float64(payloadBytes))
+	return lat, ser, nil
+}
+
+// batchBytesBuckets sizes the batch-volume histogram: batches range from a
+// few hundred bytes (tiny tail batches) to megabytes (blocking plans that
+// ship in one piece).
+var batchBytesBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576}
 
 // RoundTrip computes request+response transfer time to dest.
 func (t *Topology) RoundTrip(ctx context.Context, dest string, reqBytes, respBytes int) (simclock.Time, error) {

@@ -154,3 +154,64 @@ func TestScheduleCongestion(t *testing.T) {
 		t.Fatalf("cancelled phase must not apply: %g", l.Congestion())
 	}
 }
+
+func TestScheduleCongestionCancelBeforeFirstPhase(t *testing.T) {
+	clock := simclock.New()
+	l := NewLink(LinkConfig{LatencyMS: 10})
+	cancel := ScheduleCongestion(clock, l, []CongestionPhase{
+		{AfterMS: 100, Level: 4},
+		{AfterMS: 200, Level: 8},
+	})
+	cancel()
+	clock.Advance(500)
+	if l.Congestion() != 1 {
+		t.Fatalf("cancel before any phase must leave the link calm: %g", l.Congestion())
+	}
+}
+
+func TestScheduleCongestionCancelMidScheduleLevelPersists(t *testing.T) {
+	clock := simclock.New()
+	l := NewLink(LinkConfig{LatencyMS: 10})
+	cancel := ScheduleCongestion(clock, l, []CongestionPhase{
+		{AfterMS: 100, Level: 6},
+		{AfterMS: 300, Level: 1},
+	})
+	clock.Advance(150)
+	if l.Congestion() != 6 {
+		t.Fatalf("phase 1 must apply: %g", l.Congestion())
+	}
+	cancel()
+	clock.Advance(500)
+	// Cancellation stops FUTURE phases; it does not restore the calm level.
+	if l.Congestion() != 6 {
+		t.Fatalf("cancel must freeze the current level, got %g", l.Congestion())
+	}
+}
+
+func TestJitterTransferTimeDeterministicAcrossPayloads(t *testing.T) {
+	// Two links with equal seeds must agree on every draw even when payload
+	// sizes vary — the property the streaming escape hatch depends on: a
+	// monolithic run and a BatchRows=0 streamed run issue the same Transfer
+	// sequence and must therefore see identical virtual times.
+	l1 := NewLink(LinkConfig{LatencyMS: 50, BandwidthKBps: 100, JitterFrac: 0.3, Seed: 99})
+	l2 := NewLink(LinkConfig{LatencyMS: 50, BandwidthKBps: 100, JitterFrac: 0.3, Seed: 99})
+	payloads := []int{0, 4096, 123, 1 << 20, 77, 256}
+	for i, p := range payloads {
+		a, b := l1.TransferTime(p), l2.TransferTime(p)
+		if a != b {
+			t.Fatalf("draw %d (payload %d): %v != %v", i, p, a, b)
+		}
+	}
+	// A different seed diverges: the jitter stream really is seeded.
+	l3 := NewLink(LinkConfig{LatencyMS: 50, BandwidthKBps: 100, JitterFrac: 0.3, Seed: 100})
+	diverged := false
+	for _, p := range payloads {
+		if l1.TransferTime(p) != l3.TransferTime(p) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds must yield different jitter streams")
+	}
+}

@@ -128,6 +128,11 @@ type Calibration struct {
 
 	perServer   map[string]*history
 	perFragment map[metawrapper.FragmentKey]*history
+	// perServerFirst tracks (estimated, observed) time-to-first-row pairs.
+	// Streaming execution observes the first batch's arrival separately from
+	// the total response, so FirstTupleMS gets its own correction instead of
+	// inheriting the total-time factor.
+	perServerFirst map[string]*history
 	// fileSeeds records observed costs of fragments whose wrappers provide
 	// no estimate, keyed by fragment.
 	fileSeeds map[metawrapper.FragmentKey]*history
@@ -140,11 +145,12 @@ type Calibration struct {
 	probeLatest   map[string]float64
 
 	// published snapshots, refreshed by Publish.
-	pubServer   map[string]float64
-	pubFragment map[metawrapper.FragmentKey]float64
-	pubII       float64
-	pubProbe    map[string]float64
-	publishes   int64
+	pubServer      map[string]float64
+	pubServerFirst map[string]float64
+	pubFragment    map[metawrapper.FragmentKey]float64
+	pubII          float64
+	pubProbe       map[string]float64
+	publishes      int64
 
 	// hook receives each publish's factor snapshot (telemetry timelines).
 	hook PublishHook
@@ -159,17 +165,19 @@ type PublishHook func(at simclock.Time, serverFactors map[string]float64, iiFact
 func NewCalibration(cfg CalibrationConfig) *Calibration {
 	cfg.fill()
 	return &Calibration{
-		cfg:           cfg,
-		perServer:     map[string]*history{},
-		perFragment:   map[metawrapper.FragmentKey]*history{},
-		fileSeeds:     map[metawrapper.FragmentKey]*history{},
-		ii:            newHistory(cfg.WindowSize, cfg.MaxAge),
-		probeBaseline: map[string]float64{},
-		probeLatest:   map[string]float64{},
-		pubServer:     map[string]float64{},
-		pubFragment:   map[metawrapper.FragmentKey]float64{},
-		pubII:         1,
-		pubProbe:      map[string]float64{},
+		cfg:            cfg,
+		perServer:      map[string]*history{},
+		perFragment:    map[metawrapper.FragmentKey]*history{},
+		perServerFirst: map[string]*history{},
+		fileSeeds:      map[metawrapper.FragmentKey]*history{},
+		ii:             newHistory(cfg.WindowSize, cfg.MaxAge),
+		probeBaseline:  map[string]float64{},
+		probeLatest:    map[string]float64{},
+		pubServer:      map[string]float64{},
+		pubServerFirst: map[string]float64{},
+		pubFragment:    map[metawrapper.FragmentKey]float64{},
+		pubII:          1,
+		pubProbe:       map[string]float64{},
 	}
 }
 
@@ -201,6 +209,23 @@ func (c *Calibration) RecordRun(at simclock.Time, key metawrapper.FragmentKey, e
 		}
 		hf.add(at, est, obs)
 	}
+}
+
+// RecordFirstRow ingests one (estimated first-tuple, observed first-row)
+// pair for a server. Streaming fragments report this alongside the total
+// observation so the two latency components calibrate independently.
+func (c *Calibration) RecordFirstRow(at simclock.Time, serverID string, est, obs float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if est <= 0 {
+		return
+	}
+	h := c.perServerFirst[serverID]
+	if h == nil {
+		h = newHistory(c.cfg.WindowSize, c.cfg.MaxAge)
+		c.perServerFirst[serverID] = h
+	}
+	h.add(at, est, obs)
 }
 
 // RecordII ingests one II merge observation (§3.2).
@@ -250,6 +275,15 @@ func (c *Calibration) Publish(now simclock.Time) float64 {
 			}
 		}
 		c.pubServer[id] = f
+	}
+	for id, h := range c.perServerFirst {
+		f, n := h.factor(now)
+		if n == 0 {
+			// Stale: let FirstRowFactor fall back to the combined factor.
+			delete(c.pubServerFirst, id)
+			continue
+		}
+		c.pubServerFirst[id] = f
 	}
 	for key, h := range c.perFragment {
 		f, n := h.factor(now)
@@ -337,6 +371,16 @@ func (c *Calibration) FragmentFactor(key metawrapper.FragmentKey) float64 {
 		factor = probe
 	}
 	return factor
+}
+
+// FirstRowFactor returns the published time-to-first-row factor for a
+// server and whether one is available. Callers fall back to the combined
+// fragment factor when no streaming observations have been published.
+func (c *Calibration) FirstRowFactor(serverID string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.pubServerFirst[serverID]
+	return f, ok
 }
 
 // ServerFactor returns the published per-server factor (1 when unknown).

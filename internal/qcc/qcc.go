@@ -256,6 +256,11 @@ func (q *QCC) ObserveRun(rec metawrapper.RunRecord) {
 	q.runs++
 	q.mu.Unlock()
 	q.Calib.RecordRun(q.clock.Now(), rec.Key, rec.Est.TotalMS, float64(rec.Observed))
+	if rec.FirstRow > 0 {
+		// Streaming run: the first batch's arrival was observed separately,
+		// so the first-tuple estimate calibrates on its own history.
+		q.Calib.RecordFirstRow(q.clock.Now(), rec.Key.ServerID, rec.Est.FirstTupleMS, float64(rec.FirstRow))
+	}
 	q.Rel.RecordSuccess(rec.Key.ServerID)
 	if q.Avail.MarkUp(rec.Key.ServerID) {
 		q.tel.Active().Counter("qcc.unfences", rec.Key.ServerID).Inc()
@@ -334,8 +339,15 @@ func (q *QCC) CalibrateFragment(key metawrapper.FragmentKey, est remote.CostEsti
 		return q.applyPolicy(key.ServerID, est)
 	}
 	factor := q.Calib.FragmentFactor(key) * rel
+	firstFactor := factor
+	if f, ok := q.Calib.FirstRowFactor(key.ServerID); ok {
+		// Streaming runs observed time-to-first-row separately, so the
+		// first-tuple component gets its own correction instead of
+		// inheriting the total-time factor.
+		firstFactor = f * rel
+	}
 	est.TotalMS *= factor
-	est.FirstTupleMS *= factor
+	est.FirstTupleMS *= firstFactor
 	est.NextTupleMS *= factor
 	return q.applyPolicy(key.ServerID, est)
 }

@@ -23,10 +23,11 @@ type Result struct {
 	Resources exec.Resources
 }
 
-// ExecutePlan runs a previously-explained plan. It fails when the context is
-// cancelled, when the server is down, when failure injection is armed, or
-// when the plan is bound to a different server.
-func (s *Server) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
+// runPlan is the shared execution body behind ExecutePlan and OpenPlan: it
+// fails when the context is cancelled, when the server is down, when failure
+// injection is armed, or when the plan is bound to a different server, then
+// executes the plan and observes its full service time under current load.
+func (s *Server) runPlan(ctx context.Context, p *Plan) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -51,10 +52,20 @@ func (s *Server) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
 		return nil, fmt.Errorf("remote: executing on %s: %w", s.id, err)
 	}
 	ectx.Res.OutBytes = rel.ByteSize()
-	res := &Result{
+	return &Result{
 		Rel:         rel,
 		ServiceTime: s.Observe(ectx.Res),
 		Resources:   ectx.Res,
+	}, nil
+}
+
+// ExecutePlan runs a previously-explained plan monolithically, emitting the
+// remote.exec span itself. The streaming path (OpenPlan) leaves span
+// emission to the wrapper, which interleaves it with batch transfers.
+func (s *Server) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
+	res, err := s.runPlan(ctx, p)
+	if err != nil {
+		return nil, err
 	}
 	telemetry.SpanFrom(ctx).Emit("remote.exec", telemetry.LayerRemote, s.id, res.ServiceTime).
 		SetAttr("plan", p.Signature)

@@ -19,7 +19,6 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
-	"repro/internal/telemetry"
 )
 
 // Candidate is one plan option a wrapper offers for a fragment.
@@ -67,6 +66,11 @@ type Wrapper interface {
 	// Execute runs an execution descriptor. The context carries cancellation
 	// (a sibling fragment failed) and an optional virtual-time deadline.
 	Execute(ctx context.Context, plan *remote.Plan) (*ExecOutcome, error)
+	// Open runs an execution descriptor as a batch stream: result batches
+	// ship over the network as the server produces them, overlapping remote
+	// compute with transfer. batchRows <= 0 degenerates to one monolithic
+	// batch with Execute's exact timing.
+	Open(ctx context.Context, plan *remote.Plan, batchRows int) (ResultStream, error)
 	// Probe checks source availability end to end (network + server).
 	Probe(ctx context.Context) (simclock.Time, error)
 }
@@ -115,8 +119,12 @@ func (w *Relational) Explain(stmt *sqlparser.SelectStmt) ([]Candidate, error) {
 		// from its plan cache to later explains.
 		cp := *p
 		if link := w.topo.Link(w.server.ID()); link != nil {
-			cp.Est.TotalMS += float64(link.StaticTransferTime(len(cp.SQL)) + link.StaticTransferTime(cp.Est.OutBytes))
-			cp.Est.FirstTupleMS += float64(link.StaticTransferTime(len(cp.SQL)))
+			// Price the request at the same envelope size Execute actually
+			// ships, so the estimate/actual gap reflects network dynamics
+			// rather than our own bookkeeping.
+			reqTime := link.StaticTransferTime(len(cp.SQL) + requestEnvelopeBytes)
+			cp.Est.TotalMS += float64(reqTime + link.StaticTransferTime(cp.Est.OutBytes))
+			cp.Est.FirstTupleMS += float64(reqTime)
 		}
 		out[i] = Candidate{Plan: &cp, RawEst: cp.Est, CostKnown: true, Versions: versions}
 	}
@@ -133,6 +141,11 @@ func (w *Relational) Execute(ctx context.Context, plan *remote.Plan) (*ExecOutco
 	return executeOverNetwork(ctx, w.server, w.topo, plan)
 }
 
+// Open implements Wrapper.
+func (w *Relational) Open(ctx context.Context, plan *remote.Plan, batchRows int) (ResultStream, error) {
+	return openStream(ctx, w.server, w.topo, plan, batchRows)
+}
+
 // Probe implements Wrapper.
 func (w *Relational) Probe(ctx context.Context) (simclock.Time, error) {
 	return probeOverNetwork(ctx, w.server, w.topo)
@@ -143,41 +156,25 @@ func (w *Relational) Probe(ctx context.Context) (simclock.Time, error) {
 // It honours context cancellation at each hop and enforces the dispatch's
 // virtual-time deadline (if any) against the end-to-end response time.
 //
-// When the context carries a trace span, the hops become sub-spans: the
-// wrapper-layer span wraps a network.send, the remote.exec the server emits,
-// and a network.recv, whose durations sum exactly to the response time.
+// It is the monolithic (batchRows=0) drain of the streaming path: one
+// batch, so the wrapper-layer span wraps a network.send, a remote.exec and
+// a network.recv, whose durations sum exactly to the response time.
 func executeOverNetwork(ctx context.Context, server *remote.Server, topo *network.Topology, plan *remote.Plan) (*ExecOutcome, error) {
-	wsp := telemetry.SpanFrom(ctx).Child("wrapper.execute", telemetry.LayerWrapper, server.ID())
-	if wsp != nil {
-		ctx = telemetry.ContextWithSpan(ctx, wsp)
-	}
-	reqTime, err := topo.Transfer(ctx, server.ID(), len(plan.SQL)+256)
+	st, err := openStream(ctx, server, topo, plan, 0)
 	if err != nil {
-		wsp.SetAttr("error", err.Error())
 		return nil, err
 	}
-	wsp.Emit("network.send", telemetry.LayerNetwork, server.ID(), reqTime)
-	res, err := server.ExecutePlan(ctx, plan)
-	if err != nil {
-		wsp.SetAttr("error", err.Error())
-		return nil, err
+	for {
+		b, err := st.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
 	}
-	respTime, err := topo.Transfer(ctx, server.ID(), res.Rel.ByteSize())
-	if err != nil {
-		wsp.SetAttr("error", err.Error())
-		return nil, err
-	}
-	wsp.Emit("network.recv", telemetry.LayerNetwork, server.ID(), respTime)
-	out := &ExecOutcome{
-		Result:       res,
-		ResponseTime: reqTime + res.ServiceTime + respTime,
-	}
-	wsp.End(out.ResponseTime)
-	if err := simclock.CheckDeadline(ctx, out.ResponseTime); err != nil {
-		wsp.SetAttr("error", err.Error())
-		return nil, err
-	}
-	return out, nil
+	out := st.Outcome()
+	return &ExecOutcome{Result: out.Result, ResponseTime: out.ResponseTime}, nil
 }
 
 // versionSnapshot captures the referenced tables' versions before an
@@ -279,6 +276,11 @@ func (w *File) TableVersions(tables []string) (map[string]int64, error) {
 // Execute implements Wrapper.
 func (w *File) Execute(ctx context.Context, plan *remote.Plan) (*ExecOutcome, error) {
 	return executeOverNetwork(ctx, w.server, w.topo, plan)
+}
+
+// Open implements Wrapper.
+func (w *File) Open(ctx context.Context, plan *remote.Plan, batchRows int) (ResultStream, error) {
+	return openStream(ctx, w.server, w.topo, plan, batchRows)
 }
 
 // Probe implements Wrapper.

@@ -29,6 +29,7 @@ func (f *Federation) QueryContext(ctx context.Context, sql string) (*QueryResult
 		Route:         route,
 		FragmentTimes: res.FragmentTimes,
 		MergeTime:     res.MergeTime,
+		FirstRowTime:  res.FirstRowTime,
 		Retried:       res.Retried,
 	}, nil
 }

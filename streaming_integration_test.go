@@ -1,0 +1,179 @@
+package fedqcc_test
+
+import (
+	"math"
+	"testing"
+
+	fedqcc "repro"
+	"repro/internal/sqltypes"
+)
+
+// slowLinkFederation builds a single-server federation over a
+// bandwidth-limited, jitter-free link so streamed and monolithic runs of the
+// same workload are directly comparable. Scale 10 gives 10k-row large tables.
+func slowLinkFederation(t *testing.T) *fedqcc.Federation {
+	t.Helper()
+	b := fedqcc.NewBuilder(7).
+		AddServer("S1", fedqcc.ProfileMidrange, fedqcc.LinkSpec{LatencyMS: 20, BandwidthKBps: 50})
+	for _, spec := range fedqcc.StandardSchema(10) {
+		b.AddGeneratedTable("S1", spec)
+	}
+	fed, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func relationsIdentical(a, b *sqltypes.Relation) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestStreamingFasterThanStoreAndForward is the PR's acceptance check: a
+// >=10k-row fragment shipped over a bandwidth-limited link must finish
+// strictly sooner streamed (remote compute overlapping transfer) than with
+// BatchRows=0 store-and-forward, while producing identical rows — and the
+// rows must stay identical across scan, join, aggregate and order-by shapes.
+func TestStreamingFasterThanStoreAndForward(t *testing.T) {
+	queries := []string{
+		"SELECT l.l_orderkey, l.l_price FROM lineitem AS l",                                     // large scan
+		"SELECT o.o_id, l.l_price FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey", // join
+		"SELECT l.l_orderkey, SUM(l.l_price) FROM lineitem AS l GROUP BY l.l_orderkey",          // aggregate
+		"SELECT l.l_orderkey FROM lineitem AS l ORDER BY l.l_price DESC",                        // order-by
+	}
+
+	streamed := slowLinkFederation(t)
+	if streamed.BatchRows() <= 0 {
+		t.Fatal("streaming must be on by default")
+	}
+	monolithic := slowLinkFederation(t)
+	monolithic.SetBatchRows(0)
+	if monolithic.BatchRows() != 0 {
+		t.Fatal("SetBatchRows(0) must disable streaming")
+	}
+
+	for i, sql := range queries {
+		rs, err := streamed.Query(sql)
+		if err != nil {
+			t.Fatalf("streamed %s: %v", sql, err)
+		}
+		rm, err := monolithic.Query(sql)
+		if err != nil {
+			t.Fatalf("monolithic %s: %v", sql, err)
+		}
+		if !relationsIdentical(rs.Rows, rm.Rows) {
+			t.Fatalf("rows diverge for %s: %d streamed vs %d monolithic",
+				sql, len(rs.Rows.Rows), len(rm.Rows.Rows))
+		}
+		if rs.FirstRowTime > rs.ResponseTime {
+			t.Fatalf("%s: first row (%v) after response (%v)", sql, rs.FirstRowTime, rs.ResponseTime)
+		}
+		if i == 0 {
+			// The pipelining win itself, on the large scan: production of
+			// batch k+1 overlaps the transfer of batch k.
+			if len(rs.Rows.Rows) < 10000 {
+				t.Fatalf("acceptance scenario needs >=10k rows, got %d", len(rs.Rows.Rows))
+			}
+			if rs.ResponseTime >= rm.ResponseTime {
+				t.Fatalf("streamed response %v must beat store-and-forward %v", rs.ResponseTime, rm.ResponseTime)
+			}
+			if rs.FirstRowTime <= 0 || rs.FirstRowTime >= rs.ResponseTime {
+				t.Fatalf("time-to-first-row %v must fall strictly inside (0, %v)", rs.FirstRowTime, rs.ResponseTime)
+			}
+		}
+	}
+}
+
+// TestStreamingBatchSpansSumToFragmentTime checks the trace-level acceptance
+// invariant: on a multi-batch streamed fragment the wrapper.execute span's
+// children (network.send, remote.exec, one network.recv per batch) sum
+// EXACTLY to the fragment's response time, and the streaming-only metric
+// series appear.
+func TestStreamingBatchSpansSumToFragmentTime(t *testing.T) {
+	fed := slowLinkFederation(t)
+	tel := fed.EnableTelemetry()
+
+	res, err := fed.Query("SELECT l.l_orderkey, l.l_price FROM lineitem AS l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstRowTime <= 0 {
+		t.Fatalf("first-row time: %v", res.FirstRowTime)
+	}
+
+	tr := tel.Tracer().Last()
+	if tr == nil || !tr.Done() || tr.Err() != "" {
+		t.Fatalf("trace incomplete: %+v", tr)
+	}
+	type wexecSum struct {
+		dur      float64
+		children float64
+		recvs    int
+	}
+	var wexec *wexecSum
+	for _, c := range tr.Root.Children() {
+		if c.Name() != "fragment" {
+			continue
+		}
+		for _, cc := range c.Children() {
+			if cc.Name() != "wrapper.execute" {
+				continue
+			}
+			w := &wexecSum{dur: float64(cc.Dur())}
+			for _, b := range cc.Children() {
+				w.children += float64(b.Dur())
+				if b.Name() == "network.recv" {
+					w.recvs++
+				}
+			}
+			wexec = w
+		}
+	}
+	if wexec == nil {
+		t.Fatalf("no wrapper.execute span in trace:\n%s", tr.Tree())
+	}
+	if wexec.recvs < 2 {
+		t.Fatalf("10k-row scan must stream multiple batches, saw %d recv spans:\n%s", wexec.recvs, tr.Tree())
+	}
+	if math.Abs(wexec.children-wexec.dur) > 1e-6 {
+		t.Fatalf("per-batch spans sum to %.9f, fragment response %.9f", wexec.children, wexec.dur)
+	}
+
+	if h := tel.Metrics().HistogramOf("query.first_row_ms", ""); h == nil || h.Count() < 1 {
+		t.Fatal("query.first_row_ms must record on streamed queries")
+	}
+	if h := tel.Metrics().HistogramOf("network.batch_bytes", "S1"); h == nil || h.Count() < 2 {
+		t.Fatal("network.batch_bytes must record one sample per streamed batch")
+	}
+}
+
+// TestMonolithicModeLeavesStreamingSeriesSilent pins the escape hatch's
+// telemetry contract: with BatchRows=0 the streaming-only series never
+// appear, so dashboards see exactly the pre-streaming metric set.
+func TestMonolithicModeLeavesStreamingSeriesSilent(t *testing.T) {
+	fed := slowLinkFederation(t)
+	fed.SetBatchRows(0)
+	tel := fed.EnableTelemetry()
+	if _, err := fed.Query("SELECT l.l_orderkey FROM lineitem AS l"); err != nil {
+		t.Fatal(err)
+	}
+	if h := tel.Metrics().HistogramOf("query.first_row_ms", ""); h != nil && h.Count() > 0 {
+		t.Fatal("query.first_row_ms must stay silent with BatchRows=0")
+	}
+	if h := tel.Metrics().HistogramOf("network.batch_bytes", "S1"); h != nil && h.Count() > 0 {
+		t.Fatal("network.batch_bytes must stay silent with BatchRows=0")
+	}
+}
