@@ -1,0 +1,91 @@
+package fedqcc
+
+import (
+	"context"
+
+	"repro/internal/admission"
+	"repro/internal/integrator"
+)
+
+// Re-exported admission types: the workload-management policy surface.
+type (
+	// AdmissionPolicy is a full admission configuration: a global
+	// concurrency cap plus an ordered set of workload classes.
+	AdmissionPolicy = admission.Policy
+	// AdmissionClassConfig defines one workload class (priority, cost
+	// ceiling, concurrency/queue caps, cost hold, queue deadline).
+	AdmissionClassConfig = admission.ClassConfig
+	// AdmissionStats is a point-in-time controller snapshot.
+	AdmissionStats = admission.Stats
+	// AdmissionClassStats is the per-class slice of AdmissionStats.
+	AdmissionClassStats = admission.ClassStats
+	// AdmissionRejection is the typed error refused queries receive; match
+	// it broadly with ErrAdmissionRejected / ErrQueueTimeout.
+	AdmissionRejection = admission.Rejection
+	// QueryLogStats snapshots the query patroller's retention accounting.
+	QueryLogStats = integrator.PatrollerStats
+)
+
+// Typed admission errors. Every refusal matches ErrAdmissionRejected via
+// errors.Is; queue-deadline sheds additionally match ErrQueueTimeout (and
+// simclock's virtual-deadline sentinel, shared with fragment budgets).
+var (
+	ErrAdmissionRejected = admission.ErrAdmissionRejected
+	ErrQueueTimeout      = admission.ErrQueueTimeout
+)
+
+// Built-in workload class names.
+const (
+	ClassInteractive = admission.ClassInteractive
+	ClassBatch       = admission.ClassBatch
+)
+
+// DefaultAdmissionPolicy returns the unlimited interactive/batch taxonomy
+// every federation starts with — admission effectively disabled.
+func DefaultAdmissionPolicy() AdmissionPolicy { return admission.DefaultPolicy() }
+
+// WithQueryClass tags a context with an explicit workload-class name: queries
+// submitted under it skip cost classification and join that class directly
+// (unknown names fall back to cost classification).
+func WithQueryClass(ctx context.Context, class string) context.Context {
+	return admission.WithClass(ctx, class)
+}
+
+// AdmissionHandle is the public control surface on the federation's
+// workload-management subsystem.
+type AdmissionHandle struct {
+	c *admission.Controller
+}
+
+// Admission returns the workload-management handle. The controller is always
+// installed; under the default unlimited policy it is a pure pass-through
+// with bit-identical behaviour to an engine without admission control.
+func (f *Federation) Admission() *AdmissionHandle { return &AdmissionHandle{c: f.adm} }
+
+// Policy returns a copy of the current admission policy.
+func (h *AdmissionHandle) Policy() AdmissionPolicy { return h.c.Policy() }
+
+// SetPolicy replaces the admission policy at runtime; queued queries are
+// re-resolved against the new class definitions.
+func (h *AdmissionHandle) SetPolicy(p AdmissionPolicy) { h.c.SetPolicy(p) }
+
+// SetGlobalCap tunes the global concurrency cap at runtime (0 = unlimited).
+func (h *AdmissionHandle) SetGlobalCap(n int) { h.c.SetGlobalCap(n) }
+
+// SetClassCap tunes one class's concurrency cap at runtime (0 = unlimited).
+func (h *AdmissionHandle) SetClassCap(class string, cap int) error {
+	return h.c.SetClassCap(class, cap)
+}
+
+// Disable reverts to the unlimited default policy: admission becomes a
+// pass-through again (queued queries drain immediately).
+func (h *AdmissionHandle) Disable() { h.c.SetPolicy(DefaultAdmissionPolicy()) }
+
+// Stats snapshots the controller's counters.
+func (h *AdmissionHandle) Stats() AdmissionStats { return h.c.Stats() }
+
+// QueueDepth reports how many queries are waiting for admission right now.
+func (h *AdmissionHandle) QueueDepth() int { return h.c.QueueDepth() }
+
+// Running reports how many admitted queries hold slots right now.
+func (h *AdmissionHandle) Running() int { return h.c.Running() }

@@ -32,6 +32,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/admission"
 	"repro/internal/catalog"
 	"repro/internal/integrator"
 	"repro/internal/metawrapper"
@@ -81,6 +82,7 @@ type Federation struct {
 	ii      *integrator.II
 	qcc     *qcc.QCC
 	tel     *telemetry.Telemetry
+	adm     *admission.Controller
 }
 
 // FederationOptions configures the canned paper federation.
@@ -126,6 +128,11 @@ func fromScenario(sc *scenario.Scenario) *Federation {
 	if sc.IINode != nil {
 		sc.IINode.SetTelemetry(tel)
 	}
+	// The admission controller is always installed but starts with the
+	// unlimited default policy: a pass-through gate with zero behavioural
+	// footprint until Admission().SetPolicy imposes caps.
+	adm := admission.New(admission.Config{Clock: sc.Clock, Telemetry: tel})
+	sc.II.SetAdmission(adm)
 	return &Federation{
 		clock:   sc.Clock,
 		servers: sc.Servers,
@@ -135,6 +142,7 @@ func fromScenario(sc *scenario.Scenario) *Federation {
 		iiNode:  sc.IINode,
 		ii:      sc.II,
 		tel:     tel,
+		adm:     adm,
 	}
 }
 
@@ -221,6 +229,15 @@ type QueryResult struct {
 	FirstRowTime Time
 	// Retried counts re-optimizations after fragment failures.
 	Retried int
+	// QueueWait is the virtual time the query spent in the admission queue
+	// before execution began — zero unless Admission() imposed caps that
+	// made it wait. End-to-end latency is QueueWait + ResponseTime;
+	// ResponseTime itself stays pure execution time so QCC's calibration is
+	// unaffected by queueing.
+	QueueWait Time
+	// AdmissionClass is the workload class the query ran under
+	// ("interactive"/"batch" by default).
+	AdmissionClass string
 }
 
 // SetBatchRows changes the streaming fragment data path's batch size at
@@ -299,6 +316,11 @@ func (f *Federation) EnumeratePlans(sql string, topK int) ([]*PlanInfo, error) {
 
 // QueryLog returns the patroller's log entries.
 func (f *Federation) QueryLog() []integrator.LogEntry { return f.ii.Patroller().Log() }
+
+// QueryLogStats snapshots the patroller's retention accounting: entries
+// retained, entries evicted by the ring-buffer bound, and completions that
+// arrived after their entry had already been evicted.
+func (f *Federation) QueryLogStats() QueryLogStats { return f.ii.Patroller().Stats() }
 
 // ExplainLog returns the stored compilation winners.
 func (f *Federation) ExplainLog() []optimizer.ExplainEntry { return f.ii.ExplainTable().Entries() }

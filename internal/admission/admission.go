@@ -1,0 +1,528 @@
+// Package admission implements the integrator's workload-management
+// subsystem: the gating scheduler that sits where DB2 Query Patroller sat in
+// the paper's testbed — in front of the information integrator — and decides
+// which queries run now, which wait, and which are turned away.
+//
+// Every query is classified into a workload class (interactive, batch, or
+// deployment-defined) by its calibrated estimated cost from the plan
+// cache/optimizer, or by an explicit class tag carried on the context
+// (WithClass). The controller then enforces:
+//
+//   - a global concurrency cap across all classes;
+//   - per-class concurrency caps, so heavy classes cannot starve light ones;
+//   - priority queueing: when capacity frees up, the highest-priority queued
+//     query is admitted first (higher classes preempt queue position, never
+//     running queries);
+//   - cost holds: a query whose calibrated estimate exceeds its class's
+//     HoldCostMS is parked in the queue rather than admitted, even when
+//     capacity is free;
+//   - queue deadlines: a query that has waited longer than its class's
+//     QueueDeadline in virtual time is shed with a typed, errors.Is-matchable
+//     rejection (ErrQueueTimeout, which also matches ErrAdmissionRejected and
+//     simclock.ErrDeadline); and
+//   - queue bounds: when a class's queue is full, new arrivals are rejected
+//     immediately (ErrAdmissionRejected).
+//
+// All waiting happens in virtual time: queue wait is the simulated interval
+// between enqueue and grant, and deadlines are virtual-clock events that fire
+// as running queries charge their response times. When nothing is running and
+// only held queries remain queued, the controller advances the clock to the
+// earliest queue deadline itself so sheds always fire — the simulation can
+// never deadlock on an empty machine.
+//
+// The default policy (DefaultPolicy: every cap unlimited, no holds) makes the
+// controller a pure pass-through: Admit takes one mutex acquisition, never
+// touches the clock, and the engine behaves bit-for-bit as if no controller
+// were installed.
+package admission
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+)
+
+// Request describes one query asking to be admitted.
+type Request struct {
+	// Query is the statement text (diagnostics only).
+	Query string
+	// CostMS is the calibrated estimated cost from the plan cache/optimizer;
+	// classification and cost holds key on it.
+	CostMS float64
+	// Class, when non-empty, pins the workload class by name instead of
+	// classifying by cost (see WithClass). Unknown names fall back to cost
+	// classification.
+	Class string
+}
+
+// Config wires a Controller.
+type Config struct {
+	// Clock is the shared virtual clock queue waits and deadlines run on.
+	Clock *simclock.Clock
+	// Telemetry receives queue-depth gauges, per-class wait histograms and
+	// shed/reject counters (nil or disabled is a no-op).
+	Telemetry *telemetry.Telemetry
+	// Policy is the initial admission policy; the zero value selects
+	// DefaultPolicy (unlimited — admission disabled).
+	Policy Policy
+}
+
+type waiterState int
+
+const (
+	stateQueued waiterState = iota
+	stateGranted
+	stateShed
+)
+
+// waiter is one queued admission request.
+type waiter struct {
+	class      ClassConfig
+	cost       float64
+	seq        int64
+	held       bool
+	enqueuedAt simclock.Time
+	deadlineAt simclock.Time // 0 = no queue deadline
+	state      waiterState
+	wait       simclock.Time
+	// ch delivers the decision: nil = admitted, non-nil = typed rejection.
+	ch       chan error
+	cancelDL simclock.Cancel
+}
+
+// classTally is the per-class accounting behind Stats.
+type classTally struct {
+	running     int
+	queued      int
+	admitted    int64
+	queuedTotal int64
+	held        int64
+	shed        int64
+	rejected    int64
+	cancelled   int64
+	waitTotal   simclock.Time
+}
+
+// Controller is the admission gate. It is safe for concurrent use; one
+// instance fronts one integrator.
+type Controller struct {
+	clock *simclock.Clock
+	tel   *telemetry.Telemetry
+
+	mu        sync.Mutex
+	policy    Policy
+	unlimited bool
+	running   int
+	queue     []*waiter
+	seq       int64
+	tallies   map[string]*classTally
+	releases  int64
+}
+
+// New builds a controller over the given config.
+func New(cfg Config) *Controller {
+	p := cfg.Policy.normalized()
+	return &Controller{
+		clock:     cfg.Clock,
+		tel:       cfg.Telemetry,
+		policy:    p,
+		unlimited: p.Unlimited(),
+		tallies:   map[string]*classTally{},
+	}
+}
+
+// Grant is an admitted query's slot; Release returns it when the query
+// finishes (success or failure). Release is idempotent and nil-safe.
+type Grant struct {
+	c      *Controller
+	class  string
+	wait   simclock.Time
+	queued bool
+	once   sync.Once
+}
+
+// Release returns the concurrency slot, admitting the best queued waiter.
+func (g *Grant) Release() {
+	if g == nil {
+		return
+	}
+	g.once.Do(func() { g.c.releaseClass(g.class) })
+}
+
+// Class names the workload class the query was admitted under.
+func (g *Grant) Class() string {
+	if g == nil {
+		return ""
+	}
+	return g.class
+}
+
+// QueueWait is the virtual time the query spent queued before admission
+// (zero when it was admitted immediately).
+func (g *Grant) QueueWait() simclock.Time {
+	if g == nil {
+		return 0
+	}
+	return g.wait
+}
+
+// Queued reports whether the query actually waited in the queue. The
+// pass-through (unlimited) path never queues, so instrumentation keyed on
+// this stays silent when admission is disabled.
+func (g *Grant) Queued() bool { return g != nil && g.queued }
+
+// Admit blocks until the request is granted a slot, its class queue deadline
+// sheds it, or ctx is cancelled. The returned error is nil with a Grant, or a
+// typed *Rejection matching ErrAdmissionRejected (and ErrQueueTimeout plus
+// simclock.ErrDeadline for deadline sheds), or ctx.Err().
+func (c *Controller) Admit(ctx context.Context, req Request) (*Grant, error) {
+	c.mu.Lock()
+	cls := c.policy.classFor(req)
+	t := c.tallyLocked(cls.Name)
+	if c.unlimited {
+		// Pass-through: one mutex hop, no clock interaction, no queue. This
+		// is the admission-disabled path that must stay behaviourally
+		// identical to an engine without a controller.
+		c.running++
+		t.running++
+		t.admitted++
+		c.mu.Unlock()
+		return &Grant{c: c, class: cls.Name}, nil
+	}
+	held := cls.HoldCostMS > 0 && req.CostMS > cls.HoldCostMS
+	if held && cls.QueueDeadline <= 0 {
+		// A hold with no deadline could never be shed or admitted: reject
+		// immediately instead of parking the query forever.
+		t.rejected++
+		c.mu.Unlock()
+		c.tel.Active().Counter("admission.rejected", cls.Name).Inc()
+		return nil, &Rejection{Class: cls.Name, CostMS: req.CostMS, Reason: ReasonCost}
+	}
+	if cls.MaxQueue > 0 && t.queued >= cls.MaxQueue {
+		t.rejected++
+		c.mu.Unlock()
+		c.tel.Active().Counter("admission.rejected", cls.Name).Inc()
+		return nil, &Rejection{Class: cls.Name, CostMS: req.CostMS, Reason: ReasonQueueFull}
+	}
+	c.seq++
+	w := &waiter{
+		class:      cls,
+		cost:       req.CostMS,
+		seq:        c.seq,
+		held:       held,
+		enqueuedAt: c.clock.Now(),
+		ch:         make(chan error, 1),
+	}
+	c.queue = append(c.queue, w)
+	t.queued++
+	c.drainLocked()
+	if w.state == stateGranted {
+		// Admitted synchronously: the queue pass was a formality, the query
+		// never waited.
+		c.mu.Unlock()
+		return &Grant{c: c, class: cls.Name}, nil
+	}
+	t.queuedTotal++
+	if held {
+		t.held++
+	}
+	if cls.QueueDeadline > 0 {
+		w.deadlineAt = w.enqueuedAt + cls.QueueDeadline
+		w.cancelDL = c.clock.ScheduleAt(w.deadlineAt, func(at simclock.Time) { c.expire(w, at) })
+	}
+	target, stalled := c.stallTargetLocked()
+	c.publishGaugesLocked()
+	c.mu.Unlock()
+	if stalled {
+		// Nothing is running and every queued query is held: no release will
+		// ever drain the queue, so virtual time must advance to the earliest
+		// queue deadline for the sheds to fire.
+		c.clock.AdvanceTo(target)
+	}
+	select {
+	case err := <-w.ch:
+		if err != nil {
+			return nil, err
+		}
+		return &Grant{c: c, class: cls.Name, wait: w.wait, queued: true}, nil
+	case <-ctx.Done():
+		if c.abandon(w) {
+			return nil, ctx.Err()
+		}
+		// The waiter was granted or shed concurrently with the cancellation;
+		// honour that decision's bookkeeping before reporting the cancel.
+		if err := <-w.ch; err != nil {
+			return nil, err
+		}
+		c.releaseClass(cls.Name)
+		return nil, ctx.Err()
+	}
+}
+
+// QueueDepth reports how many queries are currently waiting — the demand
+// signal QCC folds into the II workload factor so routing sees pressure
+// before execution does.
+func (c *Controller) QueueDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Running reports how many admitted queries hold slots right now.
+func (c *Controller) Running() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.running
+}
+
+// Policy returns a copy of the current admission policy.
+func (c *Controller) Policy() Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policy.clone()
+}
+
+// SetPolicy replaces the admission policy at runtime. Queued waiters are
+// re-resolved against the new class definitions: raised caps admit them,
+// lifted holds release them, and a newly-imposed hold on a waiter with no
+// queue deadline sheds it immediately (nothing could ever shed it later).
+func (c *Controller) SetPolicy(p Policy) {
+	p = p.normalized()
+	c.mu.Lock()
+	c.policy = p
+	c.unlimited = p.Unlimited()
+	var doomed []*waiter
+	for _, w := range c.queue {
+		if cls, ok := p.Class(w.class.Name); ok {
+			w.class = cls
+		}
+		w.held = !c.unlimited && w.class.HoldCostMS > 0 && w.cost > w.class.HoldCostMS
+		if w.held && w.deadlineAt <= 0 {
+			doomed = append(doomed, w)
+		}
+	}
+	for _, w := range doomed {
+		w.state = stateShed
+		c.removeLocked(w)
+		t := c.tallyLocked(w.class.Name)
+		t.queued--
+		t.shed++
+		w.ch <- &Rejection{Class: w.class.Name, CostMS: w.cost, Reason: ReasonCost}
+	}
+	c.drainLocked()
+	target, stalled := c.stallTargetLocked()
+	c.publishGaugesLocked()
+	c.mu.Unlock()
+	if stalled {
+		c.clock.AdvanceTo(target)
+	}
+}
+
+// SetGlobalCap tunes the global concurrency cap at runtime (0 = unlimited).
+func (c *Controller) SetGlobalCap(n int) {
+	p := c.Policy()
+	if n < 0 {
+		n = 0
+	}
+	p.MaxConcurrent = n
+	c.SetPolicy(p)
+}
+
+// SetClassCap tunes one class's concurrency cap at runtime (0 = unlimited).
+func (c *Controller) SetClassCap(name string, cap int) error {
+	p := c.Policy()
+	for i := range p.Classes {
+		if p.Classes[i].Name == name {
+			if cap < 0 {
+				cap = 0
+			}
+			p.Classes[i].MaxConcurrent = cap
+			c.SetPolicy(p)
+			return nil
+		}
+	}
+	return &UnknownClassError{Name: name}
+}
+
+// releaseClass returns one slot and admits the best queued waiter.
+func (c *Controller) releaseClass(name string) {
+	c.mu.Lock()
+	c.running--
+	c.tallyLocked(name).running--
+	c.releases++
+	c.drainLocked()
+	target, stalled := c.stallTargetLocked()
+	c.publishGaugesLocked()
+	c.mu.Unlock()
+	if stalled {
+		c.clock.AdvanceTo(target)
+	}
+}
+
+// drainLocked admits queued waiters while capacity allows, highest priority
+// first (FIFO within a priority level). Held waiters are skipped: they wait
+// for a policy change or their deadline regardless of capacity.
+func (c *Controller) drainLocked() {
+	for {
+		best := -1
+		for i, w := range c.queue {
+			if w.held || !c.admissibleLocked(w.class) {
+				continue
+			}
+			if best < 0 || beats(w, c.queue[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		w := c.queue[best]
+		c.queue = append(c.queue[:best], c.queue[best+1:]...)
+		t := c.tallyLocked(w.class.Name)
+		t.queued--
+		w.state = stateGranted
+		if w.cancelDL != nil {
+			w.cancelDL()
+			w.cancelDL = nil
+		}
+		c.running++
+		t.running++
+		t.admitted++
+		w.wait = c.clock.Now() - w.enqueuedAt
+		if w.wait < 0 {
+			w.wait = 0
+		}
+		t.waitTotal += w.wait
+		if w.wait > 0 {
+			c.tel.Active().Histogram("admission.queue_wait_ms", w.class.Name, nil).Observe(float64(w.wait))
+		}
+		w.ch <- nil
+	}
+}
+
+// beats orders waiters for admission: higher class priority first, then
+// submission order.
+func beats(a, b *waiter) bool {
+	if a.class.Priority != b.class.Priority {
+		return a.class.Priority > b.class.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (c *Controller) admissibleLocked(cls ClassConfig) bool {
+	if c.unlimited {
+		// An unlimited policy admits everything regardless of stale class
+		// configs carried by waiters queued under an earlier policy.
+		return true
+	}
+	if c.policy.MaxConcurrent > 0 && c.running >= c.policy.MaxConcurrent {
+		return false
+	}
+	if cls.MaxConcurrent > 0 && c.tallyLocked(cls.Name).running >= cls.MaxConcurrent {
+		return false
+	}
+	return true
+}
+
+// expire sheds a waiter whose virtual queue deadline has passed.
+func (c *Controller) expire(w *waiter, at simclock.Time) {
+	c.mu.Lock()
+	if w.state != stateQueued {
+		c.mu.Unlock()
+		return
+	}
+	w.state = stateShed
+	c.removeLocked(w)
+	t := c.tallyLocked(w.class.Name)
+	t.queued--
+	t.shed++
+	wait := at - w.enqueuedAt
+	target, stalled := c.stallTargetLocked()
+	c.publishGaugesLocked()
+	c.mu.Unlock()
+	c.tel.Active().Counter("admission.shed", w.class.Name).Inc()
+	w.ch <- &Rejection{Class: w.class.Name, CostMS: w.cost, Reason: ReasonQueueTimeout, Wait: wait}
+	if stalled {
+		// More held waiters with later deadlines may remain on an otherwise
+		// idle machine; keep virtual time moving so their sheds fire too.
+		c.clock.AdvanceTo(target)
+	}
+}
+
+// abandon removes a waiter whose caller's context was cancelled. It reports
+// false when the waiter was already granted or shed concurrently.
+func (c *Controller) abandon(w *waiter) bool {
+	c.mu.Lock()
+	if w.state != stateQueued {
+		c.mu.Unlock()
+		return false
+	}
+	w.state = stateShed
+	c.removeLocked(w)
+	t := c.tallyLocked(w.class.Name)
+	t.queued--
+	t.cancelled++
+	if w.cancelDL != nil {
+		w.cancelDL()
+		w.cancelDL = nil
+	}
+	c.publishGaugesLocked()
+	c.mu.Unlock()
+	return true
+}
+
+func (c *Controller) removeLocked(w *waiter) {
+	for i, q := range c.queue {
+		if q == w {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// stallTargetLocked reports the virtual time the controller itself must
+// advance the clock to when the machine is idle but queries remain queued
+// (all of them held, by construction): the earliest queue deadline.
+func (c *Controller) stallTargetLocked() (simclock.Time, bool) {
+	if c.running > 0 || len(c.queue) == 0 {
+		return 0, false
+	}
+	var min simclock.Time
+	found := false
+	for _, w := range c.queue {
+		if w.deadlineAt <= 0 {
+			continue
+		}
+		if !found || w.deadlineAt < min {
+			min = w.deadlineAt
+			found = true
+		}
+	}
+	return min, found
+}
+
+func (c *Controller) tallyLocked(name string) *classTally {
+	t := c.tallies[name]
+	if t == nil {
+		t = &classTally{}
+		c.tallies[name] = t
+	}
+	return t
+}
+
+// publishGaugesLocked refreshes the queue-depth and running gauges. A nil or
+// disabled telemetry registry makes this a single atomic load.
+func (c *Controller) publishGaugesLocked() {
+	reg := c.tel.Active()
+	if reg == nil {
+		return
+	}
+	for name, t := range c.tallies {
+		reg.Gauge("admission.queue_depth", name).Set(float64(t.queued))
+		reg.Gauge("admission.running", name).Set(float64(t.running))
+	}
+	reg.Gauge("admission.queue_depth", "").Set(float64(len(c.queue)))
+	reg.Gauge("admission.running", "").Set(float64(c.running))
+}

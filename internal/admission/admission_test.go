@@ -1,0 +1,396 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+)
+
+// newController builds a controller on a fresh clock.
+func newController(p Policy) (*Controller, *simclock.Clock) {
+	clk := simclock.New()
+	return New(Config{Clock: clk, Policy: p}), clk
+}
+
+func TestDefaultPolicyIsUnlimited(t *testing.T) {
+	if !DefaultPolicy().Unlimited() {
+		t.Fatal("DefaultPolicy must be unlimited (admission disabled)")
+	}
+	if (Policy{}).normalized().Unlimited() != true {
+		t.Fatal("zero policy must normalize to unlimited")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	p := DefaultPolicy().normalized()
+	if got := p.Classify(5).Name; got != ClassInteractive {
+		t.Fatalf("cheap query classified %q, want %q", got, ClassInteractive)
+	}
+	if got := p.Classify(DefaultInteractiveCeilingMS + 1).Name; got != ClassBatch {
+		t.Fatalf("heavy query classified %q, want %q", got, ClassBatch)
+	}
+	// Explicit context tag wins over cost.
+	if got := p.classFor(Request{CostMS: 5, Class: ClassBatch}).Name; got != ClassBatch {
+		t.Fatalf("tagged query classified %q, want %q", got, ClassBatch)
+	}
+	// Unknown tag falls back to cost.
+	if got := p.classFor(Request{CostMS: 5, Class: "nope"}).Name; got != ClassInteractive {
+		t.Fatalf("unknown-tag query classified %q, want %q", got, ClassInteractive)
+	}
+	// Classes are sorted for classification regardless of declaration order.
+	p2 := Policy{Classes: []ClassConfig{
+		{Name: "huge"},
+		{Name: "small", CeilingMS: 10},
+		{Name: "medium", CeilingMS: 100},
+	}}.normalized()
+	if got := p2.Classify(50).Name; got != "medium" {
+		t.Fatalf("classified %q, want medium", got)
+	}
+	if got := p2.Classify(500).Name; got != "huge" {
+		t.Fatalf("classified %q, want huge", got)
+	}
+}
+
+func TestUnlimitedPassThrough(t *testing.T) {
+	c, clk := newController(Policy{})
+	g, err := c.Admit(context.Background(), Request{Query: "q", CostMS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Queued() || g.QueueWait() != 0 {
+		t.Fatalf("pass-through grant queued=%v wait=%v", g.Queued(), g.QueueWait())
+	}
+	if got := c.Running(); got != 1 {
+		t.Fatalf("running = %d, want 1", got)
+	}
+	g.Release()
+	g.Release() // idempotent
+	if got := c.Running(); got != 0 {
+		t.Fatalf("running after release = %d, want 0", got)
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("pass-through moved the clock to %v", clk.Now())
+	}
+	var nilGrant *Grant
+	nilGrant.Release() // nil-safe
+}
+
+// admitAsync runs Admit on a goroutine and reports its outcome on a channel.
+func admitAsync(c *Controller, req Request) chan struct {
+	g   *Grant
+	err error
+} {
+	ch := make(chan struct {
+		g   *Grant
+		err error
+	}, 1)
+	go func() {
+		g, err := c.Admit(context.Background(), req)
+		ch <- struct {
+			g   *Grant
+			err error
+		}{g, err}
+	}()
+	return ch
+}
+
+func TestGlobalCapQueuesAndDrains(t *testing.T) {
+	c, clk := newController(Policy{MaxConcurrent: 1})
+	g1, err := c.Admit(context.Background(), Request{Query: "a", CostMS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := admitAsync(c, Request{Query: "b", CostMS: 10})
+	waitUntil(t, func() bool { return c.QueueDepth() == 1 })
+	// The running query charges 25 virtual ms, then releases.
+	clk.Charge(25)
+	g1.Release()
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if !out.g.Queued() || out.g.QueueWait() != 25 {
+		t.Fatalf("queued grant wait = %v (queued=%v), want 25ms", out.g.QueueWait(), out.g.Queued())
+	}
+	out.g.Release()
+	st := c.Stats()
+	if st.Releases != 2 || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+func TestPriorityOrdersQueue(t *testing.T) {
+	p := Policy{MaxConcurrent: 1, Classes: []ClassConfig{
+		{Name: "hi", Priority: 10, CeilingMS: 100},
+		{Name: "lo", Priority: 0},
+	}}
+	c, clk := newController(p)
+	g, err := c.Admit(context.Background(), Request{Query: "seed", CostMS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low-priority waiter arrives first, high-priority second.
+	loDone := admitAsync(c, Request{Query: "lo", CostMS: 5000})
+	waitUntil(t, func() bool { return c.QueueDepth() == 1 })
+	hiDone := admitAsync(c, Request{Query: "hi", CostMS: 10})
+	waitUntil(t, func() bool { return c.QueueDepth() == 2 })
+	clk.Charge(10)
+	g.Release()
+	// The high-priority waiter must win the freed slot.
+	hi := <-hiDone
+	if hi.err != nil {
+		t.Fatal(hi.err)
+	}
+	if got := c.QueueDepth(); got != 1 {
+		t.Fatalf("queue depth after hi admitted = %d, want 1 (lo still queued)", got)
+	}
+	hi.g.Release()
+	lo := <-loDone
+	if lo.err != nil {
+		t.Fatal(lo.err)
+	}
+	lo.g.Release()
+}
+
+func TestCostHoldShedsOnDeadline(t *testing.T) {
+	p := Policy{Classes: []ClassConfig{
+		{Name: "hi", Priority: 10, CeilingMS: 100},
+		{Name: "lo", HoldCostMS: 1000, QueueDeadline: 500},
+	}}
+	c, clk := newController(p)
+	start := clk.Now()
+	_, err := c.Admit(context.Background(), Request{Query: "heavy", CostMS: 2000})
+	if err == nil {
+		t.Fatal("held query must be shed, got grant")
+	}
+	if !errors.Is(err, ErrAdmissionRejected) || !errors.Is(err, ErrQueueTimeout) || !errors.Is(err, simclock.ErrDeadline) {
+		t.Fatalf("shed error %v must match ErrAdmissionRejected, ErrQueueTimeout and simclock.ErrDeadline", err)
+	}
+	var rej *Rejection
+	if !errors.As(err, &rej) || rej.Reason != ReasonQueueTimeout || rej.Class != "lo" || rej.Wait != 500 {
+		t.Fatalf("rejection = %+v", rej)
+	}
+	// The stall-advance must have moved virtual time to the deadline even
+	// though nothing was running.
+	if got := clk.Now() - start; got != 500 {
+		t.Fatalf("clock advanced %v, want 500ms (stall-advance to queue deadline)", got)
+	}
+	st := c.Stats()
+	var lo ClassStats
+	for _, cs := range st.Classes {
+		if cs.Name == "lo" {
+			lo = cs
+		}
+	}
+	if lo.Held != 1 || lo.Shed != 1 {
+		t.Fatalf("lo stats = %+v, want Held=1 Shed=1", lo)
+	}
+}
+
+func TestHoldWithoutDeadlineRejectsImmediately(t *testing.T) {
+	p := Policy{Classes: []ClassConfig{{Name: "only", HoldCostMS: 100}}}
+	c, clk := newController(p)
+	_, err := c.Admit(context.Background(), Request{Query: "heavy", CostMS: 200})
+	var rej *Rejection
+	if !errors.As(err, &rej) || rej.Reason != ReasonCost {
+		t.Fatalf("err = %v, want immediate cost rejection", err)
+	}
+	if !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatal("cost rejection must match ErrAdmissionRejected")
+	}
+	if errors.Is(err, ErrQueueTimeout) {
+		t.Fatal("cost rejection must not match ErrQueueTimeout")
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("immediate rejection moved the clock to %v", clk.Now())
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	p := Policy{MaxConcurrent: 1, Classes: []ClassConfig{{Name: "only", MaxQueue: 1}}}
+	c, _ := newController(p)
+	g, err := c.Admit(context.Background(), Request{Query: "a", CostMS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := admitAsync(c, Request{Query: "b", CostMS: 10})
+	waitUntil(t, func() bool { return c.QueueDepth() == 1 })
+	_, err = c.Admit(context.Background(), Request{Query: "c", CostMS: 10})
+	var rej *Rejection
+	if !errors.As(err, &rej) || rej.Reason != ReasonQueueFull {
+		t.Fatalf("err = %v, want queue-full rejection", err)
+	}
+	g.Release()
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	out.g.Release()
+}
+
+func TestContextCancelWhileQueued(t *testing.T) {
+	c, _ := newController(Policy{MaxConcurrent: 1})
+	g, err := c.Admit(context.Background(), Request{Query: "a", CostMS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, Request{Query: "b", CostMS: 10})
+		done <- err
+	}()
+	waitUntil(t, func() bool { return c.QueueDepth() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitUntil(t, func() bool { return c.QueueDepth() == 0 })
+	// The abandoned slot must not leak: a new query still admits.
+	g.Release()
+	g2, err := c.Admit(context.Background(), Request{Query: "c", CostMS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Release()
+	st := c.Stats()
+	if st.Classes[0].Cancelled != 1 {
+		t.Fatalf("stats = %+v, want Cancelled=1", st.Classes)
+	}
+}
+
+func TestSetPolicyReclassifiesQueue(t *testing.T) {
+	// Start with a hold that parks the query, then lift the hold at runtime:
+	// the waiter must be admitted.
+	p := Policy{Classes: []ClassConfig{{Name: "only", HoldCostMS: 100, QueueDeadline: 10000}}}
+	c, _ := newController(p)
+	// A running query keeps the machine busy so the held waiter is parked
+	// rather than stall-advanced straight to its deadline.
+	g, err := c.Admit(context.Background(), Request{Query: "cheap", CostMS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := admitAsync(c, Request{Query: "heavy", CostMS: 200})
+	waitUntil(t, func() bool { return c.QueueDepth() == 1 })
+	lifted := p.clone()
+	lifted.Classes[0].HoldCostMS = 0
+	c.SetPolicy(lifted)
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("lifting the hold must admit the waiter: %v", out.err)
+	}
+	out.g.Release()
+	g.Release()
+}
+
+func TestSetGlobalCapUnblocksWaiters(t *testing.T) {
+	c, _ := newController(Policy{MaxConcurrent: 1})
+	g, err := c.Admit(context.Background(), Request{Query: "a", CostMS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := admitAsync(c, Request{Query: "b", CostMS: 10})
+	waitUntil(t, func() bool { return c.QueueDepth() == 1 })
+	c.SetGlobalCap(2)
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	out.g.Release()
+	g.Release()
+	if err := c.SetClassCap("nope", 3); err == nil {
+		t.Fatal("SetClassCap on unknown class must error")
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	clk := simclock.New()
+	tel := telemetry.New(telemetry.Config{})
+	tel.SetEnabled(true)
+	p := Policy{Classes: []ClassConfig{{Name: "only", HoldCostMS: 100, QueueDeadline: 50}}}
+	c := New(Config{Clock: clk, Telemetry: tel, Policy: p})
+	_, err := c.Admit(context.Background(), Request{Query: "heavy", CostMS: 200})
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := tel.Metrics().CounterValue("admission.shed", "only"); got != 1 {
+		t.Fatalf("admission.shed = %d, want 1", got)
+	}
+	if v, ok := tel.Metrics().GaugeValue("admission.queue_depth", ""); !ok || v != 0 {
+		t.Fatalf("admission.queue_depth = %v (ok=%v), want 0", v, ok)
+	}
+}
+
+// TestAdmissionConcurrencySoak hammers the controller from many goroutines
+// under -race: mixed classes, caps small enough to force queueing, deadlines
+// short enough to shed some, and random releases via Charge.
+func TestAdmissionConcurrencySoak(t *testing.T) {
+	p := Policy{
+		MaxConcurrent: 4,
+		Classes: []ClassConfig{
+			{Name: "hi", Priority: 10, CeilingMS: 100, MaxConcurrent: 3, QueueDeadline: 10000},
+			{Name: "lo", MaxConcurrent: 2, MaxQueue: 64, QueueDeadline: 10000},
+		},
+	}
+	c, clk := newController(p)
+	const workers = 32
+	var wg sync.WaitGroup
+	var admitted, rejected int64
+	var mu sync.Mutex
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 16; j++ {
+				cost := float64(10 + (i*31+j*17)%300)
+				g, err := c.Admit(context.Background(), Request{Query: fmt.Sprintf("q%d-%d", i, j), CostMS: cost})
+				mu.Lock()
+				if err != nil {
+					if !errors.Is(err, ErrAdmissionRejected) {
+						mu.Unlock()
+						panic(fmt.Sprintf("untyped admission error: %v", err))
+					}
+					rejected++
+					mu.Unlock()
+					continue
+				}
+				admitted++
+				mu.Unlock()
+				clk.Charge(simclock.Time(cost / 10))
+				g.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if admitted+rejected != workers*16 {
+		t.Fatalf("lost queries: admitted %d + rejected %d != %d", admitted, rejected, workers*16)
+	}
+	st := c.Stats()
+	if st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("controller not drained: %+v", st)
+	}
+	if st.Releases != admitted {
+		t.Fatalf("releases %d != admitted %d", st.Releases, admitted)
+	}
+}
+
+// waitUntil polls cond (the controller enqueues on a separate goroutine),
+// yielding so the admitting goroutine can run.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatal("condition never became true")
+}

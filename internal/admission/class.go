@@ -1,0 +1,148 @@
+package admission
+
+import (
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// Built-in workload class names. Deployments may define any classes they
+// like; these two are the defaults every federation starts with.
+const (
+	ClassInteractive = "interactive"
+	ClassBatch       = "batch"
+)
+
+// DefaultInteractiveCeilingMS is the calibrated-cost boundary between the
+// default interactive and batch classes: queries the optimizer expects to
+// finish within a second are interactive.
+const DefaultInteractiveCeilingMS = 1000
+
+// ClassConfig defines one workload class. Zero means unlimited for every
+// cap-like field.
+type ClassConfig struct {
+	// Name identifies the class (context tags and stats key on it).
+	Name string
+	// Priority orders queued queries: higher drains first. Priority never
+	// preempts running queries, only queue position.
+	Priority int
+	// CeilingMS classifies by cost: a query whose calibrated estimate is at
+	// most CeilingMS may land in this class. Zero or negative means "accepts
+	// any cost" (a catch-all).
+	CeilingMS float64
+	// MaxConcurrent caps how many queries of this class run at once.
+	MaxConcurrent int
+	// MaxQueue caps how many queries of this class may wait; arrivals beyond
+	// it are rejected immediately (ReasonQueueFull).
+	MaxQueue int
+	// HoldCostMS parks queries whose calibrated estimate exceeds it: they
+	// queue (even with free capacity) until a policy change lifts the hold or
+	// their QueueDeadline sheds them. Zero disables holds.
+	HoldCostMS float64
+	// QueueDeadline bounds queue wait in virtual milliseconds; a query still
+	// queued past it is shed with a ReasonQueueTimeout rejection. Zero means
+	// queued queries wait indefinitely (and holds are rejected up front,
+	// since nothing could ever release them).
+	QueueDeadline simclock.Time
+}
+
+// Policy is a full admission configuration: a global concurrency cap plus an
+// ordered set of workload classes.
+type Policy struct {
+	// MaxConcurrent caps total running queries across all classes (0 =
+	// unlimited).
+	MaxConcurrent int
+	// Classes define the workload taxonomy. Classification walks them in
+	// ascending CeilingMS order and picks the first class whose ceiling
+	// covers the query's calibrated cost; a class with no ceiling is a
+	// catch-all. An empty slice selects the default two-class taxonomy.
+	Classes []ClassConfig
+}
+
+// DefaultPolicy is the admission-disabled configuration every federation
+// starts with: the standard interactive/batch taxonomy with every cap
+// unlimited and no holds. Under it the controller is a pure pass-through.
+func DefaultPolicy() Policy {
+	return Policy{
+		Classes: []ClassConfig{
+			{Name: ClassInteractive, Priority: 10, CeilingMS: DefaultInteractiveCeilingMS},
+			{Name: ClassBatch, Priority: 0},
+		},
+	}
+}
+
+// Unlimited reports whether the policy imposes no constraint at all — no
+// caps, no queue bounds, no holds — and the controller may take the
+// pass-through path.
+func (p Policy) Unlimited() bool {
+	if p.MaxConcurrent > 0 {
+		return false
+	}
+	for _, c := range p.Classes {
+		if c.MaxConcurrent > 0 || c.MaxQueue > 0 || c.HoldCostMS > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Class finds a class by name.
+func (p Policy) Class(name string) (ClassConfig, bool) {
+	for _, c := range p.Classes {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ClassConfig{}, false
+}
+
+// Classify maps a calibrated cost estimate to a class: the first class (in
+// ascending ceiling order, catch-alls last) whose ceiling covers the cost,
+// else the last class.
+func (p Policy) Classify(costMS float64) ClassConfig {
+	for _, c := range p.Classes {
+		if c.CeilingMS <= 0 || costMS <= c.CeilingMS {
+			return c
+		}
+	}
+	return p.Classes[len(p.Classes)-1]
+}
+
+// classFor resolves a request's class: an explicit, known class tag wins;
+// otherwise cost classification.
+func (p Policy) classFor(req Request) ClassConfig {
+	if req.Class != "" {
+		if c, ok := p.Class(req.Class); ok {
+			return c
+		}
+	}
+	return p.Classify(req.CostMS)
+}
+
+// normalized returns a copy with the default taxonomy filled in when Classes
+// is empty and classes sorted for classification (ascending ceiling,
+// catch-alls last, stable otherwise).
+func (p Policy) normalized() Policy {
+	out := p.clone()
+	if len(out.Classes) == 0 {
+		out.Classes = DefaultPolicy().Classes
+	}
+	sort.SliceStable(out.Classes, func(i, j int) bool {
+		ci, cj := out.Classes[i].CeilingMS, out.Classes[j].CeilingMS
+		if (ci <= 0) != (cj <= 0) {
+			return cj <= 0 // bounded ceilings before catch-alls
+		}
+		if ci <= 0 {
+			return false
+		}
+		return ci < cj
+	})
+	return out
+}
+
+// clone deep-copies the policy.
+func (p Policy) clone() Policy {
+	out := p
+	out.Classes = append([]ClassConfig(nil), p.Classes...)
+	return out
+}

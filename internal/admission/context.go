@@ -1,0 +1,22 @@
+package admission
+
+import "context"
+
+type classKey struct{}
+
+// WithClass tags a context with an explicit workload-class name, overriding
+// cost-based classification for queries submitted under it (unknown names
+// fall back to cost classification). The workload pool runner uses this to
+// pin e.g. report queries to the batch class regardless of their estimates.
+func WithClass(ctx context.Context, class string) context.Context {
+	if class == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, classKey{}, class)
+}
+
+// ClassFromContext extracts the workload-class tag, if any.
+func ClassFromContext(ctx context.Context) string {
+	class, _ := ctx.Value(classKey{}).(string)
+	return class
+}

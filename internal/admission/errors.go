@@ -1,0 +1,73 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/simclock"
+)
+
+// ErrAdmissionRejected is the sentinel every admission refusal matches:
+// errors.Is(err, ErrAdmissionRejected) holds whether the query was shed on a
+// queue deadline, bounced off a full queue, or held on cost with no way out.
+var ErrAdmissionRejected = errors.New("admission: query rejected")
+
+// ErrQueueTimeout is the sentinel for deadline sheds specifically: a query
+// that waited past its class's QueueDeadline matches both ErrQueueTimeout and
+// ErrAdmissionRejected (and simclock.ErrDeadline, since the shed is a
+// virtual-time deadline expiry like any other).
+var ErrQueueTimeout = errors.New("admission: queue deadline exceeded")
+
+// Rejection reasons.
+const (
+	// ReasonCost marks a query held on cost with no queue deadline to ever
+	// shed or revisit it — admitting it would park it forever.
+	ReasonCost = "cost_hold"
+	// ReasonQueueFull marks a query bounced off a class queue at MaxQueue.
+	ReasonQueueFull = "queue_full"
+	// ReasonQueueTimeout marks a queued query shed at its QueueDeadline.
+	ReasonQueueTimeout = "queue_timeout"
+)
+
+// Rejection is the typed error a refused query receives.
+type Rejection struct {
+	// Class is the workload class the query was classified into.
+	Class string
+	// CostMS is the calibrated estimate the decision keyed on.
+	CostMS float64
+	// Reason is one of the Reason* constants.
+	Reason string
+	// Wait is how long the query sat queued before being shed (zero for
+	// immediate rejections).
+	Wait simclock.Time
+}
+
+// Error implements error.
+func (r *Rejection) Error() string {
+	switch r.Reason {
+	case ReasonQueueTimeout:
+		return fmt.Sprintf("admission: %s query shed after queueing %s (est %.3fms)", r.Class, r.Wait, r.CostMS)
+	case ReasonQueueFull:
+		return fmt.Sprintf("admission: %s queue full (est %.3fms)", r.Class, r.CostMS)
+	default:
+		return fmt.Sprintf("admission: %s query held on cost with no queue deadline (est %.3fms)", r.Class, r.CostMS)
+	}
+}
+
+// Unwrap makes every rejection errors.Is-match ErrAdmissionRejected, and
+// deadline sheds additionally match ErrQueueTimeout and simclock.ErrDeadline.
+func (r *Rejection) Unwrap() []error {
+	if r.Reason == ReasonQueueTimeout {
+		return []error{ErrAdmissionRejected, ErrQueueTimeout, simclock.ErrDeadline}
+	}
+	return []error{ErrAdmissionRejected}
+}
+
+// UnknownClassError reports a policy operation naming a class the policy does
+// not define.
+type UnknownClassError struct{ Name string }
+
+// Error implements error.
+func (e *UnknownClassError) Error() string {
+	return fmt.Sprintf("admission: unknown workload class %q", e.Name)
+}

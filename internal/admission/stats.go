@@ -1,0 +1,79 @@
+package admission
+
+import (
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// ClassStats is the per-class slice of a Stats snapshot.
+type ClassStats struct {
+	// Name and Priority identify the class (Priority from the current
+	// policy; 0 for classes no longer defined).
+	Name     string
+	Priority int
+	// Running and Queued are instantaneous occupancy.
+	Running int
+	Queued  int
+	// Admitted counts grants; QueuedTotal counts how many of those (plus
+	// sheds) actually waited; Held counts enqueues that started held.
+	Admitted    int64
+	QueuedTotal int64
+	Held        int64
+	// Shed counts queue-deadline expiries, Rejected immediate refusals
+	// (queue full / hopeless holds), Cancelled context cancellations while
+	// queued.
+	Shed      int64
+	Rejected  int64
+	Cancelled int64
+	// TotalQueueWait accumulates virtual queue wait across all grants.
+	TotalQueueWait simclock.Time
+}
+
+// Stats is a point-in-time snapshot of the controller.
+type Stats struct {
+	// Running and Queued are instantaneous totals across classes.
+	Running int
+	Queued  int
+	// Releases counts returned grants.
+	Releases int64
+	// Classes is sorted by descending priority, then name.
+	Classes []ClassStats
+}
+
+// Stats snapshots the controller's counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Stats{
+		Running:  c.running,
+		Queued:   len(c.queue),
+		Releases: c.releases,
+		Classes:  make([]ClassStats, 0, len(c.tallies)),
+	}
+	for name, t := range c.tallies {
+		cs := ClassStats{
+			Name:           name,
+			Running:        t.running,
+			Queued:         t.queued,
+			Admitted:       t.admitted,
+			QueuedTotal:    t.queuedTotal,
+			Held:           t.held,
+			Shed:           t.shed,
+			Rejected:       t.rejected,
+			Cancelled:      t.cancelled,
+			TotalQueueWait: t.waitTotal,
+		}
+		if cls, ok := c.policy.Class(name); ok {
+			cs.Priority = cls.Priority
+		}
+		out.Classes = append(out.Classes, cs)
+	}
+	sort.Slice(out.Classes, func(i, j int) bool {
+		if out.Classes[i].Priority != out.Classes[j].Priority {
+			return out.Classes[i].Priority > out.Classes[j].Priority
+		}
+		return out.Classes[i].Name < out.Classes[j].Name
+	})
+	return out
+}

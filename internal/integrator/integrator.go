@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/admission"
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/metawrapper"
@@ -93,6 +94,12 @@ type Config struct {
 	PatrollerCapacity int
 	// Telemetry is the observability subsystem (nil or disabled is a no-op).
 	Telemetry *telemetry.Telemetry
+	// Admission, when non-nil, gates every query between compilation and
+	// execution: the compiled plan's calibrated cost classifies the query
+	// into a workload class and the controller decides run / queue / shed.
+	// Under the default unlimited policy the gate is a pass-through and the
+	// engine behaves exactly as if Admission were nil.
+	Admission *admission.Controller
 }
 
 // DefaultRetries is the retry count used when Config.Retries is nil.
@@ -203,6 +210,14 @@ func (ii *II) Telemetry() *telemetry.Telemetry { return ii.cfg.Telemetry }
 // goes through telemetry.SetEnabled.
 func (ii *II) SetTelemetry(t *telemetry.Telemetry) { ii.cfg.Telemetry = t }
 
+// Admission exposes the admission controller (may be nil).
+func (ii *II) Admission() *admission.Controller { return ii.cfg.Admission }
+
+// SetAdmission installs the admission controller (nil removes the gate).
+// Install before serving queries; runtime policy changes go through the
+// controller itself.
+func (ii *II) SetAdmission(c *admission.Controller) { ii.cfg.Admission = c }
+
 // PlanCacheStats snapshots the federated plan cache's counters.
 func (ii *II) PlanCacheStats() PlanCacheStats { return ii.plans.snapshot() }
 
@@ -241,6 +256,15 @@ type QueryResult struct {
 	FirstRowTime simclock.Time
 	// Retried counts re-optimizations after fragment failures.
 	Retried int
+	// QueueWait is the virtual time spent in the admission queue before
+	// execution (zero when admission is disabled or the query was admitted
+	// immediately). It is NOT part of ResponseTime, so calibration
+	// observations stay pure execution time; end-to-end latency is
+	// QueueWait + ResponseTime.
+	QueueWait simclock.Time
+	// AdmissionClass is the workload class the query ran under ("" when no
+	// admission controller is installed).
+	AdmissionClass string
 }
 
 // Query compiles and executes a federated SQL statement.
@@ -261,16 +285,23 @@ func (ii *II) QueryContext(ctx context.Context, sql string) (*QueryResult, error
 	if trace != nil {
 		ctx = telemetry.ContextWithSpan(ctx, trace.Root)
 	}
-	res, err := ii.run(ctx, sql)
+	res, grant, err := ii.run(ctx, sql)
 	ii.cfg.Clock.AdvanceTo(ii.cfg.Clock.Now()) // flush due events
 	if err != nil {
+		grant.Release()
 		tel.Active().Counter("ii.query_errors", "").Inc()
 		tel.Tracer().FinishTrace(trace, err)
 		ii.patroller.Complete(logID, ii.cfg.Clock.Now(), err)
 		return nil, err
 	}
+	wait := grant.QueueWait()
+	res.QueueWait = wait
+	res.AdmissionClass = grant.Class()
 	if trace != nil {
-		trace.Root.End(res.ResponseTime)
+		// The root span covers queue wait plus execution; with admission
+		// disabled the wait is zero and the duration is exactly the
+		// response time, as before.
+		trace.Root.End(res.ResponseTime + wait)
 		tel.Tracer().FinishTrace(trace, nil)
 	}
 	tel.Active().Counter("ii.queries", "").Inc()
@@ -278,7 +309,10 @@ func (ii *II) QueryContext(ctx context.Context, sql string) (*QueryResult, error
 		tel.Active().Histogram("query.first_row_ms", "", nil).Observe(float64(res.FirstRowTime))
 	}
 	_, end := ii.cfg.Clock.Charge(res.ResponseTime)
-	ii.patroller.CompleteWithResponse(logID, end, res.ResponseTime, nil)
+	ii.patroller.CompleteWithWait(logID, end, res.ResponseTime, wait, nil)
+	// Release after charging so the next admitted waiter's queue wait spans
+	// this query's serialized virtual-time interval.
+	grant.Release()
 	return res, nil
 }
 
@@ -426,8 +460,12 @@ func (ii *II) validateCached(cc *cachedCompilation, now simclock.Time) string {
 	return ""
 }
 
-func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
+func (ii *II) run(ctx context.Context, sql string) (*QueryResult, *admission.Grant, error) {
 	var lastErr error
+	// grant is the admission slot, acquired once after the first successful
+	// compile (the compiled plan's calibrated cost is the classification
+	// signal) and held across retries; the caller releases it.
+	var grant *admission.Grant
 	// excluded accumulates the (fragment, server) pairs that failed earlier
 	// attempts of THIS query; the warm compile path steers around them so a
 	// retry reuses the cached candidate sets instead of recompiling from
@@ -436,9 +474,9 @@ func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
-				return nil, fmt.Errorf("integrator: query cancelled after %d attempts: %w", attempt, lastErr)
+				return nil, grant, fmt.Errorf("integrator: query cancelled after %d attempts: %w", attempt, lastErr)
 			}
-			return nil, err
+			return nil, grant, err
 		}
 		var exclude optimizer.ExcludeFunc
 		if len(excluded) > 0 {
@@ -447,12 +485,30 @@ func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
 		}
 		gp, err := ii.compile(ctx, sql, exclude)
 		if err != nil {
-			return nil, err
+			return nil, grant, err
+		}
+		if grant == nil && ii.cfg.Admission != nil {
+			g, err := ii.cfg.Admission.Admit(ctx, admission.Request{
+				Query:  sql,
+				CostMS: gp.TotalEstMS,
+				Class:  admission.ClassFromContext(ctx),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			grant = g
+			if grant.Queued() {
+				// Only genuinely queued queries record a wait span: the
+				// unlimited (disabled) policy never queues, keeping the span
+				// sequence identical to an engine without admission.
+				ws := telemetry.SpanFrom(ctx).Emit("admission.wait", telemetry.LayerII, "", grant.QueueWait())
+				ws.SetAttr("class", grant.Class())
+			}
 		}
 		res, err := ii.ExecuteContext(ctx, gp)
 		if err == nil {
 			res.Retried = attempt
-			return res, nil
+			return res, grant, nil
 		}
 		lastErr = err
 		var fe *FragmentError
@@ -475,7 +531,7 @@ func (ii *II) run(ctx context.Context, sql string) (*QueryResult, error) {
 			// attempt counts the retries already consumed: the failed run
 			// above was attempt number attempt+1, of which `attempt` were
 			// retries.
-			return nil, fmt.Errorf("integrator: query failed after %d retries: %w", attempt, lastErr)
+			return nil, grant, fmt.Errorf("integrator: query failed after %d retries: %w", attempt, lastErr)
 		}
 	}
 }

@@ -21,6 +21,11 @@ type LogEntry struct {
 	Err string
 	// ResponseTime is CompleteAt - SubmitAt for completed queries.
 	ResponseTime simclock.Time
+	// QueueWait is the virtual time the query spent in the admission queue
+	// before execution began (zero when admission is disabled or the query
+	// was admitted immediately). It is excluded from ResponseTime, so QCC's
+	// calibration observations stay pure execution time.
+	QueueWait simclock.Time
 }
 
 // DefaultPatrollerCapacity is the retention bound used when no explicit
@@ -43,6 +48,10 @@ type Patroller struct {
 	// capacity bounds retained entries; <= 0 means unbounded.
 	capacity int
 	evicted  int64
+	// completedAfterEviction counts completions that arrived for entries the
+	// retention bound had already dropped; without the counter those
+	// completions would vanish silently.
+	completedAfterEviction int64
 }
 
 // NewPatroller returns an empty patroller with the default retention bound.
@@ -89,7 +98,7 @@ func (p *Patroller) Submit(query string, at simclock.Time) int64 {
 // sequentially submitted queries; concurrent submitters use
 // CompleteWithResponse.
 func (p *Patroller) Complete(id int64, at simclock.Time, err error) {
-	p.complete(id, at, -1, err)
+	p.complete(id, at, -1, 0, err)
 }
 
 // CompleteWithResponse records a completion with an explicit response time.
@@ -97,14 +106,27 @@ func (p *Patroller) Complete(id int64, at simclock.Time, err error) {
 // timestamps spans other queries' serialized virtual-time charges, so the
 // caller supplies the query's own response time instead.
 func (p *Patroller) CompleteWithResponse(id int64, at, responseTime simclock.Time, err error) {
-	p.complete(id, at, responseTime, err)
+	p.complete(id, at, responseTime, 0, err)
 }
 
-func (p *Patroller) complete(id int64, at, responseTime simclock.Time, err error) {
+// CompleteWithWait records a completion with an explicit response time plus
+// the admission queue wait that preceded execution. ResponseTime stays pure
+// execution time; the wait is logged alongside it.
+func (p *Patroller) CompleteWithWait(id int64, at, responseTime, queueWait simclock.Time, err error) {
+	p.complete(id, at, responseTime, queueWait, err)
+}
+
+func (p *Patroller) complete(id int64, at, responseTime, queueWait simclock.Time, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	e, ok := p.entries[id]
 	if !ok {
+		// A completion for an ID we handed out but no longer retain means the
+		// retention bound evicted the entry mid-flight; count it rather than
+		// dropping the completion without a trace.
+		if id > 0 && id <= p.nextID {
+			p.completedAfterEviction++
+		}
 		return
 	}
 	e.Completed = true
@@ -114,6 +136,7 @@ func (p *Patroller) complete(id int64, at, responseTime simclock.Time, err error
 	} else {
 		e.ResponseTime = at - e.SubmitAt
 	}
+	e.QueueWait = queueWait
 	if err != nil {
 		e.Err = err.Error()
 	}
@@ -149,4 +172,26 @@ func (p *Patroller) Capacity() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.capacity
+}
+
+// PatrollerStats is a snapshot of the patroller's retention accounting.
+type PatrollerStats struct {
+	// Retained is the number of entries currently in the log window.
+	Retained int
+	// Evicted counts entries the retention bound has dropped.
+	Evicted int64
+	// CompletedAfterEviction counts completions that arrived after their
+	// entry had been evicted (the completion itself was not recorded).
+	CompletedAfterEviction int64
+}
+
+// Stats snapshots the retention counters.
+func (p *Patroller) Stats() PatrollerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PatrollerStats{
+		Retained:               len(p.order) - p.head,
+		Evicted:                p.evicted,
+		CompletedAfterEviction: p.completedAfterEviction,
+	}
 }

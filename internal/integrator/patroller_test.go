@@ -3,6 +3,7 @@ package integrator
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/simclock"
@@ -103,6 +104,87 @@ func TestPatrollerRetentionCompacts(t *testing.T) {
 	for i, e := range log {
 		if want := fmt.Sprintf("Q%d", n-16+i); e.Query != want {
 			t.Fatalf("entry %d: %q, want %q", i, e.Query, want)
+		}
+	}
+}
+
+func TestPatrollerCountsCompletionsAfterEviction(t *testing.T) {
+	p := NewPatrollerWithCapacity(2)
+	id0 := p.Submit("Q0", 0)
+	for i := 1; i < 5; i++ {
+		p.Submit(fmt.Sprintf("Q%d", i), simclock.Time(i))
+	}
+	// Q0 was evicted by the retention bound; its completion must be counted,
+	// not silently dropped.
+	p.Complete(id0, 100, nil)
+	st := p.Stats()
+	if st.CompletedAfterEviction != 1 {
+		t.Fatalf("CompletedAfterEviction = %d, want 1", st.CompletedAfterEviction)
+	}
+	if st.Retained != 2 || st.Evicted != 3 {
+		t.Fatalf("stats = %+v, want Retained=2 Evicted=3", st)
+	}
+	// A completion for an ID never handed out stays a pure no-op: it is a
+	// caller bug, not an eviction casualty.
+	p.Complete(999, 100, nil)
+	if got := p.Stats().CompletedAfterEviction; got != 1 {
+		t.Fatalf("ghost completion counted as post-eviction: %d", got)
+	}
+	p.Complete(0, 100, nil)
+	p.Complete(-5, 100, nil)
+	if got := p.Stats().CompletedAfterEviction; got != 1 {
+		t.Fatalf("non-positive IDs counted as post-eviction: %d", got)
+	}
+}
+
+func TestPatrollerQueueWaitLogged(t *testing.T) {
+	p := NewPatroller()
+	id := p.Submit("Q", 10)
+	p.CompleteWithWait(id, 60, 30, 20, nil)
+	e := p.Log()[0]
+	if !e.Completed || e.ResponseTime != 30 || e.QueueWait != 20 {
+		t.Fatalf("entry = %+v, want ResponseTime=30 QueueWait=20", e)
+	}
+}
+
+// TestPatrollerConcurrentCompaction hammers submit/complete/Log from many
+// goroutines with a small capacity so the ring buffer's compaction path
+// (head > 64 && head*2 >= len(order)) runs repeatedly under -race.
+func TestPatrollerConcurrentCompaction(t *testing.T) {
+	p := NewPatrollerWithCapacity(8)
+	const (
+		writers = 8
+		perW    = 400 // writers × perW >> 64 guarantees many compactions
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				id := p.Submit(fmt.Sprintf("W%dQ%d", w, i), simclock.Time(i))
+				p.CompleteWithResponse(id, simclock.Time(i+1), 1, nil)
+				if i%16 == 0 {
+					for _, e := range p.Log() {
+						_ = e.Query
+					}
+					p.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p.Len() != 8 {
+		t.Fatalf("retained %d entries, want capacity 8", p.Len())
+	}
+	st := p.Stats()
+	if st.Evicted != writers*perW-8 {
+		t.Fatalf("evicted %d, want %d", st.Evicted, writers*perW-8)
+	}
+	// Every retained entry is internally consistent.
+	for _, e := range p.Log() {
+		if e.ID <= 0 || e.Query == "" {
+			t.Fatalf("corrupt retained entry: %+v", e)
 		}
 	}
 }

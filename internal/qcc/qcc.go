@@ -33,6 +33,13 @@ type Config struct {
 	// FileSeedMultiplier scales a probe round-trip into the initial cost
 	// seed for no-estimate (file) sources (default 20).
 	FileSeedMultiplier float64
+	// QueuePressureGain scales admission queue depth into the II workload
+	// factor: effective factor = published factor × (1 + gain × depth).
+	// Queued demand is load the workload factor cannot see yet — those
+	// queries have not executed — so folding it in lets routing react to
+	// pressure BEFORE execution saturates. 0 selects
+	// DefaultQueuePressureGain; negative disables the feedback.
+	QueuePressureGain float64
 	// Telemetry, when non-nil and enabled, receives calibration timelines,
 	// per-server factor gauges and fence/rotation/reroute counters.
 	Telemetry *telemetry.Telemetry
@@ -66,10 +73,14 @@ type QCC struct {
 	Rerouter *Rerouter
 
 	fileSeedMultiplier float64
+	queuePressureGain  float64
 	tel                *telemetry.Telemetry
 
 	policyMu sync.RWMutex
 	policy   CostPolicy
+
+	demandMu sync.RWMutex
+	demand   DemandSource
 
 	mu       sync.Mutex
 	cancels  []simclock.Cancel
@@ -78,10 +89,25 @@ type QCC struct {
 	errors   int64
 }
 
+// DefaultQueuePressureGain is the per-queued-query multiplier applied to the
+// II workload factor when no explicit gain is configured: each waiting query
+// inflates II-side cost estimates by 25%, biasing routing and what-if
+// analysis away from plans that lean on the saturated integrator.
+const DefaultQueuePressureGain = 0.25
+
+// DemandSource reports pending admission demand (queued queries not yet
+// executing); the admission controller's QueueDepth is the canonical one.
+type DemandSource func() int
+
 // New builds a QCC over the given config (does not attach it yet).
 func New(cfg Config) *QCC {
 	if cfg.FileSeedMultiplier == 0 {
 		cfg.FileSeedMultiplier = 20
+	}
+	if cfg.QueuePressureGain == 0 {
+		cfg.QueuePressureGain = DefaultQueuePressureGain
+	} else if cfg.QueuePressureGain < 0 {
+		cfg.QueuePressureGain = 0
 	}
 	cfg.Cycle.Dynamic = cfg.Cycle.Dynamic || cfg.Cycle.Initial == 0 // default dynamic
 	calib := NewCalibration(cfg.Calibration)
@@ -93,6 +119,7 @@ func New(cfg Config) *QCC {
 		Avail:              NewAvailability(cfg.Availability),
 		Cycle:              NewCycleController(cfg.Cycle, calib),
 		fileSeedMultiplier: cfg.FileSeedMultiplier,
+		queuePressureGain:  cfg.QueuePressureGain,
 		tel:                cfg.Telemetry,
 	}
 	// The publish hook feeds the calibration timeline and factor gauges on
@@ -102,6 +129,11 @@ func New(cfg Config) *QCC {
 		for id, f := range serverFactors {
 			q.tel.AppendFactor(at, id, f)
 		}
+		// The effective II factor (published × queue pressure) gets its own
+		// "II" timeline series: its divergence from the qcc.ii_factor gauge
+		// is exactly the admission backlog's contribution.
+		effective := iiFactor * q.queuePressure()
+		q.tel.AppendFactor(at, "II", effective)
 		reg := q.tel.Active()
 		if reg == nil {
 			return
@@ -110,6 +142,7 @@ func New(cfg Config) *QCC {
 			reg.Gauge("qcc.calibration_factor", id).Set(f)
 		}
 		reg.Gauge("qcc.ii_factor", "").Set(iiFactor)
+		reg.Gauge("qcc.ii_effective_factor", "").Set(effective)
 		reg.Counter("qcc.publishes", "").Inc()
 	})
 	if cfg.Enumerate != nil {
@@ -361,9 +394,47 @@ func (q *QCC) applyPolicy(serverID string, est remote.CostEstimate) remote.CostE
 
 // ---- optimizer.IICalibrator / integrator.IIMergeObserver ----
 
-// CalibrateII implements optimizer.IICalibrator (§3.2).
+// SetDemandSource installs (or clears, with nil) the pending-demand feed —
+// typically the admission controller's QueueDepth. While queries wait for
+// admission, the II workload factor is inflated by queuePressure so routing
+// and what-if analysis see the backlog before execution does.
+func (q *QCC) SetDemandSource(src DemandSource) {
+	q.demandMu.Lock()
+	defer q.demandMu.Unlock()
+	q.demand = src
+}
+
+// queuePressure converts pending admission demand into a multiplicative
+// workload inflation: 1 + gain × depth (1 when no source is installed or the
+// feedback is disabled).
+func (q *QCC) queuePressure() float64 {
+	if q.queuePressureGain <= 0 {
+		return 1
+	}
+	q.demandMu.RLock()
+	src := q.demand
+	q.demandMu.RUnlock()
+	if src == nil {
+		return 1
+	}
+	depth := src()
+	if depth <= 0 {
+		return 1
+	}
+	return 1 + q.queuePressureGain*float64(depth)
+}
+
+// EffectiveIIFactor is the II workload factor actually applied to merge
+// estimates: the published §3.2 calibration factor scaled by current
+// admission queue pressure. With no backlog it equals Calib.IIFactor().
+func (q *QCC) EffectiveIIFactor() float64 {
+	return q.Calib.IIFactor() * q.queuePressure()
+}
+
+// CalibrateII implements optimizer.IICalibrator (§3.2), folding admission
+// queue pressure into the published workload factor.
 func (q *QCC) CalibrateII(estMS float64) float64 {
-	return estMS * q.Calib.IIFactor()
+	return estMS * q.EffectiveIIFactor()
 }
 
 // ObserveIIMerge implements integrator.IIMergeObserver.

@@ -180,6 +180,20 @@ func (s *Session) command(line string) {
 			return
 		}
 		fmt.Fprint(s.Out, tr.Tree())
+	case "\\queue":
+		adm := s.Fed.Admission()
+		st := adm.Stats()
+		fmt.Fprintf(s.Out, "-- admission: %d running, %d queued, %d released\n",
+			st.Running, st.Queued, st.Releases)
+		for _, cs := range st.Classes {
+			fmt.Fprintf(s.Out, "-- %s (prio %d): running %d queued %d | admitted %d waited %d held %d shed %d rejected %d cancelled %d | total wait %.2fms\n",
+				cs.Name, cs.Priority, cs.Running, cs.Queued,
+				cs.Admitted, cs.QueuedTotal, cs.Held, cs.Shed, cs.Rejected, cs.Cancelled,
+				float64(cs.TotalQueueWait))
+		}
+		ls := s.Fed.QueryLogStats()
+		fmt.Fprintf(s.Out, "-- patroller: %d retained, %d evicted, %d completions after eviction\n",
+			ls.Retained, ls.Evicted, ls.CompletedAfterEviction)
 	case "\\metrics":
 		fmt.Fprint(s.Out, fedqcc.FormatMetrics(s.Fed.Telemetry().Metrics()))
 	case "\\timeline":
@@ -201,6 +215,7 @@ const helpText = `commands:
   \replicate <nick> <from> <to>  apply a replication
   \export <server> <table>     dump a table as CSV
   \log                         query patroller log
+  \queue                       admission controller and patroller stats
   \telemetry on|off            toggle trace/metric collection
   \trace                       span tree of the most recent query
   \metrics                     metrics registry dump

@@ -2,6 +2,7 @@ package simclock
 
 import (
 	"context"
+	"errors"
 	"fmt"
 )
 
@@ -15,6 +16,13 @@ import (
 
 type deadlineKey struct{}
 
+// ErrDeadline is the sentinel every virtual-time deadline expiry matches:
+// errors.Is(err, simclock.ErrDeadline) holds for fragment budget blowouts
+// (*ErrDeadlineExceeded) and admission queue-deadline sheds alike, so callers
+// can classify "ran out of virtual time" without string matching or knowing
+// which layer imposed the deadline.
+var ErrDeadline = errors.New("simclock: virtual deadline exceeded")
+
 // ErrDeadlineExceeded reports that a dispatch blew its virtual-time budget.
 type ErrDeadlineExceeded struct {
 	// Budget is the virtual response time the dispatch was allowed.
@@ -27,6 +35,9 @@ type ErrDeadlineExceeded struct {
 func (e *ErrDeadlineExceeded) Error() string {
 	return fmt.Sprintf("simclock: virtual deadline exceeded (budget %s, observed %s)", e.Budget, e.Observed)
 }
+
+// Unwrap makes every budget blowout errors.Is-match ErrDeadline.
+func (e *ErrDeadlineExceeded) Unwrap() error { return ErrDeadline }
 
 // WithDeadline returns a context carrying a per-dispatch virtual-time budget.
 // Non-positive budgets are ignored (no deadline).

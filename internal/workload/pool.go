@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/admission"
 	"repro/internal/simclock"
 )
 
@@ -57,9 +58,13 @@ func RunPool(ctx context.Context, workers int, items []Item, exec Exec) ([]PoolR
 		go func() {
 			defer wg.Done()
 			for idx := range feed {
+				ictx := ctx
+				if items[idx].Class != "" {
+					ictx = admission.WithClass(ctx, items[idx].Class)
+				}
 				// Each worker owns a disjoint set of result slots, so no lock
 				// is needed around the write.
-				rt, err := exec(ctx, idx, items[idx])
+				rt, err := exec(ictx, idx, items[idx])
 				results[idx] = PoolResult{Index: idx, Item: items[idx], ResponseTime: rt, Err: err}
 			}
 		}()

@@ -113,6 +113,10 @@ func Mix(n int) []Item {
 type Item struct {
 	Type string
 	SQL  string
+	// Class, when non-empty, pins the query's admission workload class (e.g.
+	// "batch" for report traffic) instead of cost classification; the pool
+	// runner tags each execution context with it.
+	Class string
 }
 
 // HeavyLoad is the load level "Load" phases put on a server; Base phases

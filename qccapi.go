@@ -54,6 +54,11 @@ type QCCOptions struct {
 	// RerouteImprovement is the minimum fractional win required to switch
 	// (default 0.25).
 	RerouteImprovement float64
+	// QueuePressureGain scales admission queue depth into the II workload
+	// factor (effective factor = published × (1 + gain × depth)), letting
+	// routing see integrator pressure before execution saturates. 0 selects
+	// the default (0.25); negative disables the feedback.
+	QueuePressureGain float64
 	// DisableDaemons skips scheduling the probe/recalibration daemons; the
 	// caller then drives Calibrator.PublishNow/ProbeNow manually.
 	DisableDaemons bool
@@ -96,10 +101,14 @@ func (f *Federation) EnableQCC(opts QCCOptions) *Calibrator {
 			Enabled:     opts.RuntimeReroute,
 			Improvement: opts.RerouteImprovement,
 		},
-		DisableDaemons: opts.DisableDaemons,
-		Telemetry:      f.tel,
+		DisableDaemons:    opts.DisableDaemons,
+		Telemetry:         f.tel,
+		QueuePressureGain: opts.QueuePressureGain,
 	}
 	f.qcc = qcc.Attach(cfg, f.ii)
+	// Queued admission demand feeds the II workload factor: pressure is
+	// visible to routing while the backlog is still waiting to execute.
+	f.qcc.SetDemandSource(f.adm.QueueDepth)
 	// Align the federated plan cache's staleness bound with the load
 	// balancer's rotation refresh interval: a cached compilation never
 	// outlives the rotation epoch its routing was derived under.
@@ -126,6 +135,11 @@ func (c *Calibrator) ServerFactor(serverID string) float64 {
 
 // IIFactor returns the published integrator workload factor.
 func (c *Calibrator) IIFactor() float64 { return c.q.Calib.IIFactor() }
+
+// EffectiveIIFactor returns the II workload factor actually applied to merge
+// estimates: the published factor scaled by current admission queue pressure.
+// It equals IIFactor when the admission queue is empty.
+func (c *Calibrator) EffectiveIIFactor() float64 { return c.q.EffectiveIIFactor() }
 
 // ReliabilityFactor returns the reliability multiplier for a server.
 func (c *Calibrator) ReliabilityFactor(serverID string) float64 {

@@ -24,13 +24,15 @@ func (f *Federation) QueryContext(ctx context.Context, sql string) (*QueryResult
 		route[id] = s
 	}
 	return &QueryResult{
-		Rows:          res.Rel,
-		ResponseTime:  res.ResponseTime,
-		Route:         route,
-		FragmentTimes: res.FragmentTimes,
-		MergeTime:     res.MergeTime,
-		FirstRowTime:  res.FirstRowTime,
-		Retried:       res.Retried,
+		Rows:           res.Rel,
+		ResponseTime:   res.ResponseTime,
+		Route:          route,
+		FragmentTimes:  res.FragmentTimes,
+		MergeTime:      res.MergeTime,
+		FirstRowTime:   res.FirstRowTime,
+		Retried:        res.Retried,
+		QueueWait:      res.QueueWait,
+		AdmissionClass: res.AdmissionClass,
 	}, nil
 }
 
