@@ -249,6 +249,22 @@ func (f *Federation) SetBatchRows(n int) { f.ii.SetBatchRows(n) }
 // BatchRows returns the current streaming batch size (0 = monolithic).
 func (f *Federation) BatchRows() int { return f.ii.BatchRows() }
 
+// SetVectorized switches the whole federation — every remote server's
+// executor and the integrator's merge — between the row-at-a-time and
+// columnar (vectorized) engines. Both engines produce bit-identical rows,
+// routes, resource charges, and virtual-time results; only real wall-clock
+// cost differs, so experiments can flip this freely without perturbing any
+// simulated measurement.
+func (f *Federation) SetVectorized(on bool) {
+	for _, srv := range f.servers {
+		srv.SetVectorized(on)
+	}
+	f.ii.SetVectorized(on)
+}
+
+// Vectorized reports whether the columnar engine is active at the integrator.
+func (f *Federation) Vectorized() bool { return f.ii.Vectorized() }
+
 // Query compiles and executes a federated SQL statement, advancing the
 // virtual clock by the query's response time. See QueryContext for
 // caller-supplied cancellation and Session for concurrent submission.

@@ -84,6 +84,38 @@ func (s *aggState) add(v sqltypes.Value) {
 	}
 }
 
+// addInt64 is add for a non-null int cell: the whole source column is
+// int-typed, so min/max stay int-kinded and the exact int comparison matches
+// sqltypes.Compare.
+func (s *aggState) addInt64(i int64) {
+	s.count++
+	s.seen = true
+	s.sumInt += i
+	s.sum += float64(i)
+	if s.min.IsNull() || i < s.min.Int() {
+		s.min = sqltypes.NewInt(i)
+	}
+	if s.max.IsNull() || i > s.max.Int() {
+		s.max = sqltypes.NewInt(i)
+	}
+}
+
+// addFloat64 is add for a non-null float cell of a float-typed column. The
+// direct < / > comparisons match sqltypes.Compare's float ordering,
+// including NaN comparing equal to everything (never replacing min/max).
+func (s *aggState) addFloat64(f float64) {
+	s.count++
+	s.seen = true
+	s.intOnly = false
+	s.sum += f
+	if s.min.IsNull() || f < s.min.Float() {
+		s.min = sqltypes.NewFloat(f)
+	}
+	if s.max.IsNull() || f > s.max.Float() {
+		s.max = sqltypes.NewFloat(f)
+	}
+}
+
 func (s *aggState) result(fn sqlparser.AggFunc) sqltypes.Value {
 	switch fn {
 	case sqlparser.AggCount:

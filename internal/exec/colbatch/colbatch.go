@@ -1,0 +1,593 @@
+// Package colbatch provides the columnar batch representation used by the
+// vectorized execution path: one typed vector per attribute plus a null
+// bitmap, and an optional selection vector so filters can pass rows along
+// without materializing them. Batches convert losslessly to and from
+// sqltypes.Relation — Value fields are unexported, so every value in a
+// relation was built by a sqltypes constructor and decomposing it into
+// (kind, payload, null) and rebuilding is exact. That round trip is what
+// lets the vectorized path stay bit-identical to the row-at-a-time oracle.
+package colbatch
+
+import (
+	"repro/internal/sqltypes"
+)
+
+// Column is one attribute's vector. Exactly one representation is active:
+//
+//   - Mixed non-nil: the column was not kind-uniform; Mixed holds the cells
+//     verbatim and the typed slices are nil.
+//   - otherwise Kind selects the typed payload slice (Ints/Floats/Strs/
+//     Bools), with Nulls[i] marking SQL NULL cells (payload zero). Kind ==
+//     KindNull means every cell is NULL and no payload slice is allocated.
+//
+// Indices into a Column are PHYSICAL positions; Batch applies its selection
+// vector before indexing.
+type Column struct {
+	Kind   sqltypes.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Nulls  []bool
+	Mixed  []sqltypes.Value
+}
+
+// Value reconstructs the cell at physical index i.
+func (c *Column) Value(i int) sqltypes.Value {
+	if c.Mixed != nil {
+		return c.Mixed[i]
+	}
+	if c.Nulls != nil && c.Nulls[i] {
+		return sqltypes.Null
+	}
+	switch c.Kind {
+	case sqltypes.KindInt:
+		return sqltypes.NewInt(c.Ints[i])
+	case sqltypes.KindFloat:
+		return sqltypes.NewFloat(c.Floats[i])
+	case sqltypes.KindString:
+		return sqltypes.NewString(c.Strs[i])
+	case sqltypes.KindBool:
+		return sqltypes.NewBool(c.Bools[i])
+	default:
+		return sqltypes.Null
+	}
+}
+
+// IsNull reports whether the cell at physical index i is SQL NULL.
+func (c *Column) IsNull(i int) bool {
+	if c.Mixed != nil {
+		return c.Mixed[i].IsNull()
+	}
+	if c.Kind == sqltypes.KindNull {
+		return true
+	}
+	return c.Nulls != nil && c.Nulls[i]
+}
+
+// Gather materializes a new column holding the cells at the given physical
+// indices, in order.
+func (c *Column) Gather(idx []int) *Column {
+	out := &Column{Kind: c.Kind}
+	if c.Mixed != nil {
+		out.Mixed = make([]sqltypes.Value, len(idx))
+		for i, j := range idx {
+			out.Mixed[i] = c.Mixed[j]
+		}
+		return out
+	}
+	if c.Nulls != nil {
+		out.Nulls = make([]bool, len(idx))
+		for i, j := range idx {
+			out.Nulls[i] = c.Nulls[j]
+		}
+	}
+	switch c.Kind {
+	case sqltypes.KindInt:
+		out.Ints = make([]int64, len(idx))
+		for i, j := range idx {
+			out.Ints[i] = c.Ints[j]
+		}
+	case sqltypes.KindFloat:
+		out.Floats = make([]float64, len(idx))
+		for i, j := range idx {
+			out.Floats[i] = c.Floats[j]
+		}
+	case sqltypes.KindString:
+		out.Strs = make([]string, len(idx))
+		for i, j := range idx {
+			out.Strs[i] = c.Strs[j]
+		}
+	case sqltypes.KindBool:
+		out.Bools = make([]bool, len(idx))
+		for i, j := range idx {
+			out.Bools[i] = c.Bools[j]
+		}
+	}
+	return out
+}
+
+// byteSize returns the wire size of the cell at physical index i, matching
+// Value.ByteSize without building the Value.
+func (c *Column) byteSize(i int) int {
+	if c.Mixed != nil {
+		return c.Mixed[i].ByteSize()
+	}
+	if c.Kind == sqltypes.KindNull || (c.Nulls != nil && c.Nulls[i]) {
+		return 1
+	}
+	switch c.Kind {
+	case sqltypes.KindInt, sqltypes.KindFloat:
+		return 8
+	case sqltypes.KindBool:
+		return 1
+	default:
+		return 2 + len(c.Strs[i])
+	}
+}
+
+// NewColumn analyzes a cell vector into its columnar form: a typed vector
+// when the non-null cells share one kind, the Mixed fallback otherwise.
+func NewColumn(cells []sqltypes.Value) *Column {
+	kind := sqltypes.KindNull
+	uniform := true
+	anyNull := false
+	for _, v := range cells {
+		k := v.Kind()
+		if k == sqltypes.KindNull {
+			anyNull = true
+			continue
+		}
+		if kind == sqltypes.KindNull {
+			kind = k
+		} else if k != kind {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		c := &Column{Mixed: make([]sqltypes.Value, len(cells))}
+		copy(c.Mixed, cells)
+		return c
+	}
+	c := &Column{Kind: kind}
+	if anyNull && kind != sqltypes.KindNull {
+		c.Nulls = make([]bool, len(cells))
+	}
+	switch kind {
+	case sqltypes.KindNull:
+		return c
+	case sqltypes.KindInt:
+		c.Ints = make([]int64, len(cells))
+	case sqltypes.KindFloat:
+		c.Floats = make([]float64, len(cells))
+	case sqltypes.KindString:
+		c.Strs = make([]string, len(cells))
+	case sqltypes.KindBool:
+		c.Bools = make([]bool, len(cells))
+	}
+	for i, v := range cells {
+		if v.IsNull() {
+			c.Nulls[i] = true
+			continue
+		}
+		switch kind {
+		case sqltypes.KindInt:
+			c.Ints[i] = v.Int()
+		case sqltypes.KindFloat:
+			c.Floats[i] = v.Float()
+		case sqltypes.KindString:
+			c.Strs[i] = v.Str()
+		case sqltypes.KindBool:
+			c.Bools[i] = v.Bool()
+		}
+	}
+	return c
+}
+
+// IntColumn wraps a typed int64 vector (nulls may be nil).
+func IntColumn(vals []int64, nulls []bool) *Column {
+	return &Column{Kind: sqltypes.KindInt, Ints: vals, Nulls: nulls}
+}
+
+// FloatColumn wraps a typed float64 vector (nulls may be nil).
+func FloatColumn(vals []float64, nulls []bool) *Column {
+	return &Column{Kind: sqltypes.KindFloat, Floats: vals, Nulls: nulls}
+}
+
+// StringColumn wraps a typed string vector (nulls may be nil).
+func StringColumn(vals []string, nulls []bool) *Column {
+	return &Column{Kind: sqltypes.KindString, Strs: vals, Nulls: nulls}
+}
+
+// BoolColumn wraps a typed bool vector (nulls may be nil).
+func BoolColumn(vals []bool, nulls []bool) *Column {
+	return &Column{Kind: sqltypes.KindBool, Bools: vals, Nulls: nulls}
+}
+
+// NullColumn is an all-NULL column.
+func NullColumn() *Column { return &Column{Kind: sqltypes.KindNull} }
+
+// Batch is a columnar slice of a relation: a schema, one Column per
+// attribute, and a logical row window. The window is either a contiguous
+// physical range [off, off+n) or an explicit selection vector of physical
+// indices (Sel non-nil wins). Columns may be shared between batches;
+// treat them as immutable once the batch is built.
+type Batch struct {
+	Schema *sqltypes.Schema
+	Cols   []*Column
+	Sel    []int
+	off    int
+	n      int
+}
+
+// New builds a batch over contiguous physical rows [0, n).
+func New(schema *sqltypes.Schema, cols []*Column, n int) *Batch {
+	return &Batch{Schema: schema, Cols: cols, n: n}
+}
+
+// NewSelected builds a batch whose logical rows are the physical indices in
+// sel.
+func NewSelected(schema *sqltypes.Schema, cols []*Column, sel []int) *Batch {
+	return &Batch{Schema: schema, Cols: cols, Sel: sel, n: len(sel)}
+}
+
+// Len returns the logical row count.
+func (b *Batch) Len() int { return b.n }
+
+// phys maps a logical row index to its physical position.
+func (b *Batch) phys(i int) int {
+	if b.Sel != nil {
+		return b.Sel[i]
+	}
+	return b.off + i
+}
+
+// Value reconstructs the cell at (logical row, column).
+func (b *Batch) Value(row, col int) sqltypes.Value {
+	return b.Cols[col].Value(b.phys(row))
+}
+
+// Phys maps a logical row index to its physical position — exported so
+// kernels can index typed payload slices directly.
+func (b *Batch) Phys(i int) int { return b.phys(i) }
+
+// Contig reports whether the batch's logical rows are the contiguous
+// physical range [off, off+Len()), returning off. Kernels use it to run
+// straight-line loops over payload subslices instead of indexing through a
+// selection vector.
+func (b *Batch) Contig() (int, bool) {
+	if b.Sel == nil {
+		return b.off, true
+	}
+	return 0, false
+}
+
+// Row materializes logical row i.
+func (b *Batch) Row(i int) sqltypes.Row {
+	p := b.phys(i)
+	out := make(sqltypes.Row, len(b.Cols))
+	for c, col := range b.Cols {
+		out[c] = col.Value(p)
+	}
+	return out
+}
+
+// Slice returns a view of logical rows [lo, hi). Underlying columns are
+// shared.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	if b.Sel != nil {
+		return &Batch{Schema: b.Schema, Cols: b.Cols, Sel: b.Sel[lo:hi], n: hi - lo}
+	}
+	return &Batch{Schema: b.Schema, Cols: b.Cols, off: b.off + lo, n: hi - lo}
+}
+
+// WithColumns returns a batch sharing b's row window over a different
+// column set; the columns must share b's physical layout. Pure column
+// projections use it to avoid touching any payload.
+func (b *Batch) WithColumns(schema *sqltypes.Schema, cols []*Column) *Batch {
+	return &Batch{Schema: schema, Cols: cols, Sel: b.Sel, off: b.off, n: b.n}
+}
+
+// Select returns a view keeping the logical rows named by sel (indices into
+// the batch's logical row space).
+func (b *Batch) Select(sel []int) *Batch {
+	phys := make([]int, len(sel))
+	for i, s := range sel {
+		phys[i] = b.phys(s)
+	}
+	return &Batch{Schema: b.Schema, Cols: b.Cols, Sel: phys, n: len(phys)}
+}
+
+// Materialize compacts the batch into contiguous physical storage, dropping
+// the selection vector and window offset. A batch that is already
+// contiguous and unwindowed is returned as is.
+func (b *Batch) Materialize() *Batch {
+	if b.Sel == nil && b.off == 0 && (len(b.Cols) == 0 || b.physLen() == b.n) {
+		return b
+	}
+	idx := make([]int, b.n)
+	for i := range idx {
+		idx[i] = b.phys(i)
+	}
+	cols := make([]*Column, len(b.Cols))
+	for c, col := range b.Cols {
+		cols[c] = col.Gather(idx)
+	}
+	return &Batch{Schema: b.Schema, Cols: cols, n: b.n}
+}
+
+// physLen returns the physical length of the first column's storage.
+func (b *Batch) physLen() int {
+	c := b.Cols[0]
+	if c.Mixed != nil {
+		return len(c.Mixed)
+	}
+	switch c.Kind {
+	case sqltypes.KindInt:
+		return len(c.Ints)
+	case sqltypes.KindFloat:
+		return len(c.Floats)
+	case sqltypes.KindString:
+		return len(c.Strs)
+	case sqltypes.KindBool:
+		return len(c.Bools)
+	default:
+		if c.Nulls != nil {
+			return len(c.Nulls)
+		}
+		return b.n
+	}
+}
+
+// FromRelation decomposes a relation into columnar form. The relation's
+// rows are not retained.
+func FromRelation(rel *sqltypes.Relation) *Batch {
+	n := len(rel.Rows)
+	cols := make([]*Column, len(rel.Schema.Columns))
+	cells := make([]sqltypes.Value, n)
+	for c := range cols {
+		for i, row := range rel.Rows {
+			cells[i] = row[c]
+		}
+		cols[c] = NewColumn(cells)
+	}
+	return &Batch{Schema: rel.Schema, Cols: cols, n: n}
+}
+
+// ToRelation materializes the batch's logical rows as a relation. Cell
+// values are exactly the values the batch was built from.
+func (b *Batch) ToRelation() *sqltypes.Relation {
+	rel := &sqltypes.Relation{Schema: b.Schema, Rows: make([]sqltypes.Row, b.n)}
+	for i := 0; i < b.n; i++ {
+		rel.Rows[i] = b.Row(i)
+	}
+	return rel
+}
+
+// WireSize returns the wire size of the batch's logical rows, exactly equal
+// to b.ToRelation().ByteSize() but computed from per-column sums: fixed-
+// width columns without nulls cost O(1), only string and mixed columns walk
+// their cells. Keeping the byte count identical keeps every network
+// Transfer draw identical between the columnar and row paths.
+func (b *Batch) WireSize() int {
+	n := 16 + 4*b.n
+	for _, col := range b.Cols {
+		n += b.colBytes(col)
+	}
+	return n
+}
+
+// colBytes sums one column's cell sizes over the batch's logical rows.
+func (b *Batch) colBytes(c *Column) int {
+	if c.Mixed == nil && c.Kind != sqltypes.KindString {
+		// Fixed-width kind: width*rows, with nulls charged at 1 byte.
+		var width int
+		switch c.Kind {
+		case sqltypes.KindInt, sqltypes.KindFloat:
+			width = 8
+		default: // KindBool, KindNull
+			width = 1
+		}
+		if c.Nulls == nil || width == 1 {
+			return width * b.n
+		}
+		nulls := 0
+		for i := 0; i < b.n; i++ {
+			if c.Nulls[b.phys(i)] {
+				nulls++
+			}
+		}
+		return width*(b.n-nulls) + nulls
+	}
+	total := 0
+	for i := 0; i < b.n; i++ {
+		total += c.byteSize(b.phys(i))
+	}
+	return total
+}
+
+// Accumulator concatenates batches column-wise — the integrator uses it to
+// assemble a fragment's columnar result from arriving stream batches
+// without a row round trip. Matching kinds append typed payload slices;
+// kind conflicts demote the column to the Mixed representation, so the
+// accumulated cells are always exactly the concatenation of the inputs'
+// cells.
+type Accumulator struct {
+	schema *sqltypes.Schema
+	cols   []*Column
+	n      int
+}
+
+// NewAccumulator starts an accumulator for the schema.
+func NewAccumulator(schema *sqltypes.Schema) *Accumulator {
+	cols := make([]*Column, len(schema.Columns))
+	for i := range cols {
+		cols[i] = &Column{}
+	}
+	return &Accumulator{schema: schema, cols: cols}
+}
+
+// Len returns the number of rows accumulated so far.
+func (a *Accumulator) Len() int { return a.n }
+
+// Append adds b's logical rows.
+func (a *Accumulator) Append(b *Batch) {
+	for c := range a.cols {
+		a.cols[c] = appendCol(a.cols[c], a.n, b.Cols[c], b)
+	}
+	a.n += b.Len()
+}
+
+// Finish returns the accumulated batch. The accumulator must not be
+// appended to afterwards.
+func (a *Accumulator) Finish() *Batch {
+	return &Batch{Schema: a.schema, Cols: a.cols, n: a.n}
+}
+
+// appendCol appends src's cells (through window w) onto dst, which holds
+// dstLen cells.
+func appendCol(dst *Column, dstLen int, src *Column, w *Batch) *Column {
+	n := w.Len()
+	if n == 0 {
+		return dst
+	}
+	boxAppend := func() *Column {
+		if dst.Mixed == nil {
+			mixed := make([]sqltypes.Value, dstLen, dstLen+n)
+			for i := 0; i < dstLen; i++ {
+				mixed[i] = dst.Value(i)
+			}
+			dst = &Column{Mixed: mixed}
+		}
+		for i := 0; i < n; i++ {
+			dst.Mixed = append(dst.Mixed, src.Value(w.Phys(i)))
+		}
+		return dst
+	}
+	if dst.Mixed != nil || src.Mixed != nil {
+		return boxAppend()
+	}
+	// Adopt the incoming kind when dst is empty or all-NULL so far.
+	if dst.Kind == sqltypes.KindNull && src.Kind != sqltypes.KindNull {
+		k := &Column{Kind: src.Kind}
+		if dstLen > 0 {
+			k.Nulls = make([]bool, dstLen)
+			for i := range k.Nulls {
+				k.Nulls[i] = true
+			}
+		}
+		switch src.Kind {
+		case sqltypes.KindInt:
+			k.Ints = make([]int64, dstLen)
+		case sqltypes.KindFloat:
+			k.Floats = make([]float64, dstLen)
+		case sqltypes.KindString:
+			k.Strs = make([]string, dstLen)
+		case sqltypes.KindBool:
+			k.Bools = make([]bool, dstLen)
+		}
+		dst = k
+	}
+	switch {
+	case src.Kind == sqltypes.KindNull:
+		// Appending NULLs: extend payload with zeros and mark nulls.
+		dst.ensureNulls(dstLen)
+		for i := 0; i < n; i++ {
+			dst.Nulls = append(dst.Nulls, true)
+		}
+		dst.extendZero(n)
+		return dst
+	case src.Kind != dst.Kind:
+		return boxAppend()
+	}
+	// Same typed kind: bulk-append payloads and merge null bitmaps.
+	if src.Nulls != nil || dst.Nulls != nil {
+		dst.ensureNulls(dstLen)
+		for i := 0; i < n; i++ {
+			dst.Nulls = append(dst.Nulls, src.Nulls != nil && src.Nulls[w.Phys(i)])
+		}
+	}
+	if off, ok := w.Contig(); ok {
+		switch dst.Kind {
+		case sqltypes.KindInt:
+			dst.Ints = append(dst.Ints, src.Ints[off:off+n]...)
+		case sqltypes.KindFloat:
+			dst.Floats = append(dst.Floats, src.Floats[off:off+n]...)
+		case sqltypes.KindString:
+			dst.Strs = append(dst.Strs, src.Strs[off:off+n]...)
+		case sqltypes.KindBool:
+			dst.Bools = append(dst.Bools, src.Bools[off:off+n]...)
+		}
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		p := w.Phys(i)
+		switch dst.Kind {
+		case sqltypes.KindInt:
+			dst.Ints = append(dst.Ints, src.Ints[p])
+		case sqltypes.KindFloat:
+			dst.Floats = append(dst.Floats, src.Floats[p])
+		case sqltypes.KindString:
+			dst.Strs = append(dst.Strs, src.Strs[p])
+		case sqltypes.KindBool:
+			dst.Bools = append(dst.Bools, src.Bools[p])
+		}
+	}
+	return dst
+}
+
+// ensureNulls backfills a null bitmap of length n with false.
+func (c *Column) ensureNulls(n int) {
+	if c.Nulls == nil {
+		c.Nulls = make([]bool, n)
+	}
+}
+
+// extendZero appends n zero payload cells of the column's kind.
+func (c *Column) extendZero(n int) {
+	switch c.Kind {
+	case sqltypes.KindInt:
+		c.Ints = append(c.Ints, make([]int64, n)...)
+	case sqltypes.KindFloat:
+		c.Floats = append(c.Floats, make([]float64, n)...)
+	case sqltypes.KindString:
+		c.Strs = append(c.Strs, make([]string, n)...)
+	case sqltypes.KindBool:
+		c.Bools = append(c.Bools, make([]bool, n)...)
+	}
+}
+
+// Builder accumulates rows into a batch, the row-at-a-time construction
+// used at fallback boundaries. Columns come out typed when kind-uniform,
+// exactly as FromRelation would produce them.
+type Builder struct {
+	schema *sqltypes.Schema
+	cells  [][]sqltypes.Value
+	n      int
+}
+
+// NewBuilder starts a builder for the schema.
+func NewBuilder(schema *sqltypes.Schema) *Builder {
+	return &Builder{schema: schema, cells: make([][]sqltypes.Value, len(schema.Columns))}
+}
+
+// AppendRow adds one row.
+func (b *Builder) AppendRow(row sqltypes.Row) {
+	for c := range b.cells {
+		b.cells[c] = append(b.cells[c], row[c])
+	}
+	b.n++
+}
+
+// Len returns the number of rows appended so far.
+func (b *Builder) Len() int { return b.n }
+
+// Finish analyzes the accumulated cells into a batch.
+func (b *Builder) Finish() *Batch {
+	cols := make([]*Column, len(b.cells))
+	for c, cells := range b.cells {
+		cols[c] = NewColumn(cells)
+	}
+	return &Batch{Schema: b.schema, Cols: cols, n: b.n}
+}

@@ -1,0 +1,257 @@
+package colbatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func testSchema() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Column{Name: "a", Type: sqltypes.KindInt},
+		sqltypes.Column{Name: "b", Type: sqltypes.KindFloat},
+		sqltypes.Column{Name: "c", Type: sqltypes.KindString},
+		sqltypes.Column{Name: "d", Type: sqltypes.KindBool},
+		sqltypes.Column{Name: "e", Type: sqltypes.KindInt}, // will receive mixed kinds
+	)
+}
+
+// randRelation builds a relation with NULL-heavy columns and one
+// deliberately kind-mixed column to exercise the Mixed fallback.
+func randRelation(rng *rand.Rand, n int) *sqltypes.Relation {
+	rel := sqltypes.NewRelation(testSchema())
+	for i := 0; i < n; i++ {
+		row := make(sqltypes.Row, 5)
+		if rng.Intn(4) == 0 {
+			row[0] = sqltypes.Null
+		} else {
+			row[0] = sqltypes.NewInt(rng.Int63n(100))
+		}
+		switch rng.Intn(5) {
+		case 0:
+			row[1] = sqltypes.Null
+		case 1:
+			row[1] = sqltypes.NewFloat(math.NaN())
+		default:
+			row[1] = sqltypes.NewFloat(rng.NormFloat64())
+		}
+		if rng.Intn(3) == 0 {
+			row[2] = sqltypes.Null
+		} else {
+			row[2] = sqltypes.NewString([]string{"", "x", "hello", "wörld"}[rng.Intn(4)])
+		}
+		row[3] = sqltypes.NewBool(rng.Intn(2) == 0)
+		switch rng.Intn(3) {
+		case 0:
+			row[4] = sqltypes.NewInt(rng.Int63n(10))
+		case 1:
+			row[4] = sqltypes.NewFloat(float64(rng.Int63n(10)))
+		default:
+			row[4] = sqltypes.NewString("m")
+		}
+		rel.Rows = append(rel.Rows, row)
+	}
+	return rel
+}
+
+// valuesIdentical compares values bit-exactly; float payloads compare by
+// their IEEE bits so NaN == NaN and -0.0 != +0.0.
+func valuesIdentical(a, b sqltypes.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	if a.Kind() == sqltypes.KindFloat {
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	}
+	return a == b
+}
+
+func relationsEqual(t *testing.T, a, b *sqltypes.Relation) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row count %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			t.Fatalf("row %d width %d vs %d", i, len(a.Rows[i]), len(b.Rows[i]))
+		}
+		for j := range a.Rows[i] {
+			if !valuesIdentical(a.Rows[i][j], b.Rows[i][j]) {
+				t.Fatalf("cell (%d,%d): %#v vs %#v", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 256, 1000} {
+		rel := randRelation(rng, n)
+		b := FromRelation(rel)
+		if b.Len() != n {
+			t.Fatalf("Len = %d, want %d", b.Len(), n)
+		}
+		relationsEqual(t, rel, b.ToRelation())
+		if got, want := b.WireSize(), rel.ByteSize(); got != want {
+			t.Fatalf("WireSize = %d, Relation.ByteSize = %d (n=%d)", got, want, n)
+		}
+	}
+}
+
+func TestSliceAndSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rel := randRelation(rng, 100)
+	b := FromRelation(rel)
+
+	s := b.Slice(10, 40)
+	want := &sqltypes.Relation{Schema: rel.Schema, Rows: rel.Rows[10:40]}
+	relationsEqual(t, want, s.ToRelation())
+	if s.WireSize() != want.ByteSize() {
+		t.Fatalf("slice WireSize = %d, want %d", s.WireSize(), want.ByteSize())
+	}
+
+	// Nested slice of a slice.
+	s2 := s.Slice(5, 15)
+	want2 := &sqltypes.Relation{Schema: rel.Schema, Rows: rel.Rows[15:25]}
+	relationsEqual(t, want2, s2.ToRelation())
+
+	// Selection over a slice composes into physical indices.
+	sel := s.Select([]int{0, 3, 29})
+	wantSel := &sqltypes.Relation{Schema: rel.Schema, Rows: []sqltypes.Row{rel.Rows[10], rel.Rows[13], rel.Rows[39]}}
+	relationsEqual(t, wantSel, sel.ToRelation())
+	if sel.WireSize() != wantSel.ByteSize() {
+		t.Fatalf("selected WireSize = %d, want %d", sel.WireSize(), wantSel.ByteSize())
+	}
+
+	// Slicing a selected batch.
+	sel2 := sel.Slice(1, 3)
+	wantSel2 := &sqltypes.Relation{Schema: rel.Schema, Rows: []sqltypes.Row{rel.Rows[13], rel.Rows[39]}}
+	relationsEqual(t, wantSel2, sel2.ToRelation())
+}
+
+func TestMaterialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rel := randRelation(rng, 64)
+	b := FromRelation(rel)
+	if b.Materialize() != b {
+		t.Fatal("Materialize of a contiguous batch should be a no-op")
+	}
+	s := b.Slice(8, 24).Select([]int{1, 5, 5, 0})
+	m := s.Materialize()
+	if m.Sel != nil {
+		t.Fatal("Materialize left a selection vector")
+	}
+	relationsEqual(t, s.ToRelation(), m.ToRelation())
+	if m.WireSize() != s.WireSize() {
+		t.Fatalf("materialized WireSize %d != view WireSize %d", m.WireSize(), s.WireSize())
+	}
+}
+
+func TestBuilderMatchesFromRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rel := randRelation(rng, 128)
+	bld := NewBuilder(rel.Schema)
+	for _, row := range rel.Rows {
+		bld.AppendRow(row)
+	}
+	if bld.Len() != 128 {
+		t.Fatalf("Builder.Len = %d", bld.Len())
+	}
+	b := bld.Finish()
+	relationsEqual(t, rel, b.ToRelation())
+	if b.WireSize() != rel.ByteSize() {
+		t.Fatalf("builder WireSize = %d, want %d", b.WireSize(), rel.ByteSize())
+	}
+}
+
+func TestAccumulatorMatchesRowConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rel := randRelation(rng, 300)
+	acc := NewAccumulator(rel.Schema)
+	want := sqltypes.NewRelation(rel.Schema)
+	full := FromRelation(rel)
+	// Feed a mix of contiguous slices, selections, and empty windows.
+	acc.Append(full.Slice(0, 0))
+	for _, w := range []*Batch{
+		full.Slice(0, 100),
+		full.Slice(100, 150).Select([]int{40, 3, 3, 0}),
+		full.Slice(150, 300),
+	} {
+		acc.Append(w)
+		wrel := w.ToRelation()
+		want.Rows = append(want.Rows, wrel.Rows...)
+	}
+	got := acc.Finish()
+	if got.Len() != acc.Len() {
+		t.Fatalf("Finish len %d != acc len %d", got.Len(), acc.Len())
+	}
+	relationsEqual(t, want, got.ToRelation())
+	if got.WireSize() != want.ByteSize() {
+		t.Fatalf("accumulated WireSize %d != %d", got.WireSize(), want.ByteSize())
+	}
+}
+
+func TestAccumulatorKindTransitions(t *testing.T) {
+	sch := sqltypes.NewSchema(sqltypes.Column{Name: "x", Type: sqltypes.KindInt})
+	mk := func(vals ...sqltypes.Value) *Batch {
+		rel := sqltypes.NewRelation(sch)
+		for _, v := range vals {
+			rel.Rows = append(rel.Rows, sqltypes.Row{v})
+		}
+		return FromRelation(rel)
+	}
+	// NULL-only prefix, then ints, then a kind conflict forcing Mixed.
+	acc := NewAccumulator(sch)
+	acc.Append(mk(sqltypes.Null, sqltypes.Null))
+	acc.Append(mk(sqltypes.NewInt(7), sqltypes.Null))
+	acc.Append(mk(sqltypes.NewString("s")))
+	got := acc.Finish().ToRelation()
+	want := []sqltypes.Value{sqltypes.Null, sqltypes.Null, sqltypes.NewInt(7), sqltypes.Null, sqltypes.NewString("s")}
+	if len(got.Rows) != len(want) {
+		t.Fatalf("got %d rows", len(got.Rows))
+	}
+	for i, w := range want {
+		if !valuesIdentical(got.Rows[i][0], w) {
+			t.Fatalf("row %d = %#v, want %#v", i, got.Rows[i][0], w)
+		}
+	}
+}
+
+func TestTypedColumnConstructors(t *testing.T) {
+	sch := sqltypes.NewSchema(
+		sqltypes.Column{Name: "i", Type: sqltypes.KindInt},
+		sqltypes.Column{Name: "f", Type: sqltypes.KindFloat},
+		sqltypes.Column{Name: "s", Type: sqltypes.KindString},
+		sqltypes.Column{Name: "b", Type: sqltypes.KindBool},
+		sqltypes.Column{Name: "n", Type: sqltypes.KindNull},
+	)
+	cols := []*Column{
+		IntColumn([]int64{1, 0, 3}, []bool{false, true, false}),
+		FloatColumn([]float64{1.5, 2.5, 0}, []bool{false, false, true}),
+		StringColumn([]string{"a", "", "c"}, nil),
+		BoolColumn([]bool{true, false, true}, nil),
+		NullColumn(),
+	}
+	b := New(sch, cols, 3)
+	want := &sqltypes.Relation{Schema: sch, Rows: []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewFloat(1.5), sqltypes.NewString("a"), sqltypes.NewBool(true), sqltypes.Null},
+		{sqltypes.Null, sqltypes.NewFloat(2.5), sqltypes.NewString(""), sqltypes.NewBool(false), sqltypes.Null},
+		{sqltypes.NewInt(3), sqltypes.Null, sqltypes.NewString("c"), sqltypes.NewBool(true), sqltypes.Null},
+	}}
+	relationsEqual(t, want, b.ToRelation())
+	if b.WireSize() != want.ByteSize() {
+		t.Fatalf("WireSize = %d, want %d", b.WireSize(), want.ByteSize())
+	}
+	for i := 0; i < 3; i++ {
+		for c := range cols {
+			if got, want := b.Value(i, c), want.Rows[i][c]; got != want {
+				t.Fatalf("Value(%d,%d) = %#v, want %#v", i, c, got, want)
+			}
+		}
+	}
+	if !cols[0].IsNull(1) || cols[0].IsNull(0) || !cols[4].IsNull(2) {
+		t.Fatal("IsNull wrong")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/exec/colbatch"
 	"repro/internal/sqltypes"
 )
 
@@ -84,6 +85,10 @@ func explainInto(b *strings.Builder, op Operator, depth int) {
 // integrator wraps remote fragment results in Values before merging them.
 type Values struct {
 	Rel *sqltypes.Relation
+	// Col, when non-nil, is the same rows in columnar form; ExecuteVectorized
+	// uses it directly so fragment results shipped as batches never round-trip
+	// through rows. Invariant: Col.ToRelation() row-equals Rel.
+	Col *colbatch.Batch
 	// Label names the source in EXPLAIN output.
 	Label string
 }

@@ -32,6 +32,12 @@ func (j *HashJoin) Execute(ctx *Context) (*sqltypes.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	return hashJoinRel(j, build, probe, ctx)
+}
+
+// hashJoinRel is the row-level join kernel, shared by Execute and the
+// vectorized path's fallback (which has already executed the children).
+func hashJoinRel(j *HashJoin, build, probe *sqltypes.Relation, ctx *Context) (*sqltypes.Relation, error) {
 	outSchema := build.Schema.Concat(probe.Schema)
 	out := sqltypes.NewRelation(outSchema)
 

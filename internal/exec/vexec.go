@@ -1,0 +1,595 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/exec/colbatch"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// ExecuteVectorized runs an operator tree over columnar batches. It is an
+// alternative engine over the same physical plans: every operator charges
+// exactly the resources its row-at-a-time Execute charges, and the rows of
+// the resulting batch are bit-identical to Execute's output (same Value
+// kinds and payloads, same order). Routing decisions, virtual-clock timings
+// and network draws therefore cannot observe which engine ran — only the
+// wall-clock cost of running the simulation changes.
+//
+// Operators without a vectorized kernel (index scans, nested-loop and merge
+// joins) execute their whole subtree through the row engine and decompose
+// the result. Kernels that hit an unsupported expression shape or an eval
+// error rerun that single node's row kernel over the already-produced
+// inputs; see vexpr.go for why that reproduces the row path's outcome
+// exactly.
+func ExecuteVectorized(op Operator, ctx *Context) (*colbatch.Batch, error) {
+	switch x := op.(type) {
+	case *Values:
+		if x.Col != nil {
+			ctx.Res.CPUOps += float64(x.Col.Len())
+			return x.Col, nil
+		}
+		ctx.Res.CPUOps += float64(len(x.Rel.Rows))
+		return colbatch.FromRelation(x.Rel), nil
+
+	case *SeqScan:
+		cols, n := scanColumns(x.Table)
+		ctx.Res.IOPages += float64(x.Table.Pages())
+		ctx.Res.CPUOps += float64(n)
+		return colbatch.New(x.Schema(), cols, n), nil
+
+	case *Filter:
+		in, err := ExecuteVectorized(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		sel, verr := evalPredicate(x.Pred, in)
+		if verr != nil {
+			rel, err := filterRel(x.Pred, in.ToRelation(), ctx)
+			if err != nil {
+				return nil, err
+			}
+			return colbatch.FromRelation(rel), nil
+		}
+		ctx.Res.CPUOps += float64(in.Len())
+		return in.Select(sel), nil
+
+	case *Project:
+		in, err := ExecuteVectorized(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out, verr := projectBatch(x.Items, in)
+		if verr != nil {
+			rel, err := projectRel(x.Items, in.ToRelation(), ctx)
+			if err != nil {
+				return nil, err
+			}
+			return colbatch.FromRelation(rel), nil
+		}
+		ctx.Res.CPUOps += float64(in.Len()) * float64(len(x.Items))
+		return out, nil
+
+	case *Sort:
+		in, err := ExecuteVectorized(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out, verr := sortBatch(x.Keys, in)
+		if verr != nil {
+			rel, err := sortRel(x.Keys, in.ToRelation(), ctx)
+			if err != nil {
+				return nil, err
+			}
+			return colbatch.FromRelation(rel), nil
+		}
+		n := float64(in.Len())
+		ctx.Res.CPUOps += n * log2(n)
+		return out, nil
+
+	case *Limit:
+		in, err := ExecuteVectorized(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		n := x.N
+		if n > in.Len() {
+			n = in.Len()
+		}
+		return in.Slice(0, n), nil
+
+	case *Distinct:
+		in, err := ExecuteVectorized(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return distinctBatch(in, newVDistinctState(), ctx), nil
+
+	case *Aggregate:
+		in, err := ExecuteVectorized(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		folder := newAggFolder(x.GroupBy, x.Aggs)
+		if verr := foldBatch(folder, in, ctx); verr != nil {
+			if err := folder.fold(in.ToRelation(), ctx); err != nil {
+				return nil, err
+			}
+		}
+		return colbatch.FromRelation(folder.result(x.Schema())), nil
+
+	case *HashJoin:
+		build, err := ExecuteVectorized(x.Build, ctx)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := ExecuteVectorized(x.Probe, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out, verr := hashJoinBatch(x, build, probe, ctx)
+		if verr != nil {
+			rel, err := hashJoinRel(x, build.ToRelation(), probe.ToRelation(), ctx)
+			if err != nil {
+				return nil, err
+			}
+			return colbatch.FromRelation(rel), nil
+		}
+		return out, nil
+
+	default:
+		rel, err := op.Execute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return colbatch.FromRelation(rel), nil
+	}
+}
+
+// scanCacheEntry caches one table's columnar decomposition at a version.
+type scanCacheEntry struct {
+	version int64
+	cols    []*colbatch.Column
+	n       int
+}
+
+// scanCache memoizes SeqScan decompositions keyed by table identity; entries
+// are invalidated by the table's mutation counter, so the update-load driver
+// naturally evicts them. Columns are immutable once built and may be shared
+// by any number of concurrent executions.
+var scanCache sync.Map // *storage.Table -> *scanCacheEntry
+
+func scanColumns(t *storage.Table) ([]*colbatch.Column, int) {
+	v := t.Version()
+	if e, ok := scanCache.Load(t); ok {
+		if ent := e.(*scanCacheEntry); ent.version == v {
+			return ent.cols, ent.n
+		}
+	}
+	rel := sqltypes.NewRelation(t.Schema())
+	_ = t.Scan(func(row sqltypes.Row) error {
+		rel.Rows = append(rel.Rows, row)
+		return nil
+	})
+	b := colbatch.FromRelation(rel)
+	// Only cache when no mutation raced the scan; a stale miss just rebuilds.
+	if t.Version() == v {
+		scanCache.Store(t, &scanCacheEntry{version: v, cols: b.Cols, n: b.Len()})
+	}
+	return b.Cols, b.Len()
+}
+
+// projectBatch evaluates select items over a batch. When every item is a
+// bare column reference (or *), the output shares the input's row window and
+// payload vectors — projection becomes O(1).
+func projectBatch(items []sqlparser.SelectItem, in *colbatch.Batch) (*colbatch.Batch, error) {
+	outSchema := projectSchema(items, in.Schema)
+	refsOnly := true
+	nodes := make([]vnode, len(items))
+	for i, item := range items {
+		if item.Star {
+			continue
+		}
+		node, err := compileExpr(item.Expr, in.Schema)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+		if _, ok := node.(*vcolref); !ok {
+			refsOnly = false
+		}
+	}
+	if refsOnly {
+		var cols []*colbatch.Column
+		for i, item := range items {
+			if item.Star {
+				cols = append(cols, in.Cols...)
+				continue
+			}
+			cols = append(cols, in.Cols[nodes[i].(*vcolref).idx])
+		}
+		return in.WithColumns(outSchema, cols), nil
+	}
+	var cols []*colbatch.Column
+	for i, item := range items {
+		if item.Star {
+			for _, c := range in.Cols {
+				ref := &vres{n: in.Len(), tag: rCol, col: c, b: in}
+				cols = append(cols, ref.toColumn())
+			}
+			continue
+		}
+		res, err := nodes[i].eval(in)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, res.toColumn())
+	}
+	return colbatch.New(outSchema, cols, in.Len()), nil
+}
+
+// sortBatch orders the batch's logical rows by the key expressions; ties
+// keep input order (stable), matching sortRel.
+func sortBatch(keys []sqlparser.OrderItem, in *colbatch.Batch) (*colbatch.Batch, error) {
+	n := in.Len()
+	kres := make([]*vres, len(keys))
+	kops := make([]operand, len(keys))
+	for j, k := range keys {
+		node, err := compileExpr(k.Expr, in.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if kres[j], err = node.eval(in); err != nil {
+			return nil, err
+		}
+		kops[j] = classify(kres[j])
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for j, k := range keys {
+			c := cmpKeyAt(kres[j], &kops[j], ia, ib)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return in.Select(idx), nil
+}
+
+// cmpKeyAt three-way-compares key cells ia and ib with sqltypes.Compare
+// ordering: NULLs first, then the typed comparison (int exact, float with
+// NaN comparing equal to everything, strings lexical, bools as 0/1).
+func cmpKeyAt(r *vres, o *operand, ia, ib int) int {
+	if !o.ok {
+		return sqltypes.Compare(r.value(ia), r.value(ib))
+	}
+	an, bn := o.null(ia), o.null(ib)
+	if an || bn {
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch o.kind {
+	case sqltypes.KindInt:
+		a, b := o.intAt(ia), o.intAt(ib)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case sqltypes.KindFloat:
+		a, b := o.floatAt(ia), o.floatAt(ib)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	default:
+		return sqltypes.Compare(r.value(ia), r.value(ib))
+	}
+}
+
+// colHashAt returns Value.Hash of the cell at physical index p without
+// building the Value, via the sqltypes bulk hash helpers.
+func colHashAt(c *colbatch.Column, p int) uint64 {
+	if c.Mixed != nil {
+		return c.Mixed[p].Hash()
+	}
+	if c.Kind == sqltypes.KindNull || (c.Nulls != nil && c.Nulls[p]) {
+		return sqltypes.HashNull()
+	}
+	switch c.Kind {
+	case sqltypes.KindInt:
+		return sqltypes.HashInt64(c.Ints[p])
+	case sqltypes.KindFloat:
+		return sqltypes.HashFloat64(c.Floats[p])
+	case sqltypes.KindString:
+		return sqltypes.HashString(c.Strs[p])
+	default:
+		return sqltypes.HashBool(c.Bools[p])
+	}
+}
+
+// vresHash returns Value.Hash of logical cell i of a sub-expression result.
+func vresHash(r *vres, i int) uint64 {
+	switch r.tag {
+	case rConst:
+		return r.konst.Hash()
+	case rCol:
+		return colHashAt(r.col, r.b.Phys(i))
+	case rVals:
+		return r.vals[i].Hash()
+	case rInts:
+		if r.nulls != nil && r.nulls[i] {
+			return sqltypes.HashNull()
+		}
+		return sqltypes.HashInt64(r.ints[i])
+	case rFloats:
+		if r.nulls != nil && r.nulls[i] {
+			return sqltypes.HashNull()
+		}
+		return sqltypes.HashFloat64(r.floats[i])
+	default:
+		if r.nulls != nil && r.nulls[i] {
+			return sqltypes.HashNull()
+		}
+		return sqltypes.HashBool(r.bools[i])
+	}
+}
+
+// batchRowHashes computes rowHash for every logical row column-by-column.
+func batchRowHashes(b *colbatch.Batch) []uint64 {
+	n := b.Len()
+	hs := make([]uint64, n)
+	for i := range hs {
+		hs[i] = 1469598103934665603
+	}
+	for _, c := range b.Cols {
+		for i := 0; i < n; i++ {
+			hs[i] = (hs[i] ^ colHashAt(c, b.Phys(i))) * 1099511628211
+		}
+	}
+	return hs
+}
+
+// batchRowsIdentical compares logical rows i and j of (possibly different)
+// batches with rowsIdentical's NULL-tolerant semantics.
+func batchRowsIdentical(a *colbatch.Batch, i int, b *colbatch.Batch, j int) bool {
+	pa, pb := a.Phys(i), b.Phys(j)
+	for c := range a.Cols {
+		ca, cb := a.Cols[c], b.Cols[c]
+		an, bn := ca.IsNull(pa), cb.IsNull(pb)
+		if an && bn {
+			continue
+		}
+		if an != bn {
+			return false
+		}
+		if sqltypes.Compare(ca.Value(pa), cb.Value(pb)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// vDistinctState is the columnar seen-set: the streaming distinct source
+// keeps one across batches, the materialized operator uses a fresh one.
+type vDistinctState struct {
+	seen map[uint64][]seenRow
+}
+
+type seenRow struct {
+	b *colbatch.Batch
+	i int
+}
+
+func newVDistinctState() *vDistinctState {
+	return &vDistinctState{seen: map[uint64][]seenRow{}}
+}
+
+// distinctBatch selects the not-seen-before rows, charging two CPU ops per
+// input row like distinctState.fold. Rows materialize only on hash-bucket
+// collisions.
+func distinctBatch(in *colbatch.Batch, state *vDistinctState, ctx *Context) *colbatch.Batch {
+	n := in.Len()
+	hs := batchRowHashes(in)
+	sel := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		h := hs[i]
+		dup := false
+		for _, prev := range state.seen[h] {
+			if batchRowsIdentical(prev.b, prev.i, in, i) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			state.seen[h] = append(state.seen[h], seenRow{b: in, i: i})
+			sel = append(sel, i)
+		}
+	}
+	ctx.Res.CPUOps += float64(n) * 2
+	return in.Select(sel)
+}
+
+// foldBatch is the vectorized counterpart of aggFolder.fold: group keys and
+// aggregate arguments evaluate column-wise up front (so an error leaves the
+// folder untouched for the row fallback), then rows fold into the exact
+// same group structures the row kernel builds.
+func foldBatch(f *aggFolder, in *colbatch.Batch, ctx *Context) error {
+	n := in.Len()
+	gres := make([]*vres, len(f.groupBy))
+	for i, g := range f.groupBy {
+		node, err := compileExpr(g, in.Schema)
+		if err != nil {
+			return err
+		}
+		if gres[i], err = node.eval(in); err != nil {
+			return err
+		}
+	}
+	ares := make([]*vres, len(f.aggs))
+	aops := make([]operand, len(f.aggs))
+	for i, agg := range f.aggs {
+		if agg.Arg == nil {
+			continue
+		}
+		node, err := compileExpr(agg.Arg, in.Schema)
+		if err != nil {
+			return err
+		}
+		if ares[i], err = node.eval(in); err != nil {
+			return err
+		}
+		aops[i] = classify(ares[i])
+	}
+	for row := 0; row < n; row++ {
+		keys := make(sqltypes.Row, len(f.groupBy))
+		h := uint64(1469598103934665603)
+		for i, g := range gres {
+			keys[i] = g.value(row)
+			h = (h ^ vresHash(g, row)) * 1099511628211
+		}
+		var grp *aggGroup
+		for _, g := range f.groups[h] {
+			if rowsIdentical(g.keys, keys) {
+				grp = g
+				break
+			}
+		}
+		if grp == nil {
+			grp = &aggGroup{keys: keys, states: make([]*aggState, len(f.aggs))}
+			for i := range grp.states {
+				grp.states[i] = newAggState()
+			}
+			f.groups[h] = append(f.groups[h], grp)
+			f.order = append(f.order, grp)
+		}
+		grp.countStar++
+		for i := range f.aggs {
+			a := ares[i]
+			if a == nil {
+				continue // COUNT(*)
+			}
+			o := &aops[i]
+			switch {
+			case o.ok && !o.isConst && o.kind == sqltypes.KindInt:
+				if o.null(row) {
+					continue
+				}
+				grp.states[i].addInt64(o.ints[row])
+			case o.ok && !o.isConst && o.kind == sqltypes.KindFloat:
+				if o.null(row) {
+					continue
+				}
+				grp.states[i].addFloat64(o.floats[row])
+			default:
+				grp.states[i].add(a.value(row))
+			}
+		}
+	}
+	ctx.Res.CPUOps += float64(n) * float64(1+len(f.aggs))
+	return nil
+}
+
+// hashJoinBatch joins two batches on key equality: build-side hash table of
+// logical indices, probe-major candidate pairs in the row kernel's output
+// order, then the residual filter over the gathered candidate batch.
+func hashJoinBatch(j *HashJoin, build, probe *colbatch.Batch, ctx *Context) (*colbatch.Batch, error) {
+	bnode, err := compileExpr(j.BuildKey, build.Schema)
+	if err != nil {
+		return nil, err
+	}
+	pnode, err := compileExpr(j.ProbeKey, probe.Schema)
+	if err != nil {
+		return nil, err
+	}
+	bres, err := bnode.eval(build)
+	if err != nil {
+		return nil, err
+	}
+	pres, err := pnode.eval(probe)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := build.Schema.Concat(probe.Schema)
+
+	bn := build.Len()
+	ht := make(map[uint64][]int, bn)
+	bkeys := make([]sqltypes.Value, bn)
+	for i := 0; i < bn; i++ {
+		if bres.isNull(i) {
+			continue
+		}
+		bkeys[i] = bres.value(i)
+		h := vresHash(bres, i)
+		ht[h] = append(ht[h], i)
+	}
+	var bIdx, pIdx []int
+	pn := probe.Len()
+	for i := 0; i < pn; i++ {
+		if pres.isNull(i) {
+			continue
+		}
+		h := vresHash(pres, i)
+		bucket := ht[h]
+		if len(bucket) == 0 {
+			continue
+		}
+		k := pres.value(i)
+		for _, bi := range bucket {
+			if sqltypes.Compare(bkeys[bi], k) != 0 {
+				continue
+			}
+			bIdx = append(bIdx, bi)
+			pIdx = append(pIdx, i)
+		}
+	}
+
+	// Gather candidate pairs into one contiguous joined batch.
+	cols := make([]*colbatch.Column, 0, len(build.Cols)+len(probe.Cols))
+	bPhys := make([]int, len(bIdx))
+	for i, bi := range bIdx {
+		bPhys[i] = build.Phys(bi)
+	}
+	pPhys := make([]int, len(pIdx))
+	for i, pi := range pIdx {
+		pPhys[i] = probe.Phys(pi)
+	}
+	for _, c := range build.Cols {
+		cols = append(cols, c.Gather(bPhys))
+	}
+	for _, c := range probe.Cols {
+		cols = append(cols, c.Gather(pPhys))
+	}
+	out := colbatch.New(outSchema, cols, len(bIdx))
+	if j.Residual != nil {
+		sel, err := evalPredicate(j.Residual, out)
+		if err != nil {
+			return nil, err
+		}
+		out = out.Select(sel)
+	}
+	ctx.Res.CPUOps += float64(bn)*2 + float64(pn)*2 + float64(out.Len())
+	return out, nil
+}

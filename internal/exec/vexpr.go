@@ -1,0 +1,942 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec/colbatch"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// This file implements the vectorized expression compiler: an expression is
+// compiled once per kernel invocation (column references resolve to indices
+// exactly once, not per row) into a tree of vnodes, each of which evaluates
+// over a whole batch. Typed kernels cover the hot shapes — int/float
+// comparisons and arithmetic against columns and constants, boolean
+// three-valued logic — and everything else drops to a cell-at-a-time loop
+// over the exported scalar appliers (sqlparser.ApplyBinary/ApplyFunc), so
+// results are the row evaluator's results by construction.
+//
+// Error discipline: the vectorized evaluator computes a SUPERSET of the row
+// evaluator's sub-expression evaluations (it cannot skip rows that AND/OR,
+// IN, COALESCE or NULL-propagation short-circuiting would have skipped).
+// Eval errors are deterministic per (expression, row), so if the row path
+// would error the vectorized path errors too; callers then rerun the kernel
+// through the row path, which reproduces the row-path outcome — including
+// cases where only the vectorized path errors. Vectorized success therefore
+// implies row-path success with identical values.
+
+// vres is a vectorized sub-expression result: one value per logical row of
+// the batch it was evaluated against.
+type vres struct {
+	n   int
+	tag int
+
+	konst  sqltypes.Value    // rConst: broadcast value
+	col    *colbatch.Column  // rCol: direct column of the batch
+	b      *colbatch.Batch   // rCol: window mapping
+	vals   []sqltypes.Value  // rVals: boxed, logical space
+	ints   []int64           // rInts
+	floats []float64         // rFloats
+	bools  []bool            // rBools
+	nulls  []bool            // rInts/rFloats/rBools: null bitmap (may be nil)
+}
+
+const (
+	rConst = iota
+	rCol
+	rVals
+	rInts
+	rFloats
+	rBools
+)
+
+// value reconstructs logical row i.
+func (r *vres) value(i int) sqltypes.Value {
+	switch r.tag {
+	case rConst:
+		return r.konst
+	case rCol:
+		return r.col.Value(r.b.Phys(i))
+	case rVals:
+		return r.vals[i]
+	case rInts:
+		if r.nulls != nil && r.nulls[i] {
+			return sqltypes.Null
+		}
+		return sqltypes.NewInt(r.ints[i])
+	case rFloats:
+		if r.nulls != nil && r.nulls[i] {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(r.floats[i])
+	default:
+		if r.nulls != nil && r.nulls[i] {
+			return sqltypes.Null
+		}
+		return sqltypes.NewBool(r.bools[i])
+	}
+}
+
+// isNull reports whether logical row i is SQL NULL.
+func (r *vres) isNull(i int) bool {
+	switch r.tag {
+	case rConst:
+		return r.konst.IsNull()
+	case rCol:
+		return r.col.IsNull(r.b.Phys(i))
+	case rVals:
+		return r.vals[i].IsNull()
+	default:
+		return r.nulls != nil && r.nulls[i]
+	}
+}
+
+// toColumn materializes the result as a logical-space column.
+func (r *vres) toColumn() *colbatch.Column {
+	switch r.tag {
+	case rConst:
+		if r.konst.IsNull() {
+			return colbatch.NullColumn()
+		}
+		vals := make([]sqltypes.Value, r.n)
+		for i := range vals {
+			vals[i] = r.konst
+		}
+		return colbatch.NewColumn(vals)
+	case rCol:
+		if off, ok := r.b.Contig(); ok && off == 0 {
+			return r.col
+		}
+		idx := make([]int, r.n)
+		for i := range idx {
+			idx[i] = r.b.Phys(i)
+		}
+		return r.col.Gather(idx)
+	case rVals:
+		return colbatch.NewColumn(r.vals)
+	case rInts:
+		return colbatch.IntColumn(r.ints, r.nulls)
+	case rFloats:
+		return colbatch.FloatColumn(r.floats, r.nulls)
+	default:
+		return colbatch.BoolColumn(r.bools, r.nulls)
+	}
+}
+
+// vnode is a compiled vectorized expression.
+type vnode interface {
+	eval(b *colbatch.Batch) (*vres, error)
+}
+
+// compileExpr resolves an expression against a schema. Unsupported shapes
+// (aggregates, unknown node types, unresolvable columns) return an error,
+// which callers treat as "use the row path".
+func compileExpr(e sqlparser.Expr, schema *sqltypes.Schema) (vnode, error) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		return &vlit{v: x.Val}, nil
+	case *sqlparser.ColumnRef:
+		idx, err := schema.ColumnIndex(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &vcolref{idx: idx}, nil
+	case *sqlparser.BinaryExpr:
+		l, err := compileExpr(x.Left, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(x.Right, schema)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == sqlparser.OpAnd || x.Op == sqlparser.OpOr {
+			return &vlogic{op: x.Op, left: l, right: r}, nil
+		}
+		return &vbinary{op: x.Op, left: l, right: r}, nil
+	case *sqlparser.NotExpr:
+		in, err := compileExpr(x.Inner, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &vnot{inner: in}, nil
+	case *sqlparser.IsNullExpr:
+		in, err := compileExpr(x.Inner, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &visnull{inner: in, negate: x.Negate}, nil
+	case *sqlparser.InExpr:
+		needle, err := compileExpr(x.Needle, schema)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]vnode, len(x.List))
+		for i, it := range x.List {
+			if list[i], err = compileExpr(it, schema); err != nil {
+				return nil, err
+			}
+		}
+		return &vin{needle: needle, list: list, negate: x.Negate}, nil
+	case *sqlparser.BetweenExpr:
+		subj, err := compileExpr(x.Subject, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileExpr(x.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileExpr(x.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &vbetween{subj: subj, lo: lo, hi: hi, negate: x.Negate}, nil
+	case *sqlparser.LikeExpr:
+		subj, err := compileExpr(x.Subject, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &vlike{subj: subj, pattern: x.Pattern, negate: x.Negate}, nil
+	case *sqlparser.FuncExpr:
+		args := make([]vnode, len(x.Args))
+		for i, a := range x.Args {
+			var err error
+			if args[i], err = compileExpr(a, schema); err != nil {
+				return nil, err
+			}
+		}
+		if x.Name == "COALESCE" {
+			return &vcoalesce{args: args}, nil
+		}
+		return &vfunc{name: x.Name, args: args}, nil
+	default:
+		return nil, fmt.Errorf("exec: no vectorized form for %T", e)
+	}
+}
+
+type vlit struct{ v sqltypes.Value }
+
+func (x *vlit) eval(b *colbatch.Batch) (*vres, error) {
+	return &vres{n: b.Len(), tag: rConst, konst: x.v}, nil
+}
+
+type vcolref struct{ idx int }
+
+func (x *vcolref) eval(b *colbatch.Batch) (*vres, error) {
+	return &vres{n: b.Len(), tag: rCol, col: b.Cols[x.idx], b: b}, nil
+}
+
+// operand is a typed view of a vres, used to pick comparison/arithmetic
+// kernels. ok is false when the result has no uniform typed representation
+// (boxed or mixed-kind), forcing the generic cell loop.
+type operand struct {
+	ok      bool
+	isConst bool
+	c       sqltypes.Value
+	kind    sqltypes.Kind
+	ints    []int64
+	floats  []float64
+	bools   []bool
+	strs    []string
+	nulls   []bool
+}
+
+func classify(r *vres) operand {
+	switch r.tag {
+	case rConst:
+		return operand{ok: true, isConst: true, c: r.konst, kind: r.konst.Kind()}
+	case rInts:
+		return operand{ok: true, kind: sqltypes.KindInt, ints: r.ints, nulls: r.nulls}
+	case rFloats:
+		return operand{ok: true, kind: sqltypes.KindFloat, floats: r.floats, nulls: r.nulls}
+	case rBools:
+		return operand{ok: true, kind: sqltypes.KindBool, bools: r.bools, nulls: r.nulls}
+	case rCol:
+		c := r.col
+		if c.Mixed != nil {
+			return operand{}
+		}
+		if c.Kind == sqltypes.KindNull {
+			return operand{ok: true, isConst: true, c: sqltypes.Null, kind: sqltypes.KindNull}
+		}
+		op := operand{ok: true, kind: c.Kind}
+		if off, contig := r.b.Contig(); contig {
+			end := off + r.n
+			switch c.Kind {
+			case sqltypes.KindInt:
+				op.ints = c.Ints[off:end]
+			case sqltypes.KindFloat:
+				op.floats = c.Floats[off:end]
+			case sqltypes.KindString:
+				op.strs = c.Strs[off:end]
+			case sqltypes.KindBool:
+				op.bools = c.Bools[off:end]
+			}
+			if c.Nulls != nil {
+				op.nulls = c.Nulls[off:end]
+			}
+			return op
+		}
+		if c.Nulls != nil {
+			op.nulls = make([]bool, r.n)
+		}
+		switch c.Kind {
+		case sqltypes.KindInt:
+			op.ints = make([]int64, r.n)
+		case sqltypes.KindFloat:
+			op.floats = make([]float64, r.n)
+		case sqltypes.KindString:
+			op.strs = make([]string, r.n)
+		case sqltypes.KindBool:
+			op.bools = make([]bool, r.n)
+		}
+		for i := 0; i < r.n; i++ {
+			p := r.b.Phys(i)
+			switch c.Kind {
+			case sqltypes.KindInt:
+				op.ints[i] = c.Ints[p]
+			case sqltypes.KindFloat:
+				op.floats[i] = c.Floats[p]
+			case sqltypes.KindString:
+				op.strs[i] = c.Strs[p]
+			case sqltypes.KindBool:
+				op.bools[i] = c.Bools[p]
+			}
+			if op.nulls != nil {
+				op.nulls[i] = c.Nulls[p]
+			}
+		}
+		return op
+	default:
+		return operand{}
+	}
+}
+
+// null reports whether cell i of the operand is NULL.
+func (o *operand) null(i int) bool {
+	if o.isConst {
+		return o.c.IsNull()
+	}
+	return o.nulls != nil && o.nulls[i]
+}
+
+// intAt/floatAt read cell i; callers have checked nullness and kind.
+func (o *operand) intAt(i int) int64 {
+	if o.isConst {
+		return o.c.Int()
+	}
+	return o.ints[i]
+}
+
+func (o *operand) floatAt(i int) float64 {
+	if o.isConst {
+		return o.c.Float()
+	}
+	switch o.kind {
+	case sqltypes.KindFloat:
+		return o.floats[i]
+	case sqltypes.KindInt:
+		return float64(o.ints[i])
+	default:
+		return float64(boolToInt(o.bools[i]))
+	}
+}
+
+func (o *operand) strAt(i int) string {
+	if o.isConst {
+		return o.c.Str()
+	}
+	return o.strs[i]
+}
+
+func (o *operand) boolInt(i int) int64 {
+	if o.isConst {
+		return o.c.Int()
+	}
+	return boolToInt(o.bools[i])
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type vbinary struct {
+	op          sqlparser.BinaryOp
+	left, right vnode
+}
+
+func (x *vbinary) eval(b *colbatch.Batch) (*vres, error) {
+	l, err := x.left.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := x.right.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	lo, ro := classify(l), classify(r)
+	if lo.ok && ro.ok {
+		if x.op.IsComparison() {
+			if out := cmpTyped(x.op, l.n, lo, ro); out != nil {
+				return out, nil
+			}
+		} else if out := arithTyped(x.op, l.n, lo, ro); out != nil {
+			return out, nil
+		}
+	}
+	// Generic cell loop over the exact scalar applier.
+	n := l.n
+	vals := make([]sqltypes.Value, n)
+	for i := 0; i < n; i++ {
+		v, err := sqlparser.ApplyBinary(x.op, l.value(i), r.value(i))
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return &vres{n: n, tag: rVals, vals: vals}, nil
+}
+
+// cmpRes maps a three-way comparison to the operator's boolean.
+func cmpRes(op sqlparser.BinaryOp, c int) bool {
+	switch op {
+	case sqlparser.OpEq:
+		return c == 0
+	case sqlparser.OpNe:
+		return c != 0
+	case sqlparser.OpLt:
+		return c < 0
+	case sqlparser.OpLe:
+		return c <= 0
+	case sqlparser.OpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// cmpTyped emits a boolean vector for typed operand pairs, mirroring
+// sqltypes.Compare's kind rules: int/int compares exactly, any other
+// numeric mix through float64, strings lexically, bools as 0/1. Returns nil
+// when no typed kernel applies.
+func cmpTyped(op sqlparser.BinaryOp, n int, lo, ro operand) *vres {
+	numeric := func(k sqltypes.Kind) bool { return k == sqltypes.KindInt || k == sqltypes.KindFloat }
+	out := &vres{n: n, tag: rBools, bools: make([]bool, n)}
+	setNull := func(i int) {
+		if out.nulls == nil {
+			out.nulls = make([]bool, n)
+		}
+		out.nulls[i] = true
+	}
+	// A NULL constant operand nulls every row.
+	if (lo.isConst && lo.c.IsNull()) || (ro.isConst && ro.c.IsNull()) {
+		out.nulls = make([]bool, n)
+		for i := range out.nulls {
+			out.nulls[i] = true
+		}
+		return out
+	}
+	switch {
+	case lo.kind == sqltypes.KindInt && ro.kind == sqltypes.KindInt:
+		// Hot case: int vector vs int constant gets a branch-hoisted loop.
+		if ro.isConst && !lo.isConst && lo.nulls == nil {
+			k := ro.c.Int()
+			for i := 0; i < n; i++ {
+				l := lo.ints[i]
+				c := 0
+				if l < k {
+					c = -1
+				} else if l > k {
+					c = 1
+				}
+				out.bools[i] = cmpRes(op, c)
+			}
+			return out
+		}
+		for i := 0; i < n; i++ {
+			if lo.null(i) || ro.null(i) {
+				setNull(i)
+				continue
+			}
+			l, r := lo.intAt(i), ro.intAt(i)
+			c := 0
+			if l < r {
+				c = -1
+			} else if l > r {
+				c = 1
+			}
+			out.bools[i] = cmpRes(op, c)
+		}
+		return out
+	case numeric(lo.kind) && numeric(ro.kind):
+		for i := 0; i < n; i++ {
+			if lo.null(i) || ro.null(i) {
+				setNull(i)
+				continue
+			}
+			l, r := lo.floatAt(i), ro.floatAt(i)
+			c := 0
+			if l < r {
+				c = -1
+			} else if l > r {
+				c = 1
+			}
+			out.bools[i] = cmpRes(op, c)
+		}
+		return out
+	case lo.kind == sqltypes.KindString && ro.kind == sqltypes.KindString:
+		for i := 0; i < n; i++ {
+			if lo.null(i) || ro.null(i) {
+				setNull(i)
+				continue
+			}
+			out.bools[i] = cmpRes(op, strings.Compare(lo.strAt(i), ro.strAt(i)))
+		}
+		return out
+	case lo.kind == sqltypes.KindBool && ro.kind == sqltypes.KindBool:
+		for i := 0; i < n; i++ {
+			if lo.null(i) || ro.null(i) {
+				setNull(i)
+				continue
+			}
+			l, r := lo.boolInt(i), ro.boolInt(i)
+			c := 0
+			if l < r {
+				c = -1
+			} else if l > r {
+				c = 1
+			}
+			out.bools[i] = cmpRes(op, c)
+		}
+		return out
+	}
+	return nil
+}
+
+// arithTyped emits typed arithmetic for numeric operand pairs: int/int
+// stays integral (except division by zero → NULL), any float widens, both
+// exactly as ApplyBinary does per cell. Returns nil when no typed kernel
+// applies.
+func arithTyped(op sqlparser.BinaryOp, n int, lo, ro operand) *vres {
+	switch op {
+	case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv:
+	default:
+		return nil
+	}
+	if (lo.isConst && lo.c.IsNull()) || (ro.isConst && ro.c.IsNull()) {
+		out := &vres{n: n, tag: rInts, ints: make([]int64, n), nulls: make([]bool, n)}
+		for i := range out.nulls {
+			out.nulls[i] = true
+		}
+		return out
+	}
+	numeric := func(k sqltypes.Kind) bool { return k == sqltypes.KindInt || k == sqltypes.KindFloat }
+	if !numeric(lo.kind) || !numeric(ro.kind) {
+		return nil
+	}
+	bothInt := lo.kind == sqltypes.KindInt && ro.kind == sqltypes.KindInt
+	if bothInt && op != sqlparser.OpDiv {
+		out := &vres{n: n, tag: rInts, ints: make([]int64, n)}
+		setNull := func(i int) {
+			if out.nulls == nil {
+				out.nulls = make([]bool, n)
+			}
+			out.nulls[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if lo.null(i) || ro.null(i) {
+				setNull(i)
+				continue
+			}
+			l, r := lo.intAt(i), ro.intAt(i)
+			switch op {
+			case sqlparser.OpAdd:
+				out.ints[i] = l + r
+			case sqlparser.OpSub:
+				out.ints[i] = l - r
+			default:
+				out.ints[i] = l * r
+			}
+		}
+		return out
+	}
+	if bothInt {
+		// Integer division: zero divisor yields NULL, like the row path.
+		out := &vres{n: n, tag: rInts, ints: make([]int64, n)}
+		setNull := func(i int) {
+			if out.nulls == nil {
+				out.nulls = make([]bool, n)
+			}
+			out.nulls[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if lo.null(i) || ro.null(i) {
+				setNull(i)
+				continue
+			}
+			r := ro.intAt(i)
+			if r == 0 {
+				setNull(i)
+				continue
+			}
+			out.ints[i] = lo.intAt(i) / r
+		}
+		return out
+	}
+	out := &vres{n: n, tag: rFloats, floats: make([]float64, n)}
+	setNull := func(i int) {
+		if out.nulls == nil {
+			out.nulls = make([]bool, n)
+		}
+		out.nulls[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if lo.null(i) || ro.null(i) {
+			setNull(i)
+			continue
+		}
+		l, r := lo.floatAt(i), ro.floatAt(i)
+		switch op {
+		case sqlparser.OpAdd:
+			out.floats[i] = l + r
+		case sqlparser.OpSub:
+			out.floats[i] = l - r
+		case sqlparser.OpMul:
+			out.floats[i] = l * r
+		default:
+			if r == 0 {
+				setNull(i)
+				continue
+			}
+			out.floats[i] = l / r
+		}
+	}
+	return out
+}
+
+// vlogic implements AND/OR with SQL three-valued logic. Both operands are
+// fully evaluated (a superset of the row path's short-circuit; see the
+// error discipline note above), then combined with the row path's exact
+// truth table.
+type vlogic struct {
+	op          sqlparser.BinaryOp
+	left, right vnode
+}
+
+func (x *vlogic) eval(b *colbatch.Batch) (*vres, error) {
+	l, err := x.left.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := x.right.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := l.n
+	out := &vres{n: n, tag: rBools, bools: make([]bool, n)}
+	setNull := func(i int) {
+		if out.nulls == nil {
+			out.nulls = make([]bool, n)
+		}
+		out.nulls[i] = true
+	}
+	and := x.op == sqlparser.OpAnd
+	for i := 0; i < n; i++ {
+		lnull := l.isNull(i)
+		ltruthy := false
+		if !lnull {
+			ltruthy = sqlparser.Truthy(l.value(i))
+		}
+		if and && !lnull && !ltruthy {
+			continue // false
+		}
+		if !and && !lnull && ltruthy {
+			out.bools[i] = true
+			continue
+		}
+		rnull := r.isNull(i)
+		rtruthy := false
+		if !rnull {
+			rtruthy = sqlparser.Truthy(r.value(i))
+		}
+		if and {
+			switch {
+			case !rnull && !rtruthy:
+				// false
+			case lnull || rnull:
+				setNull(i)
+			default:
+				out.bools[i] = true
+			}
+			continue
+		}
+		switch {
+		case !rnull && rtruthy:
+			out.bools[i] = true
+		case lnull || rnull:
+			setNull(i)
+		default:
+			// false
+		}
+	}
+	return out, nil
+}
+
+type vnot struct{ inner vnode }
+
+func (x *vnot) eval(b *colbatch.Batch) (*vres, error) {
+	in, err := x.inner.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := in.n
+	out := &vres{n: n, tag: rBools, bools: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		if in.isNull(i) {
+			if out.nulls == nil {
+				out.nulls = make([]bool, n)
+			}
+			out.nulls[i] = true
+			continue
+		}
+		out.bools[i] = !sqlparser.Truthy(in.value(i))
+	}
+	return out, nil
+}
+
+type visnull struct {
+	inner  vnode
+	negate bool
+}
+
+func (x *visnull) eval(b *colbatch.Batch) (*vres, error) {
+	in, err := x.inner.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := in.n
+	out := &vres{n: n, tag: rBools, bools: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		out.bools[i] = in.isNull(i) != x.negate
+	}
+	return out, nil
+}
+
+type vin struct {
+	needle vnode
+	list   []vnode
+	negate bool
+}
+
+func (x *vin) eval(b *colbatch.Batch) (*vres, error) {
+	needle, err := x.needle.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]*vres, len(x.list))
+	for i, it := range x.list {
+		if items[i], err = it.eval(b); err != nil {
+			return nil, err
+		}
+	}
+	n := needle.n
+	out := &vres{n: n, tag: rBools, bools: make([]bool, n)}
+	setNull := func(i int) {
+		if out.nulls == nil {
+			out.nulls = make([]bool, n)
+		}
+		out.nulls[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if needle.isNull(i) {
+			setNull(i)
+			continue
+		}
+		nv := needle.value(i)
+		sawNull := false
+		matched := false
+		for _, it := range items {
+			if it.isNull(i) {
+				sawNull = true
+				continue
+			}
+			if sqltypes.Compare(nv, it.value(i)) == 0 {
+				matched = true
+				break
+			}
+		}
+		switch {
+		case matched:
+			out.bools[i] = !x.negate
+		case sawNull:
+			setNull(i)
+		default:
+			out.bools[i] = x.negate
+		}
+	}
+	return out, nil
+}
+
+type vbetween struct {
+	subj, lo, hi vnode
+	negate       bool
+}
+
+func (x *vbetween) eval(b *colbatch.Batch) (*vres, error) {
+	subj, err := x.subj.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := x.lo.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := x.hi.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := subj.n
+	out := &vres{n: n, tag: rBools, bools: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		if subj.isNull(i) || lo.isNull(i) || hi.isNull(i) {
+			if out.nulls == nil {
+				out.nulls = make([]bool, n)
+			}
+			out.nulls[i] = true
+			continue
+		}
+		v := subj.value(i)
+		in := sqltypes.Compare(v, lo.value(i)) >= 0 && sqltypes.Compare(v, hi.value(i)) <= 0
+		out.bools[i] = in != x.negate
+	}
+	return out, nil
+}
+
+type vlike struct {
+	subj    vnode
+	pattern string
+	negate  bool
+}
+
+func (x *vlike) eval(b *colbatch.Batch) (*vres, error) {
+	subj, err := x.subj.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := subj.n
+	out := &vres{n: n, tag: rBools, bools: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		if subj.isNull(i) {
+			if out.nulls == nil {
+				out.nulls = make([]bool, n)
+			}
+			out.nulls[i] = true
+			continue
+		}
+		v := subj.value(i)
+		if v.Kind() != sqltypes.KindString {
+			return nil, fmt.Errorf("sqlparser: LIKE on non-string %s", v.Kind())
+		}
+		out.bools[i] = sqlparser.LikeMatch(v.Str(), x.pattern) != x.negate
+	}
+	return out, nil
+}
+
+type vcoalesce struct{ args []vnode }
+
+func (x *vcoalesce) eval(b *colbatch.Batch) (*vres, error) {
+	args := make([]*vres, len(x.args))
+	for i, a := range x.args {
+		var err error
+		if args[i], err = a.eval(b); err != nil {
+			return nil, err
+		}
+	}
+	n := b.Len()
+	out := &vres{n: n, tag: rVals, vals: make([]sqltypes.Value, n)}
+	for i := 0; i < n; i++ {
+		for _, a := range args {
+			if !a.isNull(i) {
+				out.vals[i] = a.value(i)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+type vfunc struct {
+	name string
+	args []vnode
+}
+
+func (x *vfunc) eval(b *colbatch.Batch) (*vres, error) {
+	args := make([]*vres, len(x.args))
+	for i, a := range x.args {
+		var err error
+		if args[i], err = a.eval(b); err != nil {
+			return nil, err
+		}
+	}
+	n := b.Len()
+	out := &vres{n: n, tag: rVals, vals: make([]sqltypes.Value, n)}
+	cells := make([]sqltypes.Value, len(args))
+	for i := 0; i < n; i++ {
+		// NULL-propagating, argument order preserved, like evalFunc.
+		isNull := false
+		for j, a := range args {
+			v := a.value(i)
+			if v.IsNull() {
+				isNull = true
+				break
+			}
+			cells[j] = v
+		}
+		if isNull {
+			out.vals[i] = sqltypes.Null
+			continue
+		}
+		v, err := sqlparser.ApplyFunc(x.name, cells)
+		if err != nil {
+			return nil, err
+		}
+		out.vals[i] = v
+	}
+	return out, nil
+}
+
+// evalPredicate compiles and evaluates a predicate into a selection vector
+// over the batch's logical rows, collapsing NULL to false exactly like
+// EvalBool.
+func evalPredicate(pred sqlparser.Expr, b *colbatch.Batch) ([]int, error) {
+	node, err := compileExpr(pred, b.Schema)
+	if err != nil {
+		return nil, err
+	}
+	res, err := node.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	sel := make([]int, 0, n)
+	if res.tag == rBools {
+		for i := 0; i < n; i++ {
+			if res.bools[i] && (res.nulls == nil || !res.nulls[i]) {
+				sel = append(sel, i)
+			}
+		}
+		return sel, nil
+	}
+	for i := 0; i < n; i++ {
+		if !res.isNull(i) && sqlparser.Truthy(res.value(i)) {
+			sel = append(sel, i)
+		}
+	}
+	return sel, nil
+}

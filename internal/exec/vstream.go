@@ -1,0 +1,374 @@
+package exec
+
+import (
+	"repro/internal/exec/colbatch"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// ColSource is the columnar counterpart of RowSource: NextBatch yields
+// successive columnar batches until it returns nil with a nil error. Stages
+// mirror the row streaming stages one for one — same batching boundaries,
+// same empty-batch emission, same resource charges, same blocking behavior —
+// so a pipeline built from ColSources is observably identical to the
+// RowSource pipeline except for wall-clock cost. Kernels that cannot
+// vectorize a batch (unsupported expression, eval error) run the row kernel
+// over that batch's rows, which reproduces the row path's outcome exactly.
+type ColSource interface {
+	// Schema returns the output schema without executing.
+	Schema() *sqltypes.Schema
+	// NextBatch returns the next batch, or nil when the source is exhausted.
+	NextBatch(ctx *Context) (*colbatch.Batch, error)
+	// Blocking reports whether this source (or any of its inputs) must
+	// consume its entire input before emitting the first batch.
+	Blocking() bool
+}
+
+// CollectCol drains a columnar source into one materialized batch.
+func CollectCol(src ColSource, ctx *Context) (*colbatch.Batch, error) {
+	acc := colbatch.NewAccumulator(src.Schema())
+	for {
+		b, err := src.NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return acc.Finish(), nil
+		}
+		acc.Append(b)
+	}
+}
+
+// BatchSource streams an already-materialized batch in windows of batchRows
+// (one window covering everything when batchRows <= 0), charging a fixed
+// per-row CPU cost as rows are emitted — the columnar RelationSource.
+type BatchSource struct {
+	b            *colbatch.Batch
+	batchRows    int
+	chargePerRow float64
+	pos          int
+}
+
+// NewValuesColSource streams b charging one CPU op per row — the columnar
+// equivalent of the Values leaf operator.
+func NewValuesColSource(b *colbatch.Batch, batchRows int) *BatchSource {
+	return &BatchSource{b: b, batchRows: batchRows, chargePerRow: 1}
+}
+
+// ColSourceFromBatch streams b charging nothing: an adapter for feeding rows
+// whose production was already charged into a streaming tail.
+func ColSourceFromBatch(b *colbatch.Batch, batchRows int) *BatchSource {
+	return &BatchSource{b: b, batchRows: batchRows}
+}
+
+// Schema implements ColSource.
+func (s *BatchSource) Schema() *sqltypes.Schema { return s.b.Schema }
+
+// Blocking implements ColSource.
+func (s *BatchSource) Blocking() bool { return false }
+
+// NextBatch implements ColSource.
+func (s *BatchSource) NextBatch(ctx *Context) (*colbatch.Batch, error) {
+	if s.pos >= s.b.Len() {
+		if s.pos == 0 && s.b.Len() == 0 {
+			// Emit one empty batch so downstream stages see the schema.
+			s.pos = 1
+			return s.b.Slice(0, 0), nil
+		}
+		return nil, nil
+	}
+	end := s.b.Len()
+	if s.batchRows > 0 && s.pos+s.batchRows < end {
+		end = s.pos + s.batchRows
+	}
+	out := s.b.Slice(s.pos, end)
+	ctx.Res.CPUOps += s.chargePerRow * float64(end-s.pos)
+	s.pos = end
+	return out, nil
+}
+
+// ConcatCol streams its inputs one after another; all inputs must share a
+// schema.
+type ConcatCol struct {
+	Inputs []ColSource
+	idx    int
+}
+
+// Schema implements ColSource.
+func (c *ConcatCol) Schema() *sqltypes.Schema { return c.Inputs[0].Schema() }
+
+// Blocking implements ColSource.
+func (c *ConcatCol) Blocking() bool {
+	for _, in := range c.Inputs {
+		if in.Blocking() {
+			return true
+		}
+	}
+	return false
+}
+
+// NextBatch implements ColSource.
+func (c *ConcatCol) NextBatch(ctx *Context) (*colbatch.Batch, error) {
+	for c.idx < len(c.Inputs) {
+		b, err := c.Inputs[c.idx].NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		c.idx++
+	}
+	return nil, nil
+}
+
+// FilterColStream applies the vectorized filter kernel batch by batch.
+type FilterColStream struct {
+	Input ColSource
+	Pred  sqlparser.Expr
+}
+
+// Schema implements ColSource.
+func (f *FilterColStream) Schema() *sqltypes.Schema { return f.Input.Schema() }
+
+// Blocking implements ColSource.
+func (f *FilterColStream) Blocking() bool { return f.Input.Blocking() }
+
+// NextBatch implements ColSource.
+func (f *FilterColStream) NextBatch(ctx *Context) (*colbatch.Batch, error) {
+	in, err := f.Input.NextBatch(ctx)
+	if err != nil || in == nil {
+		return nil, err
+	}
+	sel, verr := evalPredicate(f.Pred, in)
+	if verr != nil {
+		rel, err := filterRel(f.Pred, in.ToRelation(), ctx)
+		if err != nil {
+			return nil, err
+		}
+		return colbatch.FromRelation(rel), nil
+	}
+	ctx.Res.CPUOps += float64(in.Len())
+	return in.Select(sel), nil
+}
+
+// ProjectColStream applies the vectorized projection kernel batch by batch.
+type ProjectColStream struct {
+	Input ColSource
+	Items []sqlparser.SelectItem
+}
+
+// Schema implements ColSource.
+func (p *ProjectColStream) Schema() *sqltypes.Schema {
+	return projectSchema(p.Items, p.Input.Schema())
+}
+
+// Blocking implements ColSource.
+func (p *ProjectColStream) Blocking() bool { return p.Input.Blocking() }
+
+// NextBatch implements ColSource.
+func (p *ProjectColStream) NextBatch(ctx *Context) (*colbatch.Batch, error) {
+	in, err := p.Input.NextBatch(ctx)
+	if err != nil || in == nil {
+		return nil, err
+	}
+	out, verr := projectBatch(p.Items, in)
+	if verr != nil {
+		rel, err := projectRel(p.Items, in.ToRelation(), ctx)
+		if err != nil {
+			return nil, err
+		}
+		return colbatch.FromRelation(rel), nil
+	}
+	ctx.Res.CPUOps += float64(in.Len()) * float64(len(p.Items))
+	return out, nil
+}
+
+// AggregateColStream folds its input into the shared aggregation kernel
+// batch by batch; blocking, like AggregateStream.
+type AggregateColStream struct {
+	Input   ColSource
+	GroupBy []sqlparser.Expr
+	Aggs    []*sqlparser.AggExpr
+	done    bool
+}
+
+// Schema implements ColSource.
+func (a *AggregateColStream) Schema() *sqltypes.Schema {
+	return aggSchema(a.GroupBy, a.Aggs, a.Input.Schema())
+}
+
+// Blocking implements ColSource.
+func (a *AggregateColStream) Blocking() bool { return true }
+
+// NextBatch implements ColSource.
+func (a *AggregateColStream) NextBatch(ctx *Context) (*colbatch.Batch, error) {
+	if a.done {
+		return nil, nil
+	}
+	folder := newAggFolder(a.GroupBy, a.Aggs)
+	for {
+		in, err := a.Input.NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			break
+		}
+		if verr := foldBatch(folder, in, ctx); verr != nil {
+			if err := folder.fold(in.ToRelation(), ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	a.done = true
+	return colbatch.FromRelation(folder.result(a.Schema())), nil
+}
+
+// SortColSource collects its whole input, sorts once, and emits the ordered
+// result; blocking, like SortSource.
+type SortColSource struct {
+	Input ColSource
+	Keys  []sqlparser.OrderItem
+	done  bool
+}
+
+// Schema implements ColSource.
+func (s *SortColSource) Schema() *sqltypes.Schema { return s.Input.Schema() }
+
+// Blocking implements ColSource.
+func (s *SortColSource) Blocking() bool { return true }
+
+// NextBatch implements ColSource.
+func (s *SortColSource) NextBatch(ctx *Context) (*colbatch.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	in, err := CollectCol(s.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.done = true
+	out, verr := sortBatch(s.Keys, in)
+	if verr != nil {
+		rel, err := sortRel(s.Keys, in.ToRelation(), ctx)
+		if err != nil {
+			return nil, err
+		}
+		return colbatch.FromRelation(rel), nil
+	}
+	n := float64(in.Len())
+	ctx.Res.CPUOps += n * log2(n)
+	return out, nil
+}
+
+// DistinctColStream removes duplicates incrementally: the seen-set persists
+// across batches, so it pipelines without blocking.
+type DistinctColStream struct {
+	Input ColSource
+	state *vDistinctState
+}
+
+// Schema implements ColSource.
+func (d *DistinctColStream) Schema() *sqltypes.Schema { return d.Input.Schema() }
+
+// Blocking implements ColSource.
+func (d *DistinctColStream) Blocking() bool { return d.Input.Blocking() }
+
+// NextBatch implements ColSource.
+func (d *DistinctColStream) NextBatch(ctx *Context) (*colbatch.Batch, error) {
+	in, err := d.Input.NextBatch(ctx)
+	if err != nil || in == nil {
+		return nil, err
+	}
+	if d.state == nil {
+		d.state = newVDistinctState()
+	}
+	return distinctBatch(in, d.state, ctx), nil
+}
+
+// LimitColStream stops pulling from its input once N rows have been emitted.
+type LimitColStream struct {
+	Input   ColSource
+	N       int
+	emitted int
+	done    bool
+}
+
+// Schema implements ColSource.
+func (l *LimitColStream) Schema() *sqltypes.Schema { return l.Input.Schema() }
+
+// Blocking implements ColSource.
+func (l *LimitColStream) Blocking() bool { return l.Input.Blocking() }
+
+// NextBatch implements ColSource.
+func (l *LimitColStream) NextBatch(ctx *Context) (*colbatch.Batch, error) {
+	if l.done || l.emitted >= l.N {
+		l.done = true
+		return nil, nil
+	}
+	in, err := l.Input.NextBatch(ctx)
+	if err != nil || in == nil {
+		l.done = true
+		return nil, err
+	}
+	if remain := l.N - l.emitted; in.Len() > remain {
+		in = in.Slice(0, remain)
+	}
+	l.emitted += in.Len()
+	return in, nil
+}
+
+// BuildTopColSource applies the same non-join SELECT tail as BuildTop and
+// BuildTopSource, over a columnar source: all three assemblers interpret the
+// identical planTopSteps list.
+func BuildTopColSource(stmt *sqlparser.SelectStmt, src ColSource) (ColSource, error) {
+	steps, err := planTopSteps(stmt, src.Schema())
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range steps {
+		switch s.kind {
+		case stepAggregate:
+			src = &AggregateColStream{Input: src, GroupBy: s.groupBy, Aggs: s.aggs}
+		case stepFilter:
+			src = &FilterColStream{Input: src, Pred: s.pred}
+		case stepSort:
+			src = &SortColSource{Input: src, Keys: s.keys}
+		case stepProject:
+			src = &ProjectColStream{Input: src, Items: s.items}
+		case stepDistinct:
+			src = &DistinctColStream{Input: src}
+		case stepLimit:
+			src = &LimitColStream{Input: src, N: s.n}
+		}
+	}
+	return src, nil
+}
+
+// ColSourceBlockingStage names the outermost pipeline-breaking stage in a
+// columnar pipeline ("sort", "aggregate"), or "" when it pipelines end to
+// end — the ColSource mirror of SourceBlockingStage.
+func ColSourceBlockingStage(src ColSource) string {
+	switch x := src.(type) {
+	case *SortColSource:
+		return "sort"
+	case *AggregateColStream:
+		return "aggregate"
+	case *FilterColStream:
+		return ColSourceBlockingStage(x.Input)
+	case *ProjectColStream:
+		return ColSourceBlockingStage(x.Input)
+	case *DistinctColStream:
+		return ColSourceBlockingStage(x.Input)
+	case *LimitColStream:
+		return ColSourceBlockingStage(x.Input)
+	case *ConcatCol:
+		for _, in := range x.Inputs {
+			if s := ColSourceBlockingStage(in); s != "" {
+				return s
+			}
+		}
+	}
+	return ""
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/catalog"
 	"repro/internal/exec"
+	"repro/internal/exec/colbatch"
 	"repro/internal/metawrapper"
 	"repro/internal/optimizer"
 	"repro/internal/remote"
@@ -119,13 +120,14 @@ func BatchRowsCount(n int) *int { return &n }
 
 // II is the information integrator.
 type II struct {
-	cfg       Config
-	retries   int
-	batchRows atomic.Int64
-	opt       *optimizer.Optimizer
-	explain   *optimizer.ExplainTable
-	patroller *Patroller
-	plans     *planCache
+	cfg        Config
+	retries    int
+	batchRows  atomic.Int64
+	vectorized atomic.Bool
+	opt        *optimizer.Optimizer
+	explain    *optimizer.ExplainTable
+	patroller  *Patroller
+	plans      *planCache
 }
 
 // New builds an II.
@@ -175,6 +177,16 @@ func (ii *II) SetBatchRows(n int) {
 	}
 	ii.batchRows.Store(int64(n))
 }
+
+// Vectorized reports whether the II-side merge uses the columnar engine.
+func (ii *II) Vectorized() bool { return ii.vectorized.Load() }
+
+// SetVectorized switches the II merge between the row-at-a-time and columnar
+// engines. The columnar merge only engages for queries whose fragments all
+// arrived with columnar payloads (i.e. the remote servers are vectorized
+// too); otherwise the row merge runs regardless of this flag. Either way the
+// merged rows, resource charges, and span tree are bit-identical.
+func (ii *II) SetVectorized(on bool) { ii.vectorized.Store(on) }
 
 // Optimizer exposes the global optimizer (QCC's what-if analysis drives it
 // directly with masking).
@@ -560,7 +572,11 @@ func (e *FragmentError) Unwrap() error { return e.Err }
 // the merge always sees fragments in plan order regardless of completion
 // order.
 type fragOutcome struct {
-	rel      *sqltypes.Relation
+	rel *sqltypes.Relation
+	// col is the same rows in columnar form when the remote executed
+	// vectorized AND every stream batch carried a columnar payload; nil
+	// otherwise. col.ToRelation() row-equals rel.
+	col      *colbatch.Batch
 	respTime simclock.Time
 	firstRow simclock.Time
 	serverID string
@@ -578,6 +594,7 @@ func (ii *II) dispatchFragment(ctx context.Context, f optimizer.FragmentChoice, 
 		}
 		return fragOutcome{
 			rel:      out.Result.Rel,
+			col:      out.Result.Col,
 			respTime: out.ResponseTime,
 			firstRow: out.ResponseTime,
 			serverID: f.ServerID,
@@ -589,6 +606,10 @@ func (ii *II) dispatchFragment(ctx context.Context, f optimizer.FragmentChoice, 
 		return fragOutcome{}, err
 	}
 	rel := sqltypes.NewRelation(st.Schema())
+	// Columnar batches reassemble without a row round trip; one row-only
+	// batch (non-vectorized remote) drops the columnar form for the whole
+	// fragment, since a partial column set would be useless to the merge.
+	acc := colbatch.NewAccumulator(st.Schema())
 	for {
 		b, err := st.Next(ctx)
 		if err != nil {
@@ -598,10 +619,22 @@ func (ii *II) dispatchFragment(ctx context.Context, f optimizer.FragmentChoice, 
 			break
 		}
 		rel.Rows = append(rel.Rows, b.Rel.Rows...)
+		if acc != nil {
+			if b.Col == nil {
+				acc = nil
+			} else {
+				acc.Append(b.Col)
+			}
+		}
 	}
 	out := st.Outcome()
+	var col *colbatch.Batch
+	if acc != nil {
+		col = acc.Finish()
+	}
 	return fragOutcome{
 		rel:      rel,
+		col:      col,
 		respTime: out.ResponseTime,
 		firstRow: out.FirstRowTime,
 		serverID: f.ServerID,
@@ -693,9 +726,11 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 	fragTimes := make(map[string]simclock.Time, len(outcomes))
 	executed := make(map[string]string, len(outcomes))
 	fragRels := make([]*sqltypes.Relation, len(outcomes))
+	fragCols := make([]*colbatch.Batch, len(outcomes))
 	var remotePhase, firstPhase simclock.Time
 	for i, o := range outcomes {
 		fragRels[i] = o.rel
+		fragCols[i] = o.col
 		fragTimes[o.fragID] = o.respTime
 		executed[o.fragID] = o.serverID
 		if o.respTime > remotePhase {
@@ -706,7 +741,7 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 		}
 	}
 
-	rel, mergeTime, blocking, err := ii.merge(gp, fragRels, batchRows)
+	rel, mergeTime, blocking, err := ii.merge(gp, fragRels, fragCols, batchRows)
 	if err != nil {
 		return nil, err
 	}
@@ -741,10 +776,31 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 // historical materialized path. Both paths interpret the same planTopSteps
 // list over the same kernels, so results and resource charges are identical
 // — except LIMIT, which under streaming stops pulling once satisfied.
-func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, batchRows int) (*sqltypes.Relation, simclock.Time, string, error) {
+func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, fragCols []*colbatch.Batch, batchRows int) (*sqltypes.Relation, simclock.Time, string, error) {
+	// The columnar merge engages only when the flag is on AND every fragment
+	// arrived with a columnar payload — a row-engine remote anywhere in the
+	// query demotes the whole merge to the row path.
+	vec := ii.vectorized.Load()
+	for _, c := range fragCols {
+		if c == nil {
+			vec = false
+			break
+		}
+	}
+	if vec {
+		tel := ii.cfg.Telemetry
+		tel.Active().Counter("exec.vectorized", "ii").Inc()
+	}
 	ctx := &exec.Context{}
 	if gp.Decomp.SingleFragment {
 		if batchRows > 0 {
+			if vec {
+				out, err := exec.CollectCol(exec.NewValuesColSource(fragCols[0], batchRows), ctx)
+				if err != nil {
+					return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
+				}
+				return out.ToRelation(), ii.cfg.Node.Observe(ctx.Res), "", nil
+			}
 			// Union/concat pass-through: batches fold straight into the
 			// result as they arrive; the per-row cursor charge matches the
 			// materialized accounting below exactly.
@@ -758,11 +814,20 @@ func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, bat
 		ctx.Res.CPUOps = float64(rel.Cardinality())
 		return rel, ii.cfg.Node.Observe(ctx.Res), "", nil
 	}
-	// Join fragments left-to-right on the cross-source conjuncts.
+	// Join fragments left-to-right on the cross-source conjuncts. When the
+	// merge is columnar, each Values leaf carries its fragment's batch so the
+	// vectorized executor starts from the arrived columns directly.
 	cross := append([]sqlparser.Expr(nil), gp.Decomp.Cross...)
-	var current exec.Operator = &exec.Values{Rel: fragRels[0], Label: gp.Fragments[0].Spec.ID}
+	left := &exec.Values{Rel: fragRels[0], Label: gp.Fragments[0].Spec.ID}
+	if vec {
+		left.Col = fragCols[0]
+	}
+	var current exec.Operator = left
 	for i := 1; i < len(fragRels); i++ {
 		right := &exec.Values{Rel: fragRels[i], Label: gp.Fragments[i].Spec.ID}
+		if vec {
+			right.Col = fragCols[i]
+		}
 		lk, rk, rest, ok := exec.ExtractEquiJoinKeys(cross, current.Schema(), right.Schema())
 		if ok {
 			joined := current.Schema().Concat(right.Schema())
@@ -802,6 +867,22 @@ func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, bat
 	if batchRows > 0 {
 		// The join tree materializes (hash/NL joins need their full inputs),
 		// then the non-join tail streams over it batch by batch.
+		if vec {
+			joined, err := exec.ExecuteVectorized(current, ctx)
+			if err != nil {
+				return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
+			}
+			src, err := exec.BuildTopColSource(gp.Stmt, exec.ColSourceFromBatch(joined, batchRows))
+			if err != nil {
+				return nil, 0, "", fmt.Errorf("integrator: building merge pipeline: %w", err)
+			}
+			blocking := exec.ColSourceBlockingStage(src)
+			out, err := exec.CollectCol(src, ctx)
+			if err != nil {
+				return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
+			}
+			return out.ToRelation(), ii.cfg.Node.Observe(ctx.Res), blocking, nil
+		}
 		joined, err := current.Execute(ctx)
 		if err != nil {
 			return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
@@ -820,6 +901,13 @@ func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, bat
 	top, err := exec.BuildTop(gp.Stmt, current)
 	if err != nil {
 		return nil, 0, "", fmt.Errorf("integrator: building merge plan: %w", err)
+	}
+	if vec {
+		out, err := exec.ExecuteVectorized(top, ctx)
+		if err != nil {
+			return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
+		}
+		return out.ToRelation(), ii.cfg.Node.Observe(ctx.Res), "", nil
 	}
 	rel, err := top.Execute(ctx)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/exec"
+	"repro/internal/exec/colbatch"
 	"repro/internal/simclock"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
@@ -16,6 +17,9 @@ import (
 type Result struct {
 	// Rel is the materialized fragment result.
 	Rel *sqltypes.Relation
+	// Col is the columnar form of the same result when the server executed
+	// vectorized; nil on the row engine. Col.ToRelation() row-equals Rel.
+	Col *colbatch.Batch
 	// ServiceTime is the simulated time the server spent, including load
 	// effects and queueing — the "observed cost" QCC learns from.
 	ServiceTime simclock.Time
@@ -47,6 +51,24 @@ func (s *Server) runPlan(ctx context.Context, p *Plan) (*Result, error) {
 	s.mu.Unlock()
 
 	ectx := &exec.Context{}
+	if s.vectorized.Load() {
+		col, err := exec.ExecuteVectorized(p.Root, ectx)
+		if err != nil {
+			return nil, fmt.Errorf("remote: executing on %s: %w", s.id, err)
+		}
+		// WireSize equals the materialized relation's ByteSize, so the load
+		// model and every downstream network draw observe identical bytes.
+		ectx.Res.OutBytes = col.WireSize()
+		tel := s.telemetry()
+		tel.Active().Counter("exec.vectorized", s.id).Inc()
+		tel.Active().Histogram("exec.batch_rows", s.id, nil).Observe(float64(col.Len()))
+		return &Result{
+			Rel:         col.ToRelation(),
+			Col:         col,
+			ServiceTime: s.Observe(ectx.Res),
+			Resources:   ectx.Res,
+		}, nil
+	}
 	rel, err := p.Root.Execute(ectx)
 	if err != nil {
 		return nil, fmt.Errorf("remote: executing on %s: %w", s.id, err)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/simclock"
@@ -112,6 +113,11 @@ type Server struct {
 	// tel is the observability subsystem (nil/disabled is a no-op).
 	tel *telemetry.Telemetry
 
+	// vectorized selects the columnar execution engine for this server's
+	// fragments. Either engine produces bit-identical results and charges
+	// (see exec.ExecuteVectorized); the toggle only changes wall-clock cost.
+	vectorized atomic.Bool
+
 	// induced-load state: recent service-time samples within the window.
 	induced InducedLoadProfile
 	clock   *simclock.Clock
@@ -153,6 +159,13 @@ func (s *Server) telemetry() *telemetry.Telemetry {
 	defer s.mu.RUnlock()
 	return s.tel
 }
+
+// SetVectorized switches this server's executor between the row-at-a-time
+// and columnar engines.
+func (s *Server) SetVectorized(on bool) { s.vectorized.Store(on) }
+
+// Vectorized reports whether the columnar engine is active.
+func (s *Server) Vectorized() bool { return s.vectorized.Load() }
 
 // ID returns the server identifier.
 func (s *Server) ID() string { return s.id }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/exec"
+	"repro/internal/exec/colbatch"
 	"repro/internal/simclock"
 	"repro/internal/sqltypes"
 )
@@ -12,6 +13,9 @@ import (
 type Batch struct {
 	// Rel holds this batch's rows (a slice view into the full result).
 	Rel *sqltypes.Relation
+	// Col is the same rows as a columnar view when the server executed
+	// vectorized; nil on the row engine.
+	Col *colbatch.Batch
 	// ServiceTime is the simulated remote compute time attributable to
 	// producing this batch under the first/next-tuple model: the first batch
 	// carries the first-tuple cost, later batches their next-tuple share,
@@ -94,6 +98,9 @@ func (c *Cursor) NextBatch() *Batch {
 		rel = view
 	}
 	b := &Batch{Rel: rel, ServiceTime: c.splits[c.pos] - prev}
+	if c.result.Col != nil {
+		b.Col = c.result.Col.Slice(lo, hi)
+	}
 	c.pos++
 	return b
 }

@@ -66,6 +66,11 @@ func EvalBool(e Expr, row sqltypes.Row, schema *sqltypes.Schema) (bool, error) {
 	return truthy(v), nil
 }
 
+// Truthy reports SQL truthiness of a non-NULL value: nonzero numerics and
+// booleans, non-empty strings. Exported for the vectorized kernels, which
+// must collapse predicate results exactly like EvalBool.
+func Truthy(v sqltypes.Value) bool { return truthy(v) }
+
 func truthy(v sqltypes.Value) bool {
 	switch v.Kind() {
 	case sqltypes.KindBool:
@@ -129,13 +134,21 @@ func evalBinary(x *BinaryExpr, row sqltypes.Row, schema *sqltypes.Schema) (sqlty
 	if err != nil {
 		return sqltypes.Null, err
 	}
+	return ApplyBinary(x.Op, lv, rv)
+}
+
+// ApplyBinary applies a non-AND/OR binary operator to two evaluated
+// operands, reproducing evalBinary's comparison, arithmetic and error
+// behavior. The vectorized expression compiler calls it cell-by-cell for
+// operand kinds it has no typed kernel for.
+func ApplyBinary(op BinaryOp, lv, rv sqltypes.Value) (sqltypes.Value, error) {
 	if lv.IsNull() || rv.IsNull() {
 		return sqltypes.Null, nil
 	}
-	if x.Op.IsComparison() {
+	if op.IsComparison() {
 		c := sqltypes.Compare(lv, rv)
 		var res bool
-		switch x.Op {
+		switch op {
 		case OpEq:
 			res = c == 0
 		case OpNe:
@@ -153,13 +166,13 @@ func evalBinary(x *BinaryExpr, row sqltypes.Row, schema *sqltypes.Schema) (sqlty
 	}
 	// Arithmetic.
 	if !lv.IsNumeric() || !rv.IsNumeric() {
-		if x.Op == OpAdd && lv.Kind() == sqltypes.KindString && rv.Kind() == sqltypes.KindString {
+		if op == OpAdd && lv.Kind() == sqltypes.KindString && rv.Kind() == sqltypes.KindString {
 			return sqltypes.NewString(lv.Str() + rv.Str()), nil
 		}
-		return sqltypes.Null, fmt.Errorf("sqlparser: non-numeric operands for %s: %s, %s", x.Op, lv.Kind(), rv.Kind())
+		return sqltypes.Null, fmt.Errorf("sqlparser: non-numeric operands for %s: %s, %s", op, lv.Kind(), rv.Kind())
 	}
 	bothInt := lv.Kind() == sqltypes.KindInt && rv.Kind() == sqltypes.KindInt
-	switch x.Op {
+	switch op {
 	case OpAdd:
 		if bothInt {
 			return sqltypes.NewInt(lv.Int() + rv.Int()), nil
@@ -184,7 +197,7 @@ func evalBinary(x *BinaryExpr, row sqltypes.Row, schema *sqltypes.Schema) (sqlty
 		}
 		return sqltypes.NewFloat(lv.Float() / rv.Float()), nil
 	}
-	return sqltypes.Null, fmt.Errorf("sqlparser: unhandled operator %s", x.Op)
+	return sqltypes.Null, fmt.Errorf("sqlparser: unhandled operator %s", op)
 }
 
 func evalIn(x *InExpr, row sqltypes.Row, schema *sqltypes.Schema) (sqltypes.Value, error) {
@@ -249,6 +262,10 @@ func evalLike(x *LikeExpr, row sqltypes.Row, schema *sqltypes.Schema) (sqltypes.
 	match := likeMatch(v.Str(), x.Pattern)
 	return sqltypes.NewBool(match != x.Negate), nil
 }
+
+// LikeMatch reports whether s matches a LIKE pattern with % (any run) and
+// _ (any single char). Exported for the vectorized kernels.
+func LikeMatch(s, pattern string) bool { return likeMatch(s, pattern) }
 
 // likeMatch implements LIKE with % (any run) and _ (any single char).
 func likeMatch(s, pattern string) bool {
@@ -333,7 +350,15 @@ func evalFunc(x *FuncExpr, row sqltypes.Row, schema *sqltypes.Schema) (sqltypes.
 		}
 		args[i] = v
 	}
-	switch x.Name {
+	return ApplyFunc(x.Name, args)
+}
+
+// ApplyFunc applies a scalar function (COALESCE excepted — its short-circuit
+// is the caller's concern) to fully-evaluated, non-NULL arguments,
+// reproducing evalFunc's result and error behavior. Exported for the
+// vectorized kernels.
+func ApplyFunc(name string, args []sqltypes.Value) (sqltypes.Value, error) {
+	switch name {
 	case "ABS":
 		if !args[0].IsNumeric() {
 			return sqltypes.Null, fmt.Errorf("sqlparser: ABS on %s", args[0].Kind())
@@ -420,6 +445,6 @@ func evalFunc(x *FuncExpr, row sqltypes.Row, schema *sqltypes.Schema) (sqltypes.
 		}
 		return sqltypes.NewString(s[start:end]), nil
 	default:
-		return sqltypes.Null, fmt.Errorf("sqlparser: unknown function %q", x.Name)
+		return sqltypes.Null, fmt.Errorf("sqlparser: unknown function %q", name)
 	}
 }

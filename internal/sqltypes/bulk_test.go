@@ -1,0 +1,165 @@
+package sqltypes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randValue draws from a distribution heavy on edge cases: NULLs, cross-kind
+// numeric collisions, NaN, ±0.0, empty and colliding strings.
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(10) {
+	case 0, 1:
+		return Null
+	case 2:
+		return NewInt(rng.Int63n(16) - 8)
+	case 3:
+		return NewInt(rng.Int63() - rng.Int63())
+	case 4:
+		return NewFloat(float64(rng.Int63n(16) - 8)) // collides with ints
+	case 5:
+		switch rng.Intn(4) {
+		case 0:
+			return NewFloat(math.NaN())
+		case 1:
+			return NewFloat(math.Copysign(0, -1))
+		case 2:
+			return NewFloat(math.Inf(1))
+		default:
+			return NewFloat(rng.NormFloat64() * 1e6)
+		}
+	case 6:
+		return NewBool(rng.Intn(2) == 0)
+	case 7:
+		return NewString("")
+	default:
+		letters := []string{"a", "b", "ab", "ba", "x", "zzz"}
+		return NewString(letters[rng.Intn(len(letters))])
+	}
+}
+
+func TestHashHelpersMatchValueHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	if got, want := HashNull(), Null.Hash(); got != want {
+		t.Fatalf("HashNull() = %d, Value.Hash() = %d", got, want)
+	}
+	for i := 0; i < 5000; i++ {
+		v := randValue(rng)
+		var got uint64
+		switch v.Kind() {
+		case KindNull:
+			got = HashNull()
+		case KindInt:
+			got = HashInt64(v.Int())
+		case KindFloat:
+			got = HashFloat64(v.Float())
+		case KindString:
+			got = HashString(v.Str())
+		case KindBool:
+			got = HashBool(v.Bool())
+		}
+		if want := v.Hash(); got != want {
+			t.Fatalf("typed hash of %v = %d, Value.Hash() = %d", v, got, want)
+		}
+	}
+}
+
+func TestHashColumnMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	col := make([]Value, 1000)
+	for i := range col {
+		col[i] = randValue(rng)
+	}
+	out := HashColumn(col, nil)
+	if len(out) != len(col) {
+		t.Fatalf("HashColumn returned %d hashes for %d values", len(out), len(col))
+	}
+	for i, v := range col {
+		if out[i] != v.Hash() {
+			t.Fatalf("HashColumn[%d] of %v = %d, Value.Hash() = %d", i, v, out[i], v.Hash())
+		}
+	}
+	// Reusing an oversized buffer must not change results or length.
+	buf := make([]uint64, 2*len(col))
+	out2 := HashColumn(col, buf)
+	if len(out2) != len(col) {
+		t.Fatalf("HashColumn with buffer returned %d hashes", len(out2))
+	}
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatalf("HashColumn buffer reuse diverged at %d", i)
+		}
+	}
+}
+
+func TestCompareColumnsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 1000
+	a := make([]Value, n)
+	b := make([]Value, n)
+	for i := 0; i < n; i++ {
+		a[i] = randValue(rng)
+		b[i] = randValue(rng)
+	}
+	out := CompareColumns(a, b, nil)
+	for i := 0; i < n; i++ {
+		if want := Compare(a[i], b[i]); out[i] != want {
+			t.Fatalf("CompareColumns[%d] (%v vs %v) = %d, Compare = %d", i, a[i], b[i], out[i], want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CompareColumns on mismatched lengths did not panic")
+		}
+	}()
+	CompareColumns(a[:3], b[:2], nil)
+}
+
+func TestAppendColumn(t *testing.T) {
+	rows := []Row{
+		{NewInt(1), NewString("a")},
+		{NewInt(2), Null},
+		{NewInt(3), NewString("c")},
+	}
+	got := AppendColumn(nil, rows, 1)
+	want := []Value{NewString("a"), Null, NewString("c")}
+	if len(got) != len(want) {
+		t.Fatalf("AppendColumn returned %d values", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendColumn[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Appending onto an existing vector keeps the prefix.
+	got2 := AppendColumn(got, rows, 0)
+	if len(got2) != 6 || got2[0] != NewString("a") || got2[3] != NewInt(1) || got2[5] != NewInt(3) {
+		t.Fatalf("AppendColumn extension wrong: %v", got2)
+	}
+}
+
+func TestBoolIsKindAware(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{NewBool(true), true},
+		{NewBool(false), false},
+		{NewInt(1), true},
+		{NewInt(0), false},
+		{NewInt(-3), true},
+		{NewFloat(1), true}, // the historical asymmetry this contract fixes
+		{NewFloat(0), false},
+		{NewFloat(math.Copysign(0, -1)), false},
+		{NewFloat(math.NaN()), true},
+		{Null, false},
+		{NewString("true"), false},
+		{NewString(""), false},
+	}
+	for _, c := range cases {
+		if got := c.v.Bool(); got != c.want {
+			t.Errorf("%v.Bool() = %v, want %v", c.v, got, c.want)
+		}
+	}
+}

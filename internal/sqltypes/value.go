@@ -100,8 +100,20 @@ func (v Value) Float() float64 {
 // Str returns the string payload. Only meaningful for KindString.
 func (v Value) Str() string { return v.s }
 
-// Bool returns the boolean payload. Only meaningful for KindBool.
-func (v Value) Bool() bool { return v.i != 0 }
+// Bool reports the value's truthiness. Booleans and integers are true when
+// nonzero, floats when nonzero (including NaN), and NULL and strings are
+// always false. This mirrors sqlparser's truthiness for the kinds that carry
+// a numeric payload, so NewFloat(1).Bool() is true.
+func (v Value) Bool() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	default:
+		return false
+	}
+}
 
 // IsNumeric reports whether the value is an int or float.
 func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }

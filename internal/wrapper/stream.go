@@ -3,6 +3,7 @@ package wrapper
 import (
 	"context"
 
+	"repro/internal/exec/colbatch"
 	"repro/internal/network"
 	"repro/internal/remote"
 	"repro/internal/simclock"
@@ -21,6 +22,10 @@ const requestEnvelopeBytes = 256
 type StreamBatch struct {
 	// Rel holds the batch rows.
 	Rel *sqltypes.Relation
+	// Col is the same rows in columnar form when the remote executed
+	// vectorized; nil otherwise. Integrators that can merge columnar batches
+	// use it to skip the row round trip.
+	Col *colbatch.Batch
 	// ArriveTime is the virtual time since fragment start at which this
 	// batch finished arriving — batch k overlaps its transfer with the
 	// production of batch k+1, so arrivals advance by
@@ -139,7 +144,7 @@ func (s *netStream) Next(ctx context.Context) (*StreamBatch, error) {
 		return nil, nil
 	}
 	if s.batchRows > 0 {
-		lat, ser, err := s.topo.TransferBatch(ctx, s.server.ID(), b.Rel.ByteSize())
+		lat, ser, err := s.topo.TransferBatch(ctx, s.server.ID(), batchWireBytes(b))
 		if err != nil {
 			s.done = true
 			s.wsp.SetAttr("error", err.Error())
@@ -161,7 +166,7 @@ func (s *netStream) Next(ctx context.Context) (*StreamBatch, error) {
 			s.arrive = a
 		}
 	} else {
-		xfer, err := s.topo.Transfer(ctx, s.server.ID(), b.Rel.ByteSize())
+		xfer, err := s.topo.Transfer(ctx, s.server.ID(), batchWireBytes(b))
 		if err != nil {
 			s.done = true
 			s.wsp.SetAttr("error", err.Error())
@@ -178,7 +183,18 @@ func (s *netStream) Next(ctx context.Context) (*StreamBatch, error) {
 	// the fragment response time.
 	s.wsp.Emit("network.recv", telemetry.LayerNetwork, s.server.ID(), s.arrive-s.emitted)
 	s.emitted = s.arrive
-	return &StreamBatch{Rel: b.Rel, ArriveTime: s.arrive}, nil
+	return &StreamBatch{Rel: b.Rel, Col: b.Col, ArriveTime: s.arrive}, nil
+}
+
+// batchWireBytes sizes a batch for the network model. The columnar WireSize
+// is computed from per-column sums (O(1) for fixed-width null-free columns)
+// but equals Relation.ByteSize exactly, so every Transfer draw — and with it
+// the whole virtual-time schedule — is identical on both engines.
+func batchWireBytes(b *remote.Batch) int {
+	if b.Col != nil {
+		return b.Col.WireSize()
+	}
+	return b.Rel.ByteSize()
 }
 
 // Outcome implements ResultStream.
