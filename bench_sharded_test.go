@@ -1,0 +1,192 @@
+// Sharded scale-out benchmark: the same aggregate query over 1/2/4/8 shards,
+// with partial-aggregate pushdown against the ship-all-rows fallback. Emits
+// BENCH_sharded.json recording virtual response time and bytes-on-wire per
+// configuration, and a CI smoke (SHARDED_PUSHDOWN_CHECK=1) that fails if
+// pushdown stops paying for itself.
+package fedqcc_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	fedqcc "repro"
+)
+
+const shardedBenchFile = "BENCH_sharded.json"
+
+// shardedBenchQuery is aggregate-heavy on purpose: pushdown collapses each
+// shard's answer to a handful of partial-state rows, so the wire cost is the
+// thing being measured, not the merge.
+const shardedBenchQuery = "SELECT l_tag, COUNT(*), SUM(l_qty), AVG(l_price) FROM lineitem GROUP BY l_tag"
+
+const shardedBenchScale = 400 // 2000 lineitem rows
+
+type shardedBenchConfig struct {
+	Shards         int     `json:"shards"`
+	Mode           string  `json:"mode"` // unsharded | pushdown | ship_all_rows
+	ResponseVirtMS float64 `json:"response_virtual_ms"`
+	WireBytes      int     `json:"wire_bytes"`
+	Rows           int     `json:"rows"`
+}
+
+type shardedBenchResult struct {
+	Query   string               `json:"query"`
+	Scale   int                  `json:"scale"`
+	Configs []shardedBenchConfig `json:"configs"`
+}
+
+// queryWireBytes runs sql once and returns the result plus the bytes every
+// remote fragment shipped for that query, by diffing the meta-wrapper run
+// log around the call.
+func queryWireBytes(fed *fedqcc.Federation, sql string) (*fedqcc.QueryResult, int, error) {
+	before := len(fed.RunLog())
+	res, err := fed.Query(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	bytes := 0
+	for _, e := range fed.RunLog()[before:] {
+		bytes += e.OutBytes
+	}
+	return res, bytes, nil
+}
+
+// measureShardedConfig builds a fresh federation, warms the compile caches,
+// and measures the second (steady-state) execution.
+func measureShardedConfig(shards int, pushdown bool) (shardedBenchConfig, error) {
+	fed, err := fedqcc.NewShardedFederation(fedqcc.ShardedFederationOptions{
+		Shards: shards,
+		Scale:  shardedBenchScale,
+	})
+	if err != nil {
+		return shardedBenchConfig{}, err
+	}
+	fed.SetShardPushdown(pushdown)
+	if _, err := fed.Query(shardedBenchQuery); err != nil {
+		return shardedBenchConfig{}, err
+	}
+	res, bytes, err := queryWireBytes(fed, shardedBenchQuery)
+	if err != nil {
+		return shardedBenchConfig{}, err
+	}
+	mode := "pushdown"
+	if shards <= 1 {
+		mode = "unsharded"
+	} else if !pushdown {
+		mode = "ship_all_rows"
+	}
+	return shardedBenchConfig{
+		Shards:         shards,
+		Mode:           mode,
+		ResponseVirtMS: float64(res.ResponseTime),
+		WireBytes:      bytes,
+		Rows:           len(res.Rows.Rows),
+	}, nil
+}
+
+// measureShardedScaleOut runs the full grid: the unsharded baseline, then
+// pushdown and ship-all-rows at every shard count.
+func measureShardedScaleOut(fatalf func(format string, args ...any)) shardedBenchResult {
+	out := shardedBenchResult{Query: shardedBenchQuery, Scale: shardedBenchScale}
+	base, err := measureShardedConfig(1, true)
+	if err != nil {
+		fatalf("unsharded baseline: %v", err)
+	}
+	out.Configs = append(out.Configs, base)
+	for _, shards := range []int{2, 4, 8} {
+		for _, pushdown := range []bool{true, false} {
+			cfg, err := measureShardedConfig(shards, pushdown)
+			if err != nil {
+				fatalf("shards=%d pushdown=%v: %v", shards, pushdown, err)
+			}
+			if cfg.Rows != base.Rows {
+				fatalf("shards=%d pushdown=%v returned %d rows, baseline %d",
+					shards, pushdown, cfg.Rows, base.Rows)
+			}
+			out.Configs = append(out.Configs, cfg)
+		}
+	}
+	return out
+}
+
+func writeShardedBenchFile(result shardedBenchResult) error {
+	doc := map[string]json.RawMessage{}
+	if buf, err := os.ReadFile(shardedBenchFile); err == nil {
+		_ = json.Unmarshal(buf, &doc)
+	}
+	enc, err := json.Marshal(result)
+	if err != nil {
+		return err
+	}
+	doc["scale_out"] = enc
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(shardedBenchFile, append(buf, '\n'), 0o644)
+}
+
+// BenchmarkShardedScaleOut measures the full shard grid once per run and
+// persists it to BENCH_sharded.json. The interesting metrics are virtual
+// (response time, wire bytes), so the grid is measured outside the b.N loop
+// and the loop just keeps the harness happy on -benchtime=1x CI runs.
+func BenchmarkShardedScaleOut(b *testing.B) {
+	result := measureShardedScaleOut(b.Fatalf)
+	for _, cfg := range result.Configs {
+		b.Logf("shards=%d mode=%-13s response=%6.1f vms  wire=%7d B",
+			cfg.Shards, cfg.Mode, cfg.ResponseVirtMS, cfg.WireBytes)
+	}
+	var push4, base shardedBenchConfig
+	for _, cfg := range result.Configs {
+		if cfg.Shards == 4 && cfg.Mode == "pushdown" {
+			push4 = cfg
+		}
+		if cfg.Mode == "unsharded" {
+			base = cfg
+		}
+	}
+	b.ReportMetric(push4.ResponseVirtMS, "vresp4_ms")
+	b.ReportMetric(base.ResponseVirtMS/push4.ResponseVirtMS, "scaleout4_x")
+	if err := writeShardedBenchFile(result); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s (scale_out)", shardedBenchFile)
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+// TestShardedPushdownSmoke is the CI perf gate: with SHARDED_PUSHDOWN_CHECK=1
+// it fails unless (a) at every sharded count, pushdown ships strictly fewer
+// bytes than the ship-all-rows fallback, and (b) 4-shard pushdown beats the
+// unsharded baseline on virtual response time. Unset, it is skipped, so
+// ordinary test runs stay configuration-independent.
+func TestShardedPushdownSmoke(t *testing.T) {
+	if os.Getenv("SHARDED_PUSHDOWN_CHECK") != "1" {
+		t.Skip("set SHARDED_PUSHDOWN_CHECK=1 to enforce the sharded pushdown floor")
+	}
+	result := measureShardedScaleOut(t.Fatalf)
+	byKey := map[string]shardedBenchConfig{}
+	for _, cfg := range result.Configs {
+		byKey[cfg.Mode+string(rune('0'+cfg.Shards))] = cfg
+		t.Logf("shards=%d mode=%-13s response=%6.1f vms  wire=%7d B",
+			cfg.Shards, cfg.Mode, cfg.ResponseVirtMS, cfg.WireBytes)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		push := byKey["pushdown"+string(rune('0'+shards))]
+		ship := byKey["ship_all_rows"+string(rune('0'+shards))]
+		if push.WireBytes >= ship.WireBytes {
+			t.Errorf("shards=%d: pushdown ships %d B, not below ship-all-rows %d B",
+				shards, push.WireBytes, ship.WireBytes)
+		}
+	}
+	base := byKey["unsharded1"]
+	push4 := byKey["pushdown4"]
+	if push4.ResponseVirtMS >= base.ResponseVirtMS {
+		t.Errorf("4-shard pushdown response %.1f vms does not beat the unsharded %.1f vms",
+			push4.ResponseVirtMS, base.ResponseVirtMS)
+	}
+	if err := writeShardedBenchFile(result); err != nil {
+		t.Fatal(err)
+	}
+}

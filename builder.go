@@ -71,6 +71,20 @@ type Builder struct {
 	kinds   map[string]string // serverID → wrapper kind
 	seed    int64
 	err     error
+
+	shardDecls []shardDecl
+	// shardPhys marks per-server physical shard tables that Build must not
+	// surface as nicknames of their own.
+	shardPhys map[string]map[string]bool
+}
+
+// shardDecl is a table declared via AddShardedTable, registered whole at
+// Build time.
+type shardDecl struct {
+	name   string
+	schema *sqltypes.Schema
+	spec   *catalog.ShardSpec
+	shards []catalog.Shard
 }
 
 // NewBuilder starts a federation definition. Seed drives data generation;
@@ -156,6 +170,78 @@ func (b *Builder) AddGeneratedTable(serverID string, spec TableSpec) *Builder {
 	return b
 }
 
+// AddShardedTable generates the table once with the builder's seed and
+// hash-partitions its rows on shardColumn across the named servers: shard i
+// lands on servers[i] as the physical table <name>__s<i>, and Build registers
+// the whole table as one sharded nickname. With a single server the physical
+// table keeps the plain name and the nickname registers unsharded —
+// bit-identical to AddGeneratedTable on that server.
+func (b *Builder) AddShardedTable(spec TableSpec, shardColumn string, servers ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(servers) == 0 {
+		return b.fail(fmt.Errorf("fedqcc: sharded table %q needs at least one server", spec.Name))
+	}
+	whole, err := spec.Generate(b.seed)
+	if err != nil {
+		return b.fail(err)
+	}
+	keyIdx, err := whole.Schema().ColumnIndex("", shardColumn)
+	if err != nil {
+		return b.fail(fmt.Errorf("fedqcc: sharded table %q: %w", spec.Name, err))
+	}
+	shardSpec := &catalog.ShardSpec{Column: shardColumn}
+	parts := make([][]sqltypes.Row, len(servers))
+	for _, row := range whole.Snapshot() {
+		i := shardSpec.ShardFor(row[keyIdx], len(servers))
+		parts[i] = append(parts[i], row)
+	}
+	var shards []catalog.Shard
+	for i, sid := range servers {
+		srv, ok := b.servers[sid]
+		if !ok {
+			return b.fail(fmt.Errorf("fedqcc: unknown server %q", sid))
+		}
+		shardName := catalog.ShardTableName(spec.Name, i)
+		if len(servers) == 1 {
+			shardName = spec.Name
+		}
+		tab := storage.NewTable(shardName, whole.Schema())
+		if err := tab.Append(parts[i]...); err != nil {
+			return b.fail(err)
+		}
+		for _, ig := range spec.Indexes {
+			ixName := fmt.Sprintf("%s_s%d", ig.Name, i)
+			if len(servers) == 1 {
+				ixName = ig.Name
+			}
+			if _, err := tab.CreateIndex(ixName, ig.Column, ig.Kind); err != nil {
+				return b.fail(err)
+			}
+		}
+		srv.AddTable(tab)
+		if b.shardPhys == nil {
+			b.shardPhys = map[string]map[string]bool{}
+		}
+		if b.shardPhys[sid] == nil {
+			b.shardPhys[sid] = map[string]bool{}
+		}
+		b.shardPhys[sid][shardName] = true
+		shards = append(shards, catalog.Shard{
+			Index:      i,
+			Placements: []catalog.Placement{{ServerID: sid, RemoteTable: shardName}},
+		})
+	}
+	b.shardDecls = append(b.shardDecls, shardDecl{
+		name:   spec.Name,
+		schema: whole.Schema(),
+		spec:   shardSpec,
+		shards: shards,
+	})
+	return b
+}
+
 // AddCSVTable loads a table from CSV (typed header "name:KIND", see
 // storage.ReadCSV) onto the named server.
 func (b *Builder) AddCSVTable(serverID, tableName string, r io.Reader) *Builder {
@@ -220,6 +306,9 @@ func (b *Builder) Build() (*Federation, error) {
 	for _, id := range ids {
 		srv := b.servers[id]
 		for _, tname := range srv.Tables() {
+			if b.shardPhys[id][tname] {
+				continue // shard of a declared sharded nickname
+			}
 			n, ok := nicknames[tname]
 			if !ok {
 				n = &catalog.Nickname{Name: tname, Schema: srv.Table(tname).Schema()}
@@ -233,11 +322,16 @@ func (b *Builder) Build() (*Federation, error) {
 			})
 		}
 	}
-	if len(order) == 0 {
+	if len(order) == 0 && len(b.shardDecls) == 0 {
 		return nil, fmt.Errorf("fedqcc: federation has no tables")
 	}
 	for _, name := range order {
 		if err := cat.Register(nicknames[name]); err != nil {
+			return nil, err
+		}
+	}
+	for _, decl := range b.shardDecls {
+		if err := cat.RegisterSharded(decl.name, decl.schema, decl.spec, decl.shards); err != nil {
 			return nil, err
 		}
 	}

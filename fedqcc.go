@@ -114,6 +114,46 @@ func NewReplicaFederation(opts FederationOptions) (*Federation, error) {
 	return fromScenario(sc), nil
 }
 
+// ShardedFederationOptions configures the scale-out scenario.
+type ShardedFederationOptions struct {
+	// Shards is the shard (and server) count; 1 builds a plain unsharded
+	// single-server federation.
+	Shards int
+	// Scale divides the paper's table sizes (1 = 100k-row large tables).
+	Scale int
+	// Seed drives deterministic data generation.
+	Seed int64
+	// RangeSharding switches lineitem from hash to range sharding on
+	// l_orderkey.
+	RangeSharding bool
+	// NullKeyFrac makes roughly this fraction of lineitem rows carry a NULL
+	// shard key.
+	NullKeyFrac float64
+}
+
+// NewShardedFederation builds the scale-out scenario: lineitem horizontally
+// sharded on l_orderkey across N uniform servers (shard i on server S<i+1>),
+// small tables replicated everywhere. Aggregate queries over lineitem run
+// two-phase with partial aggregation pushed into every shard; predicates on
+// l_orderkey prune the shard fan-out. See SetShardPushdown/SetShardPruning.
+func NewShardedFederation(opts ShardedFederationOptions) (*Federation, error) {
+	method := catalog.ShardHash
+	if opts.RangeSharding {
+		method = catalog.ShardRange
+	}
+	sc, err := scenario.BuildSharded(scenario.ShardedOptions{
+		Shards:      opts.Shards,
+		Scale:       opts.Scale,
+		Seed:        opts.Seed,
+		Method:      method,
+		NullKeyFrac: opts.NullKeyFrac,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromScenario(sc), nil
+}
+
 func fromScenario(sc *scenario.Scenario) *Federation {
 	// Telemetry is always constructed and wired but starts disabled: every
 	// instrumentation site no-ops behind one atomic load until
@@ -265,6 +305,21 @@ func (f *Federation) SetVectorized(on bool) {
 // Vectorized reports whether the columnar engine is active at the integrator.
 func (f *Federation) Vectorized() bool { return f.ii.Vectorized() }
 
+// SetShardPruning toggles predicate-based shard pruning for sharded tables
+// (default on); off scatter-gathers every shard.
+func (f *Federation) SetShardPruning(on bool) { f.ii.SetShardPruning(on) }
+
+// ShardPruning reports whether shard pruning is active.
+func (f *Federation) ShardPruning() bool { return f.ii.ShardPruning() }
+
+// SetShardPushdown toggles two-phase partial-aggregate pushdown for sharded
+// tables (default on); off ships whole rows from every shard — the
+// ship-all-rows baseline sharded benchmarks compare against.
+func (f *Federation) SetShardPushdown(on bool) { f.ii.SetShardPushdown(on) }
+
+// ShardPushdown reports whether partial-aggregate pushdown is active.
+func (f *Federation) ShardPushdown() bool { return f.ii.ShardPushdown() }
+
 // Query compiles and executes a federated SQL statement, advancing the
 // virtual clock by the query's response time. See QueryContext for
 // caller-supplied cancellation and Session for concurrent submission.
@@ -337,6 +392,11 @@ func (f *Federation) QueryLog() []integrator.LogEntry { return f.ii.Patroller().
 // retained, entries evicted by the ring-buffer bound, and completions that
 // arrived after their entry had already been evicted.
 func (f *Federation) QueryLogStats() QueryLogStats { return f.ii.Patroller().Stats() }
+
+// RunLog returns the meta-wrapper's runtime records — one entry per executed
+// remote fragment, including the shipped result volume in OutBytes. Summing
+// OutBytes across a query's fragments gives its bytes-on-wire cost.
+func (f *Federation) RunLog() []metawrapper.RunLogEntry { return f.mw.RunLog() }
 
 // ExplainLog returns the stored compilation winners.
 func (f *Federation) ExplainLog() []optimizer.ExplainEntry { return f.ii.ExplainTable().Entries() }

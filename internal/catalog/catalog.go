@@ -31,8 +31,15 @@ type Nickname struct {
 	Name string
 	// Schema is the registered column layout.
 	Schema *sqltypes.Schema
-	// Placements lists every server hosting the data, origin first.
+	// Placements lists every server hosting the data, origin first. For
+	// sharded nicknames this is the union of shard hosts (used for
+	// co-location grouping); per-shard placements live in Shards.
 	Placements []Placement
+	// Sharding, when non-nil, declares the nickname horizontally
+	// partitioned; see shard.go.
+	Sharding *ShardSpec
+	// Shards holds the per-shard placements, indexed by shard.
+	Shards []Shard
 }
 
 // Servers returns the IDs of all hosting servers, in registration order.
@@ -161,8 +168,14 @@ func (c *Catalog) Clone() *Catalog {
 	defer c.mu.RUnlock()
 	out := New()
 	for name, n := range c.nicknames {
-		cp := &Nickname{Name: n.Name, Schema: n.Schema}
+		cp := &Nickname{Name: n.Name, Schema: n.Schema, Sharding: n.Sharding}
 		cp.Placements = append([]Placement(nil), n.Placements...)
+		for _, sh := range n.Shards {
+			cp.Shards = append(cp.Shards, Shard{
+				Index:      sh.Index,
+				Placements: append([]Placement(nil), sh.Placements...),
+			})
+		}
 		out.nicknames[name] = cp
 	}
 	return out

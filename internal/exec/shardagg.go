@@ -1,0 +1,231 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// Two-phase aggregation over sharded tables: each shard runs a partial
+// aggregation remotely (its normal Aggregate kernel, row or vectorized) and
+// ships typed partial states; ShardAggFinal merges the states at the II.
+//
+// Partial state layout per aggregate, in StatementAggregates order:
+//
+//	COUNT(x), COUNT(*) — one column: the shard's count (int)
+//	SUM(x)             — one column: the shard's SUM (NULL if no non-null input)
+//	MIN(x), MAX(x)     — one column: the shard's extremum (NULL if none)
+//	AVG(x)             — two columns: SUM(x) then COUNT(x)
+//
+// Empty shards contribute identity states (0 counts, NULL sums/extrema), so
+// pruned and unpruned scatter-gather merge to exactly the same values.
+
+// StatementAggregates collects the distinct aggregate calls of a SELECT in
+// the exact order planTopSteps collects them (select items, then HAVING,
+// then ORDER BY), so the per-shard partial statements and the final merge
+// agree on aggregate positions.
+func StatementAggregates(stmt *sqlparser.SelectStmt) ([]*sqlparser.AggExpr, error) {
+	var aggs []*sqlparser.AggExpr
+	for _, item := range stmt.Select {
+		if item.Star {
+			return nil, fmt.Errorf("exec: SELECT * cannot be combined with aggregation")
+		}
+		aggs = CollectAggregates(item.Expr, aggs)
+	}
+	if stmt.Having != nil {
+		aggs = CollectAggregates(stmt.Having, aggs)
+	}
+	for _, o := range stmt.OrderBy {
+		aggs = CollectAggregates(o.Expr, aggs)
+	}
+	return aggs, nil
+}
+
+// StateColName names partial-state column i in the per-shard statement.
+func StateColName(i int) string { return fmt.Sprintf("s%d", i) }
+
+// PartialStateWidth is the number of state columns aggregate a ships.
+func PartialStateWidth(a *sqlparser.AggExpr) int {
+	if a.Func == sqlparser.AggAvg {
+		return 2
+	}
+	return 1
+}
+
+// PartialAggItems returns the partial-state select items for a shard's
+// statement: AVG(x) splits into SUM(x)+COUNT(x); every other aggregate is
+// its own partial. States are aliased s0..sK-1 in expansion order.
+func PartialAggItems(aggs []*sqlparser.AggExpr) []sqlparser.SelectItem {
+	var items []sqlparser.SelectItem
+	k := 0
+	for _, a := range aggs {
+		if a.Func == sqlparser.AggAvg {
+			items = append(items,
+				sqlparser.SelectItem{Expr: &sqlparser.AggExpr{Func: sqlparser.AggSum, Arg: a.Arg}, Alias: StateColName(k)},
+				sqlparser.SelectItem{Expr: &sqlparser.AggExpr{Func: sqlparser.AggCount, Arg: a.Arg}, Alias: StateColName(k + 1)},
+			)
+			k += 2
+			continue
+		}
+		items = append(items, sqlparser.SelectItem{Expr: a, Alias: StateColName(k)})
+		k++
+	}
+	return items
+}
+
+// ShardAggFinal merges concatenated per-shard partial-aggregation rows into
+// final aggregate values. Input rows are laid out as the group-key cells
+// followed by the partial-state cells; the output schema matches the plain
+// Aggregate operator's (keys then a0..aM-1 typed against Base), so the rest
+// of the tail — HAVING, projection, ORDER BY — is byte-compatible with the
+// unsharded plan.
+type ShardAggFinal struct {
+	Input   Operator
+	GroupBy []sqlparser.Expr
+	Aggs    []*sqlparser.AggExpr
+	// Base is the pre-aggregation schema of the logical fragment, used only
+	// to type the output columns exactly like the unsharded Aggregate.
+	Base *sqltypes.Schema
+}
+
+// Schema implements Operator.
+func (s *ShardAggFinal) Schema() *sqltypes.Schema {
+	return aggSchema(s.GroupBy, s.Aggs, s.Base)
+}
+
+// shardMergeGroup accumulates one group's merged partial states.
+type shardMergeGroup struct {
+	keys   sqltypes.Row
+	states []*aggState
+	counts []int64
+}
+
+func newShardMergeGroup(keys sqltypes.Row, n int) *shardMergeGroup {
+	g := &shardMergeGroup{keys: keys, states: make([]*aggState, n), counts: make([]int64, n)}
+	for i := range g.states {
+		g.states[i] = newAggState()
+	}
+	return g
+}
+
+// Execute implements Operator.
+func (s *ShardAggFinal) Execute(ctx *Context) (*sqltypes.Relation, error) {
+	in, err := s.Input.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	k := len(s.GroupBy)
+	width := 0
+	for _, a := range s.Aggs {
+		width += PartialStateWidth(a)
+	}
+	if in.Schema.Len() != k+width {
+		return nil, fmt.Errorf("exec: shard merge expects %d partial columns, input has %d", k+width, in.Schema.Len())
+	}
+	groups := map[uint64][]*shardMergeGroup{}
+	var order []*shardMergeGroup
+	for _, row := range in.Rows {
+		keys := row[:k]
+		h := rowHash(keys)
+		var grp *shardMergeGroup
+		for _, g := range groups[h] {
+			if rowsIdentical(g.keys, keys) {
+				grp = g
+				break
+			}
+		}
+		if grp == nil {
+			grp = newShardMergeGroup(append(sqltypes.Row(nil), keys...), len(s.Aggs))
+			groups[h] = append(groups[h], grp)
+			order = append(order, grp)
+		}
+		off := k
+		for i, a := range s.Aggs {
+			switch a.Func {
+			case sqlparser.AggCount:
+				grp.counts[i] += row[off].Int()
+			case sqlparser.AggAvg:
+				grp.states[i].add(row[off])
+				grp.counts[i] += row[off+1].Int()
+			default: // SUM, MIN, MAX: fold the partial value
+				grp.states[i].add(row[off])
+			}
+			off += PartialStateWidth(a)
+		}
+	}
+	ctx.Res.CPUOps += float64(len(in.Rows)) * float64(1+len(s.Aggs))
+	// Scalar aggregation over no partials still yields one row, mirroring
+	// the plain folder (cannot normally happen: every shard ships one
+	// scalar partial row).
+	if k == 0 && len(order) == 0 {
+		order = append(order, newShardMergeGroup(nil, len(s.Aggs)))
+	}
+	out := sqltypes.NewRelation(s.Schema())
+	for _, grp := range order {
+		row := make(sqltypes.Row, 0, k+len(s.Aggs))
+		row = append(row, grp.keys...)
+		for i, a := range s.Aggs {
+			switch a.Func {
+			case sqlparser.AggCount:
+				row = append(row, sqltypes.NewInt(grp.counts[i]))
+			case sqlparser.AggAvg:
+				if grp.counts[i] == 0 {
+					row = append(row, sqltypes.Null)
+				} else {
+					row = append(row, sqltypes.NewFloat(grp.states[i].sum/float64(grp.counts[i])))
+				}
+			default:
+				row = append(row, grp.states[i].result(a.Func))
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Explain implements Operator.
+func (s *ShardAggFinal) Explain() string {
+	var keys []string
+	for _, g := range s.GroupBy {
+		keys = append(keys, g.String())
+	}
+	var aggs []string
+	for _, a := range s.Aggs {
+		aggs = append(aggs, a.String())
+	}
+	return fmt.Sprintf("SHARD MERGE [%s] BY [%s]", strings.Join(aggs, ", "), strings.Join(keys, ", "))
+}
+
+// Children implements Operator.
+func (s *ShardAggFinal) Children() []Operator { return []Operator{s.Input} }
+
+// BuildShardFinal assembles the II-side tail of a two-phase aggregate query:
+// the same planTopSteps as the unsharded plan, with the aggregation step
+// replaced by a ShardAggFinal over the concatenated partial rows. base is
+// the logical fragment's pre-aggregation schema.
+func BuildShardFinal(stmt *sqlparser.SelectStmt, base *sqltypes.Schema, partial Operator) (Operator, error) {
+	steps, err := planTopSteps(stmt, base)
+	if err != nil {
+		return nil, err
+	}
+	current := partial
+	for _, s := range steps {
+		switch s.kind {
+		case stepAggregate:
+			current = &ShardAggFinal{Input: current, GroupBy: s.groupBy, Aggs: s.aggs, Base: base}
+		case stepFilter:
+			current = &Filter{Input: current, Pred: s.pred}
+		case stepSort:
+			current = &Sort{Input: current, Keys: s.keys}
+		case stepProject:
+			current = &Project{Input: current, Items: s.items}
+		case stepDistinct:
+			current = &Distinct{Input: current}
+		case stepLimit:
+			current = &Limit{Input: current, N: s.n}
+		}
+	}
+	return current, nil
+}

@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// shardBase is the raw (pre-aggregation) schema used by the two-phase tests.
+func shardBase() *sqltypes.Schema {
+	return sqltypes.NewSchema(
+		sqltypes.Column{Table: "t", Name: "g", Type: sqltypes.KindInt},
+		sqltypes.Column{Table: "t", Name: "v", Type: sqltypes.KindFloat},
+	)
+}
+
+func shardRows() []sqltypes.Row {
+	// Exact half-unit floats so sums are exact under any addition order;
+	// group 3 has only NULL values (NULL-only SUM/MIN stay NULL).
+	var rows []sqltypes.Row
+	for i := 0; i < 40; i++ {
+		g := sqltypes.NewInt(int64(i % 4))
+		v := sqltypes.NewFloat(float64(i) * 0.5)
+		if i%4 == 3 {
+			v = sqltypes.Null
+		}
+		rows = append(rows, sqltypes.Row{g, v})
+	}
+	return rows
+}
+
+func relOf(schema *sqltypes.Schema, rows []sqltypes.Row) *sqltypes.Relation {
+	rel := sqltypes.NewRelation(schema)
+	rel.Rows = append(rel.Rows, rows...)
+	return rel
+}
+
+func sameRelation(t *testing.T, got, want *sqltypes.Relation) {
+	t.Helper()
+	if got.Schema.Len() != want.Schema.Len() {
+		t.Fatalf("schema width %d vs %d", got.Schema.Len(), want.Schema.Len())
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows %d vs %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			a, b := got.Rows[i][j], want.Rows[i][j]
+			if a.IsNull() != b.IsNull() {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, a, b)
+			}
+			if a.IsNull() {
+				continue
+			}
+			if a.Kind() == sqltypes.KindFloat && b.Kind() == sqltypes.KindFloat {
+				if math.Float64bits(a.Float()) != math.Float64bits(b.Float()) {
+					t.Fatalf("row %d col %d: float %v vs %v", i, j, a, b)
+				}
+				continue
+			}
+			if sqltypes.Compare(a, b) != 0 || a.Kind() != b.Kind() {
+				t.Fatalf("row %d col %d: %v (%v) vs %v (%v)", i, j, a, a.Kind(), b, b.Kind())
+			}
+		}
+	}
+}
+
+// twoPhase runs the documented two-phase protocol over row partitions: each
+// shard folds PartialAggItems through the ordinary Aggregate kernel, the
+// partial rows concatenate, and ShardAggFinal merges — exactly what the
+// optimizer + integrator wire up.
+func twoPhase(t *testing.T, stmtAggs []*sqlparser.AggExpr, groupBy []sqlparser.Expr, parts [][]sqltypes.Row) *sqltypes.Relation {
+	t.Helper()
+	base := shardBase()
+	partialItems := PartialAggItems(stmtAggs)
+	var partialAggs []*sqlparser.AggExpr
+	for _, it := range partialItems {
+		partialAggs = append(partialAggs, it.Expr.(*sqlparser.AggExpr))
+	}
+	var merged []sqltypes.Row
+	var partialSchema *sqltypes.Schema
+	for _, part := range parts {
+		agg := &Aggregate{
+			Input:   &Values{Rel: relOf(base, part)},
+			GroupBy: groupBy,
+			Aggs:    partialAggs,
+		}
+		rel, err := agg.Execute(&Context{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		partialSchema = rel.Schema
+		merged = append(merged, rel.Rows...)
+	}
+	final := &ShardAggFinal{
+		Input:   &Values{Rel: relOf(partialSchema, merged)},
+		GroupBy: groupBy,
+		Aggs:    stmtAggs,
+		Base:    base,
+	}
+	out, err := final.Execute(&Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func shardAggs() []*sqlparser.AggExpr {
+	v := &sqlparser.ColumnRef{Table: "t", Name: "v"}
+	return []*sqlparser.AggExpr{
+		{Func: sqlparser.AggSum, Arg: v},
+		{Func: sqlparser.AggAvg, Arg: v},
+		{Func: sqlparser.AggMin, Arg: v},
+		{Func: sqlparser.AggMax, Arg: v},
+		{Func: sqlparser.AggCount, Arg: v},
+		{Func: sqlparser.AggCount}, // COUNT(*)
+	}
+}
+
+func TestShardAggFinalMatchesSinglePhase(t *testing.T) {
+	rows := shardRows()
+	groupBy := []sqlparser.Expr{&sqlparser.ColumnRef{Table: "t", Name: "g"}}
+	aggs := shardAggs()
+
+	oracle := &Aggregate{Input: &Values{Rel: relOf(shardBase(), rows)}, GroupBy: groupBy, Aggs: aggs}
+	want, err := oracle.Execute(&Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, split := range [][][]sqltypes.Row{
+		{rows},                                   // one shard
+		{rows[:13], rows[13:]},                   // two uneven shards
+		{rows[:13], nil, rows[13:30], rows[30:]}, // with an empty shard
+	} {
+		got := twoPhase(t, aggs, groupBy, split)
+		sameRelation(t, got, want)
+	}
+}
+
+func TestShardAggFinalScalar(t *testing.T) {
+	rows := shardRows()
+	aggs := shardAggs()
+
+	oracle := &Aggregate{Input: &Values{Rel: relOf(shardBase(), rows)}, Aggs: aggs}
+	want, err := oracle.Execute(&Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty shards ship one identity partial row each; the merge must treat
+	// them as no-ops (COUNT adds 0, NULL sums/extrema are skipped).
+	got := twoPhase(t, aggs, nil, [][]sqltypes.Row{nil, rows[:7], nil, rows[7:]})
+	sameRelation(t, got, want)
+
+	// All-empty input still produces the scalar identity row.
+	gotEmpty := twoPhase(t, aggs, nil, [][]sqltypes.Row{nil, nil})
+	if len(gotEmpty.Rows) != 1 {
+		t.Fatalf("scalar merge over empty shards: %d rows", len(gotEmpty.Rows))
+	}
+	wantEmpty, err := (&Aggregate{Input: &Values{Rel: relOf(shardBase(), nil)}, Aggs: aggs}).Execute(&Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, gotEmpty, wantEmpty)
+}
+
+func TestShardAggFinalWidthMismatch(t *testing.T) {
+	bad := relOf(sqltypes.NewSchema(sqltypes.Column{Name: "x", Type: sqltypes.KindInt}), nil)
+	final := &ShardAggFinal{
+		Input: &Values{Rel: bad},
+		Aggs:  shardAggs(),
+		Base:  shardBase(),
+	}
+	if _, err := final.Execute(&Context{}); err == nil {
+		t.Fatal("expected a width mismatch error")
+	}
+}
+
+func TestStatementAggregatesOrderAndStar(t *testing.T) {
+	stmt := sqlparser.MustParse(
+		"SELECT t.g, SUM(t.v) FROM t GROUP BY t.g HAVING COUNT(*) > 1 ORDER BY MIN(t.v)")
+	aggs, err := StatementAggregates(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sqlparser.AggFunc{sqlparser.AggSum, sqlparser.AggCount, sqlparser.AggMin}
+	if len(aggs) != len(want) {
+		t.Fatalf("aggs: %v", aggs)
+	}
+	for i, a := range aggs {
+		if a.Func != want[i] {
+			t.Fatalf("agg %d: %v", i, a.Func)
+		}
+	}
+	if _, err := StatementAggregates(sqlparser.MustParse("SELECT * FROM t GROUP BY t.g")); err == nil {
+		t.Fatal("SELECT * with aggregation must error")
+	}
+}
+
+func TestPartialAggItemsLayout(t *testing.T) {
+	aggs := shardAggs()
+	items := PartialAggItems(aggs)
+	// AVG expands to SUM+COUNT; everything else ships itself.
+	if len(items) != 7 {
+		t.Fatalf("items: %v", items)
+	}
+	width := 0
+	for _, a := range aggs {
+		width += PartialStateWidth(a)
+	}
+	if width != 7 {
+		t.Fatalf("width: %d", width)
+	}
+	for i, it := range items {
+		if it.Alias != StateColName(i) {
+			t.Fatalf("item %d alias %q", i, it.Alias)
+		}
+	}
+	if items[1].Expr.(*sqlparser.AggExpr).Func != sqlparser.AggSum ||
+		items[2].Expr.(*sqlparser.AggExpr).Func != sqlparser.AggCount {
+		t.Fatalf("AVG must split into SUM then COUNT: %v", items)
+	}
+}

@@ -463,21 +463,53 @@ func foldBatch(f *aggFolder, in *colbatch.Batch, ctx *Context) error {
 		}
 		aops[i] = classify(ares[i])
 	}
-	for row := 0; row < n; row++ {
-		keys := make(sqltypes.Row, len(f.groupBy))
-		h := uint64(1469598103934665603)
-		for i, g := range gres {
-			keys[i] = g.value(row)
-			h = (h ^ vresHash(g, row)) * 1099511628211
+	// Group hashes fold column-major (cache-friendly, one dispatch per cell);
+	// candidate groups compare against the unboxed vres cells directly, so
+	// keys box exactly once per distinct group instead of once per row.
+	gops := make([]operand, len(gres))
+	for i, g := range gres {
+		gops[i] = classify(g)
+	}
+	hs := make([]uint64, n)
+	for i := range hs {
+		hs[i] = 1469598103934665603
+	}
+	for gi, g := range gres {
+		o := &gops[gi]
+		switch {
+		case o.ok && !o.isConst && o.nulls == nil && o.kind == sqltypes.KindInt:
+			for row := 0; row < n; row++ {
+				hs[row] = (hs[row] ^ sqltypes.HashInt64(o.ints[row])) * 1099511628211
+			}
+		case o.ok && !o.isConst && o.nulls == nil && o.kind == sqltypes.KindFloat:
+			for row := 0; row < n; row++ {
+				hs[row] = (hs[row] ^ sqltypes.HashFloat64(o.floats[row])) * 1099511628211
+			}
+		case o.ok && !o.isConst && o.nulls == nil && o.kind == sqltypes.KindString:
+			for row := 0; row < n; row++ {
+				hs[row] = (hs[row] ^ sqltypes.HashString(o.strs[row])) * 1099511628211
+			}
+		default:
+			for row := 0; row < n; row++ {
+				hs[row] = (hs[row] ^ vresHash(g, row)) * 1099511628211
+			}
 		}
+	}
+	rowGroups := make([]*aggGroup, n)
+	for row := 0; row < n; row++ {
+		h := hs[row]
 		var grp *aggGroup
 		for _, g := range f.groups[h] {
-			if rowsIdentical(g.keys, keys) {
+			if groupKeysMatch(g.keys, gres, gops, row) {
 				grp = g
 				break
 			}
 		}
 		if grp == nil {
+			keys := make(sqltypes.Row, len(f.groupBy))
+			for i, g := range gres {
+				keys[i] = g.value(row)
+			}
 			grp = &aggGroup{keys: keys, states: make([]*aggState, len(f.aggs))}
 			for i := range grp.states {
 				grp.states[i] = newAggState()
@@ -486,30 +518,107 @@ func foldBatch(f *aggFolder, in *colbatch.Batch, ctx *Context) error {
 			f.order = append(f.order, grp)
 		}
 		grp.countStar++
-		for i := range f.aggs {
-			a := ares[i]
-			if a == nil {
-				continue // COUNT(*)
+		rowGroups[row] = grp
+	}
+	// Aggregate arguments fold agg-major so the typed dispatch happens once
+	// per (agg, batch) instead of once per (agg, row).
+	for i := range f.aggs {
+		a := ares[i]
+		if a == nil {
+			continue // COUNT(*)
+		}
+		o := &aops[i]
+		switch {
+		case o.ok && !o.isConst && o.kind == sqltypes.KindInt:
+			if o.nulls == nil {
+				for row := 0; row < n; row++ {
+					rowGroups[row].states[i].addInt64(o.ints[row])
+				}
+			} else {
+				for row := 0; row < n; row++ {
+					if o.nulls[row] {
+						continue
+					}
+					rowGroups[row].states[i].addInt64(o.ints[row])
+				}
 			}
-			o := &aops[i]
-			switch {
-			case o.ok && !o.isConst && o.kind == sqltypes.KindInt:
-				if o.null(row) {
-					continue
+		case o.ok && !o.isConst && o.kind == sqltypes.KindFloat:
+			if o.nulls == nil {
+				for row := 0; row < n; row++ {
+					rowGroups[row].states[i].addFloat64(o.floats[row])
 				}
-				grp.states[i].addInt64(o.ints[row])
-			case o.ok && !o.isConst && o.kind == sqltypes.KindFloat:
-				if o.null(row) {
-					continue
+			} else {
+				for row := 0; row < n; row++ {
+					if o.nulls[row] {
+						continue
+					}
+					rowGroups[row].states[i].addFloat64(o.floats[row])
 				}
-				grp.states[i].addFloat64(o.floats[row])
-			default:
-				grp.states[i].add(a.value(row))
+			}
+		default:
+			for row := 0; row < n; row++ {
+				rowGroups[row].states[i].add(a.value(row))
 			}
 		}
 	}
 	ctx.Res.CPUOps += float64(n) * float64(1+len(f.aggs))
 	return nil
+}
+
+// groupKeysMatch is rowsIdentical between a group's boxed keys and logical
+// row `row` of the group-by results, without boxing the candidate. The typed
+// fast paths replicate sqltypes.Compare exactly — in particular floats use
+// !(a<b || a>b), which like Compare treats NaN as equal to everything.
+func groupKeysMatch(keys sqltypes.Row, gres []*vres, gops []operand, row int) bool {
+	for i, g := range gres {
+		k := keys[i]
+		if g.isNull(row) {
+			if !k.IsNull() {
+				return false
+			}
+			continue
+		}
+		if k.IsNull() {
+			return false
+		}
+		if o := &gops[i]; o.ok && !o.isConst {
+			switch o.kind {
+			case sqltypes.KindInt:
+				if k.Kind() == sqltypes.KindInt {
+					if k.Int() != o.ints[row] {
+						return false
+					}
+					continue
+				}
+			case sqltypes.KindFloat:
+				if k.Kind() == sqltypes.KindFloat {
+					a, b := o.floats[row], k.Float()
+					if a < b || a > b {
+						return false
+					}
+					continue
+				}
+			case sqltypes.KindString:
+				if k.Kind() == sqltypes.KindString {
+					if k.Str() != o.strs[row] {
+						return false
+					}
+					continue
+				}
+			case sqltypes.KindBool:
+				if k.Kind() == sqltypes.KindBool {
+					if k.Bool() != o.bools[row] {
+						return false
+					}
+					continue
+				}
+			}
+		}
+		if sqltypes.Compare(k, g.value(row)) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // hashJoinBatch joins two batches on key equality: build-side hash table of

@@ -120,14 +120,16 @@ func BatchRowsCount(n int) *int { return &n }
 
 // II is the information integrator.
 type II struct {
-	cfg        Config
-	retries    int
-	batchRows  atomic.Int64
-	vectorized atomic.Bool
-	opt        *optimizer.Optimizer
-	explain    *optimizer.ExplainTable
-	patroller  *Patroller
-	plans      *planCache
+	cfg           Config
+	retries       int
+	batchRows     atomic.Int64
+	vectorized    atomic.Bool
+	shardPruning  atomic.Bool
+	shardPushdown atomic.Bool
+	opt           *optimizer.Optimizer
+	explain       *optimizer.ExplainTable
+	patroller     *Patroller
+	plans         *planCache
 }
 
 // New builds an II.
@@ -163,6 +165,17 @@ func New(cfg Config) *II {
 		plans:     newPlanCache(cfg.PlanCache),
 	}
 	ii.batchRows.Store(int64(batchRows))
+	ii.shardPruning.Store(true)
+	ii.shardPushdown.Store(true)
+	// The optimizer reads the shard toggles through this hook on every
+	// decomposition; it is installed once here, before any query runs, so
+	// the optimizer struct itself stays immutable under concurrency.
+	ii.opt.ShardOptions = func() optimizer.DecomposeOpts {
+		return optimizer.DecomposeOpts{
+			DisablePruning:  !ii.shardPruning.Load(),
+			DisablePushdown: !ii.shardPushdown.Load(),
+		}
+	}
 	return ii
 }
 
@@ -187,6 +200,33 @@ func (ii *II) Vectorized() bool { return ii.vectorized.Load() }
 // too); otherwise the row merge runs regardless of this flag. Either way the
 // merged rows, resource charges, and span tree are bit-identical.
 func (ii *II) SetVectorized(on bool) { ii.vectorized.Store(on) }
+
+// ShardPruning reports whether predicates on a shard key prune the shard
+// fan-out.
+func (ii *II) ShardPruning() bool { return ii.shardPruning.Load() }
+
+// SetShardPruning toggles predicate-based shard pruning (default on).
+// Turning it off scatter-gathers every shard of every sharded table. The
+// plan cache is cleared on a change, since cached decompositions embed the
+// pruned fragment set.
+func (ii *II) SetShardPruning(on bool) {
+	if ii.shardPruning.Swap(on) != on {
+		ii.ClearPlanCache()
+	}
+}
+
+// ShardPushdown reports whether aggregate queries over sharded tables push
+// partial aggregation into the shard fragments.
+func (ii *II) ShardPushdown() bool { return ii.shardPushdown.Load() }
+
+// SetShardPushdown toggles two-phase partial-aggregate pushdown (default
+// on). Off ships whole rows from every shard — the ship-all-rows baseline.
+// The plan cache is cleared on a change.
+func (ii *II) SetShardPushdown(on bool) {
+	if ii.shardPushdown.Swap(on) != on {
+		ii.ClearPlanCache()
+	}
+}
 
 // Optimizer exposes the global optimizer (QCC's what-if analysis drives it
 // directly with masking).
@@ -689,6 +729,12 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 			}
 			fspan := root.Child("fragment", telemetry.LayerMW, f.ServerID)
 			fspan.SetAttr("frag", f.Spec.ID)
+			if f.Spec.Shard != nil {
+				// Distinguish scatter-gather fan-out from replica routing in
+				// traces: shard fragments carry their shard index.
+				fspan.SetAttr("shard", fmt.Sprintf("%d", f.Spec.Shard.Index))
+				ii.cfg.Telemetry.Active().Counter("shard.fragments", f.ServerID).Inc()
+			}
 			if rerouted {
 				fspan.SetAttr("rerouted", "true")
 				ii.cfg.Telemetry.Active().Counter("ii.reroutes", f.ServerID).Inc()
@@ -814,19 +860,59 @@ func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, fra
 		ctx.Res.CPUOps = float64(rel.Cardinality())
 		return rel, ii.cfg.Node.Observe(ctx.Res), "", nil
 	}
+
+	// Scatter-gather: per-shard fragments sharing Shard.Of concatenate into
+	// one logical fragment before merging. Unsharded plans pass through with
+	// the original per-fragment slices untouched, so their merge is
+	// bit-identical to the pre-sharding engine.
+	ids, rels, cols := logicalFragments(gp, fragRels, fragCols, vec)
+
+	if sh := gp.Decomp.Sharded; sh != nil {
+		// Single sharded table: the union of shard results feeds the
+		// statement tail directly — ShardAggFinal merges partial aggregate
+		// states under pushdown, BuildTop applies the full tail over
+		// gathered rows otherwise.
+		leaf := &exec.Values{Rel: rels[0], Label: sh.FragID}
+		if vec {
+			leaf.Col = cols[0]
+		}
+		var top exec.Operator
+		var err error
+		if sh.Partial != nil {
+			top, err = exec.BuildShardFinal(gp.Stmt, sh.Base, leaf)
+		} else {
+			top, err = exec.BuildTop(gp.Stmt, leaf)
+		}
+		if err != nil {
+			return nil, 0, "", fmt.Errorf("integrator: building merge plan: %w", err)
+		}
+		if vec {
+			out, err := exec.ExecuteVectorized(top, ctx)
+			if err != nil {
+				return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
+			}
+			return out.ToRelation(), ii.cfg.Node.Observe(ctx.Res), "", nil
+		}
+		rel, err := top.Execute(ctx)
+		if err != nil {
+			return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
+		}
+		return rel, ii.cfg.Node.Observe(ctx.Res), "", nil
+	}
+
 	// Join fragments left-to-right on the cross-source conjuncts. When the
 	// merge is columnar, each Values leaf carries its fragment's batch so the
 	// vectorized executor starts from the arrived columns directly.
 	cross := append([]sqlparser.Expr(nil), gp.Decomp.Cross...)
-	left := &exec.Values{Rel: fragRels[0], Label: gp.Fragments[0].Spec.ID}
+	left := &exec.Values{Rel: rels[0], Label: ids[0]}
 	if vec {
-		left.Col = fragCols[0]
+		left.Col = cols[0]
 	}
 	var current exec.Operator = left
-	for i := 1; i < len(fragRels); i++ {
-		right := &exec.Values{Rel: fragRels[i], Label: gp.Fragments[i].Spec.ID}
+	for i := 1; i < len(rels); i++ {
+		right := &exec.Values{Rel: rels[i], Label: ids[i]}
 		if vec {
-			right.Col = fragCols[i]
+			right.Col = cols[i]
 		}
 		lk, rk, rest, ok := exec.ExtractEquiJoinKeys(cross, current.Schema(), right.Schema())
 		if ok {
@@ -914,6 +1000,60 @@ func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, fra
 		return nil, 0, "", fmt.Errorf("integrator: merging: %w", err)
 	}
 	return rel, ii.cfg.Node.Observe(ctx.Res), "", nil
+}
+
+// logicalFragments folds per-shard fragment results into logical fragments:
+// outcomes sharing Spec.Shard.Of concatenate (rows and, when the merge is
+// columnar, batches) in plan order. Plans without shard fragments return
+// the input slices unchanged — zero copies, zero extra charges.
+func logicalFragments(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, fragCols []*colbatch.Batch, vec bool) ([]string, []*sqltypes.Relation, []*colbatch.Batch) {
+	sharded := false
+	for _, f := range gp.Fragments {
+		if f.Spec.Shard != nil {
+			sharded = true
+			break
+		}
+	}
+	if !sharded {
+		ids := make([]string, len(gp.Fragments))
+		for i, f := range gp.Fragments {
+			ids[i] = f.Spec.ID
+		}
+		return ids, fragRels, fragCols
+	}
+	var ids []string
+	var rels []*sqltypes.Relation
+	var cols []*colbatch.Batch
+	pos := map[string]int{}
+	for i, f := range gp.Fragments {
+		key := f.Spec.ID
+		if f.Spec.Shard != nil {
+			key = f.Spec.Shard.Of
+		}
+		j, ok := pos[key]
+		if !ok {
+			j = len(ids)
+			pos[key] = j
+			ids = append(ids, key)
+			rel := sqltypes.NewRelation(fragRels[i].Schema)
+			rel.Rows = append(rel.Rows, fragRels[i].Rows...)
+			rels = append(rels, rel)
+			if vec {
+				cols = append(cols, fragCols[i])
+			} else {
+				cols = append(cols, nil)
+			}
+			continue
+		}
+		rels[j].Rows = append(rels[j].Rows, fragRels[i].Rows...)
+		if vec {
+			acc := colbatch.NewAccumulator(cols[j].Schema)
+			acc.Append(cols[j])
+			acc.Append(fragCols[i])
+			cols[j] = acc.Finish()
+		}
+	}
+	return ids, rels, cols
 }
 
 func exprResolves(e sqlparser.Expr, schema *sqltypes.Schema) bool {

@@ -27,6 +27,9 @@ type FragmentSpec struct {
 	Candidates []string
 	// Schema is the qualified schema of the fragment's result.
 	Schema *sqltypes.Schema
+	// Shard is non-nil when the fragment covers one shard of a sharded
+	// nickname; fragments sharing Shard.Of concatenate at the integrator.
+	Shard *ShardRef
 }
 
 // Decomposition is the result of splitting a query.
@@ -39,20 +42,36 @@ type Decomposition struct {
 	// join predicates); the integrator applies them while merging.
 	Cross []sqlparser.Expr
 	// SingleFragment is true when the entire statement was pushed to one
-	// source group, in which case Fragments[0].Stmt == Stmt and the
-	// integrator's merge is a passthrough.
+	// source group, in which case Fragments[0].Stmt == Stmt (or a shard
+	// rewrite of it) and the integrator's merge is a passthrough.
 	SingleFragment bool
+	// Sharded is non-nil when the statement covers exactly one sharded
+	// table; it records the pruning outcome and any pushed partial
+	// aggregation. See shard.go.
+	Sharded *ShardPlan
 }
 
-// Decompose splits stmt into co-located fragments using the catalog. Tables
-// are grouped greedily in FROM order: a table joins the current group while
-// at least one server hosts every table of the group.
+// Decompose splits stmt into co-located fragments using the catalog with
+// default shard handling (pruning and partial-agg pushdown enabled).
 func Decompose(stmt *sqlparser.SelectStmt, cat *catalog.Catalog) (*Decomposition, error) {
+	return DecomposeWith(stmt, cat, DecomposeOpts{})
+}
+
+// DecomposeWith splits stmt into co-located fragments using the catalog.
+// Tables are grouped greedily in FROM order: a table joins the current group
+// while at least one server hosts every table of the group. Sharded
+// nicknames always form singleton groups (their rows are disjoint across
+// servers, so no server can evaluate a join against them whole) and expand
+// into per-shard fragments.
+func DecomposeWith(stmt *sqlparser.SelectStmt, cat *catalog.Catalog, opts DecomposeOpts) (*Decomposition, error) {
 	tables := stmt.Tables()
 
 	type group struct {
 		tables  []sqlparser.TableRef
 		servers map[string]bool
+		// nick is non-nil when the group is a single sharded table; such
+		// groups are sealed (no other table may join them).
+		nick *catalog.Nickname
 	}
 	var groups []*group
 	for _, tr := range tables {
@@ -64,19 +83,25 @@ func Decompose(stmt *sqlparser.SelectStmt, cat *catalog.Catalog) (*Decomposition
 		for _, p := range nick.Placements {
 			hosts[p.ServerID] = true
 		}
+		if nick.Sharded() {
+			groups = append(groups, &group{tables: []sqlparser.TableRef{tr}, servers: hosts, nick: nick})
+			continue
+		}
 		placed := false
 		if len(groups) > 0 {
 			g := groups[len(groups)-1]
-			inter := map[string]bool{}
-			for s := range g.servers {
-				if hosts[s] {
-					inter[s] = true
+			if g.nick == nil {
+				inter := map[string]bool{}
+				for s := range g.servers {
+					if hosts[s] {
+						inter[s] = true
+					}
 				}
-			}
-			if len(inter) > 0 {
-				g.tables = append(g.tables, tr)
-				g.servers = inter
-				placed = true
+				if len(inter) > 0 {
+					g.tables = append(g.tables, tr)
+					g.servers = inter
+					placed = true
+				}
 			}
 		}
 		if !placed {
@@ -86,12 +111,16 @@ func Decompose(stmt *sqlparser.SelectStmt, cat *catalog.Catalog) (*Decomposition
 
 	d := &Decomposition{Stmt: stmt}
 
-	// Single group: push the whole statement.
+	// Single group: push the whole statement (scatter-gathering when the
+	// group is a sharded table).
 	if len(groups) == 1 {
 		g := groups[0]
 		schema, err := groupSchema(cat, g.tables)
 		if err != nil {
 			return nil, err
+		}
+		if g.nick != nil {
+			return decomposeShardedSingle(stmt, g.nick, g.tables[0], schema, opts)
 		}
 		d.SingleFragment = true
 		d.Fragments = []*FragmentSpec{{
@@ -136,6 +165,11 @@ func Decompose(stmt *sqlparser.SelectStmt, cat *catalog.Catalog) (*Decomposition
 	}
 
 	for i, g := range groups {
+		if g.nick != nil {
+			d.Fragments = append(d.Fragments,
+				shardGatherFragments(g.nick, g.tables[0], fmt.Sprintf("QF%d", i+1), schemas[i], pushed[i], opts)...)
+			continue
+		}
 		fragStmt := &sqlparser.SelectStmt{
 			Select: []sqlparser.SelectItem{{Star: true}},
 			From:   g.tables[0],

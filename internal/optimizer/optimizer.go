@@ -93,6 +93,9 @@ type Optimizer struct {
 	IICalib IICalibrator
 	// MaxGlobalPlans caps combination enumeration (default 256).
 	MaxGlobalPlans int
+	// ShardOptions, when non-nil, supplies the shard-handling toggles for
+	// each decomposition (the integrator wires its runtime switches here).
+	ShardOptions func() DecomposeOpts
 }
 
 // Optimize decomposes the statement, gathers per-fragment candidates, and
@@ -165,7 +168,11 @@ func (o *Optimizer) Collect(stmt *sqlparser.SelectStmt) (*Decomposition, []Fragm
 // so each candidate server's remote planning round-trip is recorded as a
 // per-candidate span.
 func (o *Optimizer) CollectContext(ctx context.Context, stmt *sqlparser.SelectStmt) (*Decomposition, []FragmentOptions, error) {
-	decomp, err := Decompose(stmt, o.Catalog)
+	var opts DecomposeOpts
+	if o.ShardOptions != nil {
+		opts = o.ShardOptions()
+	}
+	decomp, err := DecomposeWith(stmt, o.Catalog, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,345 @@
+// Sharded-execution integration tests: the scatter-gather engine must be
+// invisible when sharding is off (a single-shard federation is bit-identical
+// to the pre-sharding engine), and shard pruning must be a pure optimization
+// (pruned and unpruned scatter-gathers return exactly the same rows, for any
+// predicate shape, NULL shard keys included).
+package fedqcc_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	fedqcc "repro"
+	"repro/internal/sqltypes"
+)
+
+// shardedFed builds the scale-out scenario at a test-friendly scale.
+func shardedFed(t testing.TB, opts fedqcc.ShardedFederationOptions) *fedqcc.Federation {
+	t.Helper()
+	if opts.Scale == 0 {
+		opts.Scale = 100
+	}
+	fed, err := fedqcc.NewShardedFederation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+// runWorkloadOn is runVecWorkload over an explicit federation.
+func runWorkloadOn(t *testing.T, fed *fedqcc.Federation, sqls []string) vecRunOutcome {
+	t.Helper()
+	fed.EnableTelemetry()
+	out := vecRunOutcome{
+		results: make([]*fedqcc.QueryResult, len(sqls)),
+		trees:   make([]string, len(sqls)),
+		fed:     fed,
+	}
+	for i, q := range sqls {
+		res, err := fed.Query(q)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", i, q, err)
+		}
+		out.results[i] = res
+		if tr := fed.Telemetry().Tracer().Last(); tr != nil {
+			out.trees[i] = tr.Tree()
+		}
+	}
+	out.clock = fed.Now()
+	return out
+}
+
+var shardedWorkload = []string{
+	"SELECT l_id, l_price FROM lineitem WHERE l_price > 500",
+	"SELECT l_tag, SUM(l_price), COUNT(*) FROM lineitem GROUP BY l_tag",
+	"SELECT AVG(l_qty) FROM lineitem WHERE l_orderkey < 500",
+	"SELECT COUNT(*) FROM lineitem WHERE l_orderkey = 37",
+	"SELECT o.o_id, l.l_price FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE l.l_qty < 5",
+	"SELECT l_id FROM lineitem ORDER BY l_price DESC LIMIT 10",
+}
+
+// TestShardedSingleShardIdentity is the sharding-off acceptance gate: a
+// single-shard sharded federation must be observationally indistinguishable
+// — rows, charges, routes, span trees, virtual clock — from the same
+// federation assembled through the pre-sharding Builder path, under both
+// engines. RegisterSharded degrades a 1-shard map to a plain nickname, so
+// this pins the whole engine to the pre-sharding code paths by construction.
+func TestShardedSingleShardIdentity(t *testing.T) {
+	const scale = 50
+	baselineFed := func() *fedqcc.Federation {
+		b := fedqcc.NewBuilder(42)
+		b.AddServer("S1", fedqcc.ProfileMidrange, fedqcc.LinkSpec{LatencyMS: 5, BandwidthKBps: 2000})
+		for _, spec := range fedqcc.StandardSchema(scale) {
+			b.AddGeneratedTable("S1", spec)
+		}
+		fed, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fed
+	}
+	for _, vec := range []bool{false, true} {
+		single := shardedFed(t, fedqcc.ShardedFederationOptions{Shards: 1, Scale: scale})
+		base := baselineFed()
+		single.SetVectorized(vec)
+		base.SetVectorized(vec)
+		got := runWorkloadOn(t, single, shardedWorkload)
+		want := runWorkloadOn(t, base, shardedWorkload)
+		requireVecIdentity(t, shardedWorkload, want, got)
+	}
+}
+
+// shardPredicates mixes handpicked predicate shapes (every pruning rule, the
+// unsatisfiable conjunction, non-key predicates) with seeded random
+// predicates on and off the shard key.
+func shardPredicates() []string {
+	preds := []string{
+		"l_orderkey = 37",
+		"l_orderkey = -1",
+		"l_orderkey IN (5, 250, 999)",
+		"l_orderkey BETWEEN 100 AND 300",
+		"l_orderkey < 200",
+		"l_orderkey >= 800",
+		"l_orderkey IS NULL",
+		"l_orderkey = 37 AND l_qty > 2",
+		"l_orderkey = 5 AND l_orderkey = 900",
+		"l_qty < 25",
+		"250 <= l_orderkey",
+	}
+	r := rand.New(rand.NewSource(7))
+	ops := []string{"=", "<", "<=", ">", ">="}
+	cols := []string{"l_orderkey", "l_orderkey", "l_orderkey", "l_qty"}
+	for i := 0; i < 20; i++ {
+		col := cols[r.Intn(len(cols))]
+		switch r.Intn(4) {
+		case 0:
+			preds = append(preds, fmt.Sprintf("%s %s %d", col, ops[r.Intn(len(ops))], r.Intn(1100)-50))
+		case 1:
+			lo := r.Intn(1000)
+			preds = append(preds, fmt.Sprintf("%s BETWEEN %d AND %d", col, lo, lo+r.Intn(300)))
+		case 2:
+			preds = append(preds, fmt.Sprintf("%s IN (%d, %d, %d)", col, r.Intn(1000), r.Intn(1000), r.Intn(1000)))
+		default:
+			preds = append(preds, fmt.Sprintf("%s %s %d AND l_price > %d", col, ops[r.Intn(len(ops))], r.Intn(1000), r.Intn(900)))
+		}
+	}
+	return preds
+}
+
+// TestShardedPrunedVsUnpruned is the pruning-correctness property test:
+// for every predicate shape, executing only the pruned shard set returns
+// exactly the rows of the unpruned scatter-gather — including NULL shard
+// keys, empty shards, and aggregate merges.
+func TestShardedPrunedVsUnpruned(t *testing.T) {
+	shapes := []string{
+		"SELECT l_id, l_orderkey, l_price FROM lineitem WHERE %s",
+		"SELECT COUNT(*), SUM(l_qty), AVG(l_qty), MIN(l_price), MAX(l_price) FROM lineitem WHERE %s",
+		"SELECT l_tag, COUNT(*), SUM(l_qty) FROM lineitem WHERE %s GROUP BY l_tag",
+	}
+	for _, ranged := range []bool{false, true} {
+		fed := shardedFed(t, fedqcc.ShardedFederationOptions{
+			Shards:        4,
+			RangeSharding: ranged,
+			NullKeyFrac:   0.15,
+		})
+		for _, pred := range shardPredicates() {
+			for _, shape := range shapes {
+				sql := fmt.Sprintf(shape, pred)
+				fed.SetShardPruning(true)
+				pruned, err := fed.Query(sql)
+				if err != nil {
+					t.Fatalf("pruned %s: %v", sql, err)
+				}
+				fed.SetShardPruning(false)
+				full, err := fed.Query(sql)
+				if err != nil {
+					t.Fatalf("unpruned %s: %v", sql, err)
+				}
+				if len(pruned.Rows.Rows) != len(full.Rows.Rows) {
+					t.Fatalf("%s (range=%v): %d rows pruned vs %d unpruned",
+						sql, ranged, len(pruned.Rows.Rows), len(full.Rows.Rows))
+				}
+				for ri := range full.Rows.Rows {
+					for ci := range full.Rows.Rows[ri] {
+						if !cellsBitIdentical(pruned.Rows.Rows[ri][ci], full.Rows.Rows[ri][ci]) {
+							t.Fatalf("%s (range=%v): cell (%d,%d) diverged: pruned %#v, unpruned %#v",
+								sql, ranged, ri, ci, pruned.Rows.Rows[ri][ci], full.Rows.Rows[ri][ci])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedPushdownSameAnswers: shipping partial aggregate states and
+// shipping whole rows must agree — exactly on integer aggregates and counts,
+// and within float tolerance on float sums (addition order differs).
+func TestShardedPushdownSameAnswers(t *testing.T) {
+	fed := shardedFed(t, fedqcc.ShardedFederationOptions{Shards: 4})
+	sqls := []string{
+		"SELECT COUNT(*), SUM(l_qty), AVG(l_qty), MIN(l_price), MAX(l_price) FROM lineitem",
+		"SELECT l_tag, COUNT(*), SUM(l_qty), SUM(l_price) FROM lineitem GROUP BY l_tag ORDER BY l_tag",
+		"SELECT l_tag, AVG(l_price) FROM lineitem WHERE l_qty > 10 GROUP BY l_tag HAVING COUNT(*) > 3 ORDER BY l_tag",
+	}
+	for _, sql := range sqls {
+		fed.SetShardPushdown(true)
+		push, err := fed.Query(sql)
+		if err != nil {
+			t.Fatalf("pushdown %s: %v", sql, err)
+		}
+		fed.SetShardPushdown(false)
+		ship, err := fed.Query(sql)
+		if err != nil {
+			t.Fatalf("ship-all %s: %v", sql, err)
+		}
+		if len(push.Rows.Rows) != len(ship.Rows.Rows) {
+			t.Fatalf("%s: %d rows pushdown vs %d ship-all", sql, len(push.Rows.Rows), len(ship.Rows.Rows))
+		}
+		for ri := range ship.Rows.Rows {
+			for ci := range ship.Rows.Rows[ri] {
+				a, b := push.Rows.Rows[ri][ci], ship.Rows.Rows[ri][ci]
+				if a.IsNull() != b.IsNull() {
+					t.Fatalf("%s: cell (%d,%d): %v vs %v", sql, ri, ci, a, b)
+				}
+				if a.IsNull() {
+					continue
+				}
+				if a.Kind() == sqltypes.KindFloat || b.Kind() == sqltypes.KindFloat {
+					af, bf := a.Float(), b.Float()
+					if math.Abs(af-bf) > 1e-9*math.Max(1, math.Abs(bf)) {
+						t.Fatalf("%s: cell (%d,%d): %v vs %v", sql, ri, ci, a, b)
+					}
+					continue
+				}
+				if !cellsBitIdentical(a, b) {
+					t.Fatalf("%s: cell (%d,%d): %#v vs %#v", sql, ri, ci, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedJoinMatchesUnsharded: joining a sharded table against a
+// replicated one at the integrator returns exactly the single-server answer.
+func TestShardedJoinMatchesUnsharded(t *testing.T) {
+	const sql = "SELECT o.o_id, l.l_id, l.l_price FROM orders AS o JOIN lineitem AS l ON o.o_id = l.l_orderkey WHERE l.l_qty < 20 ORDER BY l.l_id"
+	single := shardedFed(t, fedqcc.ShardedFederationOptions{Shards: 1})
+	sharded := shardedFed(t, fedqcc.ShardedFederationOptions{Shards: 4})
+	want, err := single.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows.Rows) == 0 || len(got.Rows.Rows) != len(want.Rows.Rows) {
+		t.Fatalf("rows: %d sharded vs %d single", len(got.Rows.Rows), len(want.Rows.Rows))
+	}
+	for ri := range want.Rows.Rows {
+		for ci := range want.Rows.Rows[ri] {
+			if !cellsBitIdentical(got.Rows.Rows[ri][ci], want.Rows.Rows[ri][ci]) {
+				t.Fatalf("cell (%d,%d): %#v vs %#v", ri, ci, got.Rows.Rows[ri][ci], want.Rows.Rows[ri][ci])
+			}
+		}
+	}
+	// The sharded run must actually have scattered lineitem.
+	found := 0
+	for id := range got.Route {
+		if strings.Contains(id, ".s") {
+			found++
+		}
+	}
+	if found != 4 {
+		t.Fatalf("expected 4 shard fragments in the route, got %v", got.Route)
+	}
+}
+
+// TestShardedTelemetry: shard fragments annotate their spans with the shard
+// index and bump the shard.fragments counter per server.
+func TestShardedTelemetry(t *testing.T) {
+	fed := shardedFed(t, fedqcc.ShardedFederationOptions{Shards: 4})
+	fed.EnableTelemetry()
+	if _, err := fed.Query("SELECT l_tag, COUNT(*) FROM lineitem GROUP BY l_tag"); err != nil {
+		t.Fatal(err)
+	}
+	tree := fed.Telemetry().Tracer().Last().Tree()
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(tree, fmt.Sprintf("shard=%d", i)) {
+			t.Fatalf("span tree missing shard=%d:\n%s", i, tree)
+		}
+	}
+	m := fed.Telemetry().Metrics()
+	var total int64
+	for _, id := range fed.ServerIDs() {
+		total += m.CounterValue("shard.fragments", id)
+	}
+	if total != 4 {
+		t.Fatalf("shard.fragments total = %d, want 4", total)
+	}
+}
+
+// TestBuilderShardedTable: the builder API shards a generated table across
+// named servers and answers queries identically to a single-server build.
+func TestBuilderShardedTable(t *testing.T) {
+	const sql = "SELECT l_id, l_price FROM lineitem WHERE l_orderkey < 200 ORDER BY l_id"
+	schema := fedqcc.StandardSchema(100)
+	var lineSpec fedqcc.TableSpec
+	for _, s := range schema {
+		if s.Name == "lineitem" {
+			lineSpec = s
+		}
+	}
+
+	b := fedqcc.NewBuilder(42)
+	b.AddServer("S1", fedqcc.ProfileMidrange, fedqcc.LinkSpec{})
+	b.AddServer("S2", fedqcc.ProfileMidrange, fedqcc.LinkSpec{})
+	b.AddShardedTable(lineSpec, "l_orderkey", "S1", "S2")
+	fed, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nick := range fed.Nicknames() {
+		if strings.Contains(nick, "__s") {
+			t.Fatalf("physical shard table %q leaked into the catalog", nick)
+		}
+	}
+	hosts, err := fed.PlacementsOf("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 2 {
+		t.Fatalf("placements: %v", hosts)
+	}
+
+	base := fedqcc.NewBuilder(42)
+	base.AddServer("S1", fedqcc.ProfileMidrange, fedqcc.LinkSpec{})
+	base.AddGeneratedTable("S1", lineSpec)
+	baseFed, err := base.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := fed.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseFed.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows.Rows) == 0 || len(got.Rows.Rows) != len(want.Rows.Rows) {
+		t.Fatalf("rows: %d sharded vs %d baseline", len(got.Rows.Rows), len(want.Rows.Rows))
+	}
+	for ri := range want.Rows.Rows {
+		for ci := range want.Rows.Rows[ri] {
+			if !cellsBitIdentical(got.Rows.Rows[ri][ci], want.Rows.Rows[ri][ci]) {
+				t.Fatalf("cell (%d,%d): %#v vs %#v", ri, ci, got.Rows.Rows[ri][ci], want.Rows.Rows[ri][ci])
+			}
+		}
+	}
+}
