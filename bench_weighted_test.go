@@ -1,0 +1,158 @@
+// Weighted replica routing benchmark: the hotspot burst over fully
+// replicated tables, round-robin against the score-based weighted router.
+// Emits BENCH_weighted.json recording the tail latencies and server balance
+// per policy, and a CI smoke (WEIGHTED_ROUTING_CHECK=1) that fails if the
+// weighted router stops beating round-robin on p99 or lets the server
+// balance degrade past a fixed bound.
+package fedqcc_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	fedqcc "repro"
+)
+
+const weightedBenchFile = "BENCH_weighted.json"
+
+const (
+	weightedBenchScale = 20 // 5000-row hot tables: big enough to be cache-bound
+	weightedBenchBurst = 60
+	// weightedUtilBound caps max/min per-server executions for the weighted
+	// policy: affinity may skew the spread, but no replica may idle and none
+	// may take more than this multiple of the least-loaded one.
+	weightedUtilBound = 3.0
+)
+
+type weightedBenchPolicy struct {
+	Policy      string  `json:"policy"` // round-robin | weighted
+	AvgMS       float64 `json:"avg_ms"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	ServersUsed int     `json:"servers_used"`
+	MaxShare    float64 `json:"max_share"`
+	UtilRatio   float64 `json:"util_ratio"` // -1 encodes +Inf (an idle server)
+	Switched    int64   `json:"switched"`
+}
+
+type weightedBenchResult struct {
+	Scale    int                   `json:"scale"`
+	Burst    int                   `json:"burst"`
+	Policies []weightedBenchPolicy `json:"policies"`
+}
+
+// measureWeightedRouting runs the two-arm hotspot study once: identical
+// replicated federation, burst and calibration cadence per arm; only the
+// routing policy differs.
+func measureWeightedRouting(fatalf func(format string, args ...any)) weightedBenchResult {
+	outcomes, err := fedqcc.RunWeightedRoutingStudy(
+		fedqcc.ExperimentOptions{Scale: weightedBenchScale}, weightedBenchBurst)
+	if err != nil {
+		fatalf("weighted routing study: %v", err)
+	}
+	out := weightedBenchResult{Scale: weightedBenchScale, Burst: weightedBenchBurst}
+	for _, o := range outcomes {
+		ratio := o.UtilRatio
+		if math.IsInf(ratio, 1) {
+			ratio = -1
+		}
+		out.Policies = append(out.Policies, weightedBenchPolicy{
+			Policy:      o.Policy,
+			AvgMS:       o.AvgMS,
+			P50MS:       o.P50MS,
+			P95MS:       o.P95MS,
+			P99MS:       o.P99MS,
+			ServersUsed: o.ServersUsed,
+			MaxShare:    o.MaxShare,
+			UtilRatio:   ratio,
+			Switched:    o.Switched,
+		})
+	}
+	return out
+}
+
+func (r weightedBenchResult) policy(name string, fatalf func(format string, args ...any)) weightedBenchPolicy {
+	for _, p := range r.Policies {
+		if p.Policy == name {
+			return p
+		}
+	}
+	fatalf("study produced no %q outcome", name)
+	return weightedBenchPolicy{}
+}
+
+func writeWeightedBenchFile(result weightedBenchResult) error {
+	doc := map[string]json.RawMessage{}
+	if buf, err := os.ReadFile(weightedBenchFile); err == nil {
+		_ = json.Unmarshal(buf, &doc)
+	}
+	enc, err := json.Marshal(result)
+	if err != nil {
+		return err
+	}
+	doc["hotspot_burst"] = enc
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(weightedBenchFile, append(buf, '\n'), 0o644)
+}
+
+// BenchmarkWeightedRouting measures the hotspot study once per run and
+// persists it to BENCH_weighted.json. The metrics are virtual (simulated
+// clock), so the study runs outside the b.N loop and the loop just keeps the
+// harness happy on -benchtime=1x CI runs.
+func BenchmarkWeightedRouting(b *testing.B) {
+	result := measureWeightedRouting(b.Fatalf)
+	for _, p := range result.Policies {
+		b.Logf("%-11s avg=%5.1f p50=%5.1f p95=%5.1f p99=%5.1f vms  servers=%d maxshare=%.0f%% util=%.2f switched=%d",
+			p.Policy, p.AvgMS, p.P50MS, p.P95MS, p.P99MS,
+			p.ServersUsed, p.MaxShare*100, p.UtilRatio, p.Switched)
+	}
+	rr := result.policy("round-robin", b.Fatalf)
+	wt := result.policy("weighted", b.Fatalf)
+	b.ReportMetric(wt.P99MS, "weighted_p99_vms")
+	b.ReportMetric(rr.P99MS/wt.P99MS, "p99_speedup_x")
+	if err := writeWeightedBenchFile(result); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s (hotspot_burst)", weightedBenchFile)
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+// TestWeightedRoutingSmoke is the CI perf gate: with WEIGHTED_ROUTING_CHECK=1
+// it fails unless the weighted router (a) beats round-robin on p99 response
+// time over the hotspot burst and (b) keeps every replica busy with a
+// max/min execution ratio at or under weightedUtilBound. Unset, it is
+// skipped, so ordinary test runs stay configuration-independent.
+func TestWeightedRoutingSmoke(t *testing.T) {
+	if os.Getenv("WEIGHTED_ROUTING_CHECK") != "1" {
+		t.Skip("set WEIGHTED_ROUTING_CHECK=1 to enforce the weighted routing floor")
+	}
+	result := measureWeightedRouting(t.Fatalf)
+	for _, p := range result.Policies {
+		t.Logf("%-11s avg=%5.1f p50=%5.1f p95=%5.1f p99=%5.1f vms  servers=%d maxshare=%.0f%% util=%.2f switched=%d",
+			p.Policy, p.AvgMS, p.P50MS, p.P95MS, p.P99MS,
+			p.ServersUsed, p.MaxShare*100, p.UtilRatio, p.Switched)
+	}
+	rr := result.policy("round-robin", t.Fatalf)
+	wt := result.policy("weighted", t.Fatalf)
+	if wt.P99MS >= rr.P99MS {
+		t.Errorf("weighted p99 %.1f vms does not beat round-robin %.1f vms", wt.P99MS, rr.P99MS)
+	}
+	if wt.ServersUsed < 2 {
+		t.Errorf("weighted routing used %d server(s); affinity must not collapse to one replica",
+			wt.ServersUsed)
+	}
+	if wt.UtilRatio < 0 || wt.UtilRatio > weightedUtilBound {
+		t.Errorf("weighted max/min execution ratio %.2f outside (0, %.1f]: a replica idles or the balance degraded",
+			wt.UtilRatio, weightedUtilBound)
+	}
+	if err := writeWeightedBenchFile(result); err != nil {
+		t.Fatal(err)
+	}
+}

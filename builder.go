@@ -76,6 +76,12 @@ type Builder struct {
 	// shardPhys marks per-server physical shard tables that Build must not
 	// surface as nicknames of their own.
 	shardPhys map[string]map[string]bool
+
+	replDecls []replDecl
+	// replPhys marks per-server tables declared via AddReplicatedTable, so
+	// Build registers them through RegisterReplicated (preserving the
+	// declared origin order) instead of auto-discovery.
+	replPhys map[string]map[string]bool
 }
 
 // shardDecl is a table declared via AddShardedTable, registered whole at
@@ -85,6 +91,14 @@ type shardDecl struct {
 	schema *sqltypes.Schema
 	spec   *catalog.ShardSpec
 	shards []catalog.Shard
+}
+
+// replDecl is a table declared via AddReplicatedTable, registered at Build
+// time through catalog.RegisterReplicated.
+type replDecl struct {
+	name       string
+	schema     *sqltypes.Schema
+	placements []catalog.Placement
 }
 
 // NewBuilder starts a federation definition. Seed drives data generation;
@@ -242,6 +256,45 @@ func (b *Builder) AddShardedTable(spec TableSpec, shardColumn string, servers ..
 	return b
 }
 
+// AddReplicatedTable generates the table once with the builder's seed and
+// places an identical replica on every named server (the first is the
+// origin), registering it at Build through catalog.RegisterReplicated with
+// exactly the declared server order. Pair it with EnableWeightedRouting so
+// fragments over the table route to the replica scoring best. With a single
+// server it degrades to AddGeneratedTable on that server.
+func (b *Builder) AddReplicatedTable(spec TableSpec, servers ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(servers) == 0 {
+		return b.fail(fmt.Errorf("fedqcc: replicated table %q needs at least one server", spec.Name))
+	}
+	var schema *sqltypes.Schema
+	var placements []catalog.Placement
+	for _, sid := range servers {
+		srv, ok := b.servers[sid]
+		if !ok {
+			return b.fail(fmt.Errorf("fedqcc: unknown server %q", sid))
+		}
+		tab, err := spec.Generate(b.seed) // same seed → identical replicas
+		if err != nil {
+			return b.fail(err)
+		}
+		schema = tab.Schema()
+		srv.AddTable(tab)
+		if b.replPhys == nil {
+			b.replPhys = map[string]map[string]bool{}
+		}
+		if b.replPhys[sid] == nil {
+			b.replPhys[sid] = map[string]bool{}
+		}
+		b.replPhys[sid][spec.Name] = true
+		placements = append(placements, catalog.Placement{ServerID: sid, RemoteTable: spec.Name})
+	}
+	b.replDecls = append(b.replDecls, replDecl{name: spec.Name, schema: schema, placements: placements})
+	return b
+}
+
 // AddCSVTable loads a table from CSV (typed header "name:KIND", see
 // storage.ReadCSV) onto the named server.
 func (b *Builder) AddCSVTable(serverID, tableName string, r io.Reader) *Builder {
@@ -306,8 +359,8 @@ func (b *Builder) Build() (*Federation, error) {
 	for _, id := range ids {
 		srv := b.servers[id]
 		for _, tname := range srv.Tables() {
-			if b.shardPhys[id][tname] {
-				continue // shard of a declared sharded nickname
+			if b.shardPhys[id][tname] || b.replPhys[id][tname] {
+				continue // shard or replica of a declared nickname
 			}
 			n, ok := nicknames[tname]
 			if !ok {
@@ -322,7 +375,7 @@ func (b *Builder) Build() (*Federation, error) {
 			})
 		}
 	}
-	if len(order) == 0 && len(b.shardDecls) == 0 {
+	if len(order) == 0 && len(b.shardDecls) == 0 && len(b.replDecls) == 0 {
 		return nil, fmt.Errorf("fedqcc: federation has no tables")
 	}
 	for _, name := range order {
@@ -332,6 +385,11 @@ func (b *Builder) Build() (*Federation, error) {
 	}
 	for _, decl := range b.shardDecls {
 		if err := cat.RegisterSharded(decl.name, decl.schema, decl.spec, decl.shards); err != nil {
+			return nil, err
+		}
+	}
+	for _, decl := range b.replDecls {
+		if err := cat.RegisterReplicated(decl.name, decl.schema, decl.placements); err != nil {
 			return nil, err
 		}
 	}

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig9|table1|table2|fig10|fig11|network|lb|all")
+	exp := flag.String("exp", "all", "experiment: fig9|table1|table2|fig10|fig11|network|lb|weighted|all")
 	scale := flag.Int("scale", 20, "table-size divisor (1 = paper scale, 100k-row large tables)")
 	instances := flag.Int("instances", 10, "query instances per type")
 	seed := flag.Int64("seed", 42, "data-generation seed")
@@ -56,6 +56,11 @@ func main() {
 		lb, err = fedqcc.RunLoadBalanceStudy(opts, 30)
 		fail(err)
 	}
+	var weighted []fedqcc.WeightedOutcome
+	if *exp == "weighted" || *exp == "all" {
+		weighted, err = fedqcc.RunWeightedRoutingStudy(opts, 0)
+		fail(err)
+	}
 
 	switch *exp {
 	case "fig9":
@@ -72,6 +77,8 @@ func main() {
 		fmt.Print(fedqcc.FormatNetworkStudy(network))
 	case "lb":
 		fmt.Print(fedqcc.FormatLoadBalanceStudy(lb))
+	case "weighted":
+		fmt.Print(fedqcc.FormatWeightedRoutingStudy(weighted))
 	case "all":
 		fmt.Print(fedqcc.FormatFigure9(sens))
 		fmt.Print(fedqcc.FormatTable1())
@@ -85,6 +92,8 @@ func main() {
 		fmt.Print(fedqcc.FormatNetworkStudy(network))
 		fmt.Println()
 		fmt.Print(fedqcc.FormatLoadBalanceStudy(lb))
+		fmt.Println()
+		fmt.Print(fedqcc.FormatWeightedRoutingStudy(weighted))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -47,6 +47,18 @@ func RunLoadBalanceStudy(opts ExperimentOptions, burst int) ([]LBOutcome, error)
 	return experiment.LoadBalanceStudy(opts, burst)
 }
 
+// WeightedOutcome is one replica-routing policy's hotspot measurement.
+type WeightedOutcome = experiment.WeightedOutcome
+
+// RunWeightedRoutingStudy compares round-robin load distribution against the
+// score-based weighted replica router on the fully replicated hotspot
+// scenario (induced load + buffer-pool residency), reporting p50/p95/p99
+// response times and per-server utilization balance. A non-positive burst
+// uses the default (60 queries).
+func RunWeightedRoutingStudy(opts ExperimentOptions, burst int) ([]WeightedOutcome, error) {
+	return experiment.WeightedRoutingStudy(opts, burst)
+}
+
 // Report formatters for the paper's tables and figures.
 var (
 	// FormatFigure9 renders the sensitivity series.
@@ -63,6 +75,8 @@ var (
 	FormatNetworkStudy = experiment.FormatNetworkStudy
 	// FormatLoadBalanceStudy renders the §4 rotation study.
 	FormatLoadBalanceStudy = experiment.FormatLoadBalanceStudy
+	// FormatWeightedRoutingStudy renders the replica-routing comparison.
+	FormatWeightedRoutingStudy = experiment.FormatWeightedRoutingStudy
 	// AverageGains summarizes a gain study.
 	AverageGains = experiment.AverageGains
 )

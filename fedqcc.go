@@ -40,6 +40,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/qcc"
 	"repro/internal/remote"
+	"repro/internal/router"
 	"repro/internal/scenario"
 	"repro/internal/simclock"
 	"repro/internal/sqltypes"
@@ -83,6 +84,9 @@ type Federation struct {
 	qcc     *qcc.QCC
 	tel     *telemetry.Telemetry
 	adm     *admission.Controller
+	// routeLog is the shared routing decision log every routing policy
+	// (round-robin load balancer, weighted replica router) records into.
+	routeLog *router.DecisionLog
 }
 
 // FederationOptions configures the canned paper federation.
@@ -108,6 +112,35 @@ func NewPaperFederation(opts FederationOptions) (*Federation, error) {
 // half the schema so cross-source joins are unavoidable.
 func NewReplicaFederation(opts FederationOptions) (*Federation, error) {
 	sc, err := scenario.BuildReplicaPair(scenario.ReplicaOptions{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return fromScenario(sc), nil
+}
+
+// ReplicatedFederationOptions configures the replica-routing hotspot
+// scenario.
+type ReplicatedFederationOptions struct {
+	// Servers is the replica count (default 3, IDs S1..SN).
+	Servers int
+	// Scale divides the paper's table sizes.
+	Scale int
+	// Seed drives deterministic data generation.
+	Seed int64
+}
+
+// NewReplicatedFederation builds the replica-routing hotspot scenario: N
+// uniform servers, every sample table registered through
+// catalog.RegisterReplicated on all of them, query-induced load and a
+// buffer-pool residency model. Pair it with EnableQCC plus
+// Calibrator.EnableWeightedRouting to route each fragment to the replica
+// scoring best on load, pressure, cache locality and calibrated latency.
+func NewReplicatedFederation(opts ReplicatedFederationOptions) (*Federation, error) {
+	sc, err := scenario.BuildReplicated(scenario.ReplicatedOptions{
+		Servers: opts.Servers,
+		Scale:   opts.Scale,
+		Seed:    opts.Seed,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -174,15 +207,16 @@ func fromScenario(sc *scenario.Scenario) *Federation {
 	adm := admission.New(admission.Config{Clock: sc.Clock, Telemetry: tel})
 	sc.II.SetAdmission(adm)
 	return &Federation{
-		clock:   sc.Clock,
-		servers: sc.Servers,
-		topo:    sc.Topo,
-		catalog: sc.Catalog,
-		mw:      sc.MW,
-		iiNode:  sc.IINode,
-		ii:      sc.II,
-		tel:     tel,
-		adm:     adm,
+		clock:    sc.Clock,
+		servers:  sc.Servers,
+		topo:     sc.Topo,
+		catalog:  sc.Catalog,
+		mw:       sc.MW,
+		iiNode:   sc.IINode,
+		ii:       sc.II,
+		tel:      tel,
+		adm:      adm,
+		routeLog: router.NewDecisionLog(0),
 	}
 }
 
@@ -400,6 +434,15 @@ func (f *Federation) RunLog() []metawrapper.RunLogEntry { return f.mw.RunLog() }
 
 // ExplainLog returns the stored compilation winners.
 func (f *Federation) ExplainLog() []optimizer.ExplainEntry { return f.ii.ExplainTable().Entries() }
+
+// RouteDecision is one recorded routing decision (policy, chosen route,
+// reason) from the shared routing decision log.
+type RouteDecision = router.Decision
+
+// RouteDecisions returns up to n most recent routing decisions, oldest
+// first (n <= 0 returns everything retained). Both the round-robin load
+// balancer and the weighted replica router record here.
+func (f *Federation) RouteDecisions(n int) []RouteDecision { return f.routeLog.Last(n) }
 
 // ServerHandle controls one remote server for fault and load injection.
 type ServerHandle struct {

@@ -90,6 +90,26 @@ func (c *Catalog) Register(n *Nickname) error {
 	return nil
 }
 
+// RegisterReplicated adds a nickname hosted by multiple equivalent physical
+// placements at once — partial replication of a whole table fragment. The
+// first placement is the origin; the rest are marked as replicas. Duplicate
+// servers are rejected. A single placement degrades to a plain Register, so
+// replication-off catalogs are shaped exactly like the pre-replication ones.
+func (c *Catalog) RegisterReplicated(name string, schema *sqltypes.Schema, placements []Placement) error {
+	seen := map[string]bool{}
+	for _, p := range placements {
+		if seen[p.ServerID] {
+			return fmt.Errorf("catalog: nickname %q placed twice on %s", name, p.ServerID)
+		}
+		seen[p.ServerID] = true
+	}
+	n := &Nickname{Name: name, Schema: schema, Placements: append([]Placement(nil), placements...)}
+	for i := range n.Placements {
+		n.Placements[i].Replica = i > 0
+	}
+	return c.Register(n)
+}
+
 // AddPlacement registers an additional replica for an existing nickname.
 func (c *Catalog) AddPlacement(name string, p Placement) error {
 	c.mu.Lock()

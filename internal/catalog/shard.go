@@ -99,6 +99,34 @@ func (n *Nickname) ShardCount() int {
 	return len(n.Shards)
 }
 
+// AddShardReplica registers an additional placement for one shard of a
+// sharded nickname — the replicated option on sharded placements. The
+// nickname's aggregate Placements gains the server too (if new), so
+// placement-based grouping sees the replica as a candidate host.
+func (c *Catalog) AddShardReplica(name string, shard int, p Placement) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nicknames[name]
+	if !ok {
+		return fmt.Errorf("catalog: unknown nickname %q", name)
+	}
+	if n.Sharding == nil || shard < 0 || shard >= len(n.Shards) {
+		return fmt.Errorf("catalog: nickname %q has no shard %d", name, shard)
+	}
+	sh := &n.Shards[shard]
+	for _, ex := range sh.Placements {
+		if ex.ServerID == p.ServerID {
+			return fmt.Errorf("catalog: nickname %q shard %d already placed on %s", name, shard, p.ServerID)
+		}
+	}
+	p.Replica = true
+	sh.Placements = append(sh.Placements, p)
+	if n.PlacementOn(p.ServerID) == nil {
+		n.Placements = append(n.Placements, Placement{ServerID: p.ServerID, RemoteTable: name, Replica: true})
+	}
+	return nil
+}
+
 // RegisterSharded adds a horizontally partitioned nickname. The shard list
 // must be contiguous from index 0 and every shard needs at least one
 // placement; range bounds must be strictly ascending non-NULL values with

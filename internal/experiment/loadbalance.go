@@ -2,9 +2,12 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/optimizer"
 	"repro/internal/qcc"
 	"repro/internal/remote"
+	"repro/internal/router"
 	"repro/internal/scenario"
 	"repro/internal/workload"
 )
@@ -113,6 +116,167 @@ func runLBBurst(opts Options, mode qcc.LBMode, name string, burst int) (LBOutcom
 		ServersUsed: used,
 		MaxShare:    maxShare,
 	}, nil
+}
+
+// WeightedOutcome is one replica-routing policy's hotspot measurement.
+type WeightedOutcome struct {
+	// Policy names the routing policy ("round-robin" or "weighted").
+	Policy string
+	// AvgMS is the mean response time over the burst.
+	AvgMS float64
+	// P50MS, P95MS and P99MS approximate the tail of the response-time
+	// distribution.
+	P50MS float64
+	P95MS float64
+	P99MS float64
+	// ServersUsed counts servers that executed at least one fragment.
+	ServersUsed int
+	// MaxShare is the largest per-server share of executions.
+	MaxShare float64
+	// UtilRatio is max/min per-server executions (+Inf when a server idles;
+	// 1.0 = perfectly even).
+	UtilRatio float64
+	// Switched counts dispatch-time replica switches (weighted policy only).
+	Switched int64
+}
+
+// weightedBurstQueries is the hotspot mix: four recurring scan-heavy shapes,
+// one per hot table — more hot tables than one buffer pool holds. A
+// cache-aware router can pin each shape to a replica whose pool already
+// holds its table; blind round-robin sprays the shapes and keeps every pool
+// lukewarm. The four-shape period is deliberately coprime with the
+// three-server rotation, so round-robin cannot accidentally pin shapes to
+// replicas.
+var weightedBurstQueries = []string{
+	"SELECT SUM(h.h_val) FROM hot1 AS h WHERE h.h_val > 1000",
+	"SELECT SUM(h.h_val) FROM hot2 AS h WHERE h.h_val > 1000",
+	"SELECT SUM(h.h_val) FROM hot3 AS h WHERE h.h_val > 1000",
+	"SELECT SUM(h.h_val) FROM hot4 AS h WHERE h.h_val > 1000",
+}
+
+// WeightedRoutingStudy compares the paper's round-robin load distribution
+// against the score-based weighted replica router on the replicated hotspot
+// scenario: every table fully replicated, servers that heat up under their
+// own traffic, and a buffer-pool residency model that rewards routing the
+// same shape back to the same replica. Both arms run the identical burst
+// under identical calibration cadence.
+func WeightedRoutingStudy(opts Options, burst int) ([]WeightedOutcome, error) {
+	opts.fill()
+	if burst <= 0 {
+		burst = 60
+	}
+	rr, err := runWeightedBurst(opts, false, burst)
+	if err != nil {
+		return nil, fmt.Errorf("weighted study round-robin: %w", err)
+	}
+	wt, err := runWeightedBurst(opts, true, burst)
+	if err != nil {
+		return nil, fmt.Errorf("weighted study weighted: %w", err)
+	}
+	return []WeightedOutcome{rr, wt}, nil
+}
+
+func runWeightedBurst(opts Options, weighted bool, burst int) (WeightedOutcome, error) {
+	sc, err := scenario.BuildReplicated(scenario.ReplicatedOptions{
+		Scale: opts.Scale,
+		Seed:  opts.Seed,
+	})
+	if err != nil {
+		return WeightedOutcome{}, err
+	}
+	q := qcc.Attach(qcc.Config{
+		Clock: sc.Clock,
+		MW:    sc.MW,
+		LB: qcc.LBConfig{
+			Mode:      qcc.LBGlobal,
+			Closeness: 0.2,
+		},
+		DisableDaemons: true,
+	}, sc.II)
+
+	policy := "round-robin"
+	var wr *router.WeightedRouter
+	if weighted {
+		policy = "weighted"
+		opt := sc.II.Optimizer()
+		wr = router.New(router.Config{
+			Signals: q.RouterSignals(),
+			MW:      sc.MW,
+			Assemble: func(winner *optimizer.GlobalPlan, chosen []optimizer.FragmentChoice) *optimizer.GlobalPlan {
+				return opt.AssembleGlobal(winner.Stmt, winner.Decomp, chosen)
+			},
+			Clock: sc.Clock,
+		})
+		sc.II.SetRoute(wr)
+		sc.II.SetRerouter(wr)
+	}
+
+	var times []float64
+	for i := 0; i < burst; i++ {
+		res, err := sc.II.Query(weightedBurstQueries[i%len(weightedBurstQueries)])
+		if err != nil {
+			return WeightedOutcome{}, err
+		}
+		times = append(times, float64(res.ResponseTime))
+		// Both arms publish every query: calibration freshness is identical,
+		// only the routing policy differs.
+		q.PublishNow()
+	}
+
+	used := 0
+	maxExec, minExec := int64(0), int64(math.MaxInt64)
+	var totalExec int64
+	for _, srv := range sc.Servers {
+		n := srv.Executed()
+		totalExec += n
+		if n > 0 {
+			used++
+		}
+		if n > maxExec {
+			maxExec = n
+		}
+		if n < minExec {
+			minExec = n
+		}
+	}
+	maxShare := 0.0
+	if totalExec > 0 {
+		maxShare = float64(maxExec) / float64(totalExec)
+	}
+	ratio := math.Inf(1)
+	if minExec > 0 {
+		ratio = float64(maxExec) / float64(minExec)
+	}
+	var switched int64
+	if wr != nil {
+		switched, _ = wr.Rerouted()
+	}
+	return WeightedOutcome{
+		Policy:      policy,
+		AvgMS:       Mean(times),
+		P50MS:       percentile(times, 0.50),
+		P95MS:       percentile(times, 0.95),
+		P99MS:       percentile(times, 0.99),
+		ServersUsed: used,
+		MaxShare:    maxShare,
+		UtilRatio:   ratio,
+		Switched:    switched,
+	}, nil
+}
+
+// FormatWeightedRoutingStudy renders the replica-routing comparison.
+func FormatWeightedRoutingStudy(outcomes []WeightedOutcome) string {
+	out := "Weighted replica routing — hotspot burst over fully replicated tables\n"
+	out += "  policy        avg(ms)   p50(ms)   p95(ms)   p99(ms)  servers  max share  util ratio  switched\n"
+	for _, o := range outcomes {
+		ratio := fmt.Sprintf("%.2f", o.UtilRatio)
+		if math.IsInf(o.UtilRatio, 1) {
+			ratio = "inf"
+		}
+		out += fmt.Sprintf("  %-11s %9.1f %9.1f %9.1f %9.1f  %7d  %8.0f%%  %10s  %8d\n",
+			o.Policy, o.AvgMS, o.P50MS, o.P95MS, o.P99MS, o.ServersUsed, o.MaxShare*100, ratio, o.Switched)
+	}
+	return out
 }
 
 func percentile(xs []float64, p float64) float64 {

@@ -52,6 +52,14 @@ type RuntimeRerouter interface {
 	RerouteFragment(choice optimizer.FragmentChoice) *optimizer.FragmentChoice
 }
 
+// RouteAnnotator is an optional extension a RoutePolicy or RuntimeRerouter
+// may implement: per-fragment attributes describing the routing decision
+// (e.g. the weighted router's score breakdown), attached to the fragment's
+// dispatch span. Nil maps add nothing.
+type RouteAnnotator interface {
+	RouteAttrs(fragID string) map[string]string
+}
+
 // Config wires an II instance.
 type Config struct {
 	Catalog *catalog.Catalog
@@ -738,6 +746,17 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 			if rerouted {
 				fspan.SetAttr("rerouted", "true")
 				ii.cfg.Telemetry.Active().Counter("ii.reroutes", f.ServerID).Inc()
+			}
+			// Score-breakdown (or other) routing attributes, when the active
+			// policy exposes them. Checked on the rerouter first (freshest
+			// decision), then the compile-time route policy.
+			for _, p := range []any{ii.cfg.Reroute, ii.cfg.Route} {
+				if ann, ok := p.(RouteAnnotator); ok {
+					for k, v := range ann.RouteAttrs(f.Spec.ID) {
+						fspan.SetAttr(k, v)
+					}
+					break
+				}
 			}
 			// Queue wait is zero in virtual time: the dispatch semaphore bounds
 			// REAL concurrency only — every fragment starts at the same virtual

@@ -130,6 +130,31 @@ func (mw *MetaWrapper) Wrapper(serverID string) wrapper.Wrapper {
 	return mw.wrappers[serverID]
 }
 
+// residencyReporter is the optional wrapper capability behind the
+// cache-locality routing signal. Wrappers for sources without a buffer-pool
+// model simply don't implement it.
+type residencyReporter interface {
+	CacheResidency(table string) float64
+}
+
+// CacheResidency returns the server's mean buffer-pool residency over the
+// given physical tables, in [0,1]. Servers whose wrappers expose no residency
+// estimate — and empty table lists — report 0, a uniform non-signal.
+func (mw *MetaWrapper) CacheResidency(serverID string, tables []string) float64 {
+	if len(tables) == 0 {
+		return 0
+	}
+	rr, ok := mw.Wrapper(serverID).(residencyReporter)
+	if !ok {
+		return 0
+	}
+	var sum float64
+	for _, t := range tables {
+		sum += rr.CacheResidency(t)
+	}
+	return sum / float64(len(tables))
+}
+
 // Servers lists wrapped server IDs, sorted.
 func (mw *MetaWrapper) Servers() []string {
 	mw.mu.RLock()

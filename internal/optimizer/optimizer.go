@@ -44,6 +44,11 @@ type GlobalPlan struct {
 	// TotalEstMS is the plan's calibrated global cost: since fragments run
 	// in parallel, max(fragment costs) + merge.
 	TotalEstMS float64
+	// Options holds, per fragment (aligned with Fragments), every calibrated
+	// replica alternative that survived enumeration — the menu a replica
+	// router picks from per dispatch instead of only swapping whole global
+	// plans. Nil when the plan was not produced by EnumerateFromOptions.
+	Options [][]FragmentChoice
 }
 
 // ServerSet returns the sorted set of servers the plan touches — the §4.2
@@ -261,6 +266,7 @@ func (o *Optimizer) EnumerateFromOptions(stmt *sqlparser.SelectStmt, decomp *Dec
 		}
 		if i == len(options) {
 			gp := o.assembleGlobal(stmt, decomp, append([]FragmentChoice(nil), acc...))
+			gp.Options = options
 			all = append(all, gp)
 			return
 		}
@@ -277,6 +283,14 @@ func (o *Optimizer) EnumerateFromOptions(stmt *sqlparser.SelectStmt, decomp *Dec
 		all = all[:topK]
 	}
 	return all, nil
+}
+
+// AssembleGlobal builds a global plan from an explicit per-fragment choice
+// list, re-deriving the merge and total estimates exactly as enumeration
+// does. Replica routers use it to re-assemble a plan after swapping
+// individual fragment choices from GlobalPlan.Options.
+func (o *Optimizer) AssembleGlobal(stmt *sqlparser.SelectStmt, decomp *Decomposition, chosen []FragmentChoice) *GlobalPlan {
+	return o.assembleGlobal(stmt, decomp, chosen)
 }
 
 func (o *Optimizer) assembleGlobal(stmt *sqlparser.SelectStmt, decomp *Decomposition, chosen []FragmentChoice) *GlobalPlan {

@@ -1,10 +1,12 @@
 package qcc
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/optimizer"
+	"repro/internal/router"
 	"repro/internal/simclock"
 	"repro/internal/sqlparser"
 	"repro/internal/telemetry"
@@ -99,6 +101,9 @@ type LoadBalancer struct {
 	// rotatedCount counts times an alternative (non-winner) plan was chosen.
 	rotatedCount int
 	tel          *telemetry.Telemetry
+	// log receives per-decision records (nil-safe; shared with the
+	// weighted router so \route shows one merged history).
+	log *router.DecisionLog
 }
 
 // NewLoadBalancer builds the balancer.
@@ -119,6 +124,13 @@ func (lb *LoadBalancer) SetTelemetry(t *telemetry.Telemetry) {
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
 	lb.tel = t
+}
+
+// SetDecisionLog installs the shared routing decision log (nil disables).
+func (lb *LoadBalancer) SetDecisionLog(l *router.DecisionLog) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.log = l
 }
 
 // Rotations reports how often an alternative plan was substituted.
@@ -185,17 +197,30 @@ func (lb *LoadBalancer) ChooseGlobal(queryText string, winner *optimizer.GlobalP
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
 	if rot == nil || len(rot.plans) <= 1 {
+		lb.log.Record(router.Decision{
+			At: now, Query: queryText, Policy: "lb",
+			Route:  winner.RouteKey(),
+			Reason: "kept winner (no rotation set)",
+		})
 		return winner
 	}
-	chosen := rot.plans[rot.idx%len(rot.plans)]
+	pos := rot.idx % len(rot.plans)
+	chosen := rot.plans[pos]
 	rot.idx++
 	if reg := lb.tel.Active(); reg != nil {
 		reg.Counter("qcc.lb_choices", chosen.ServerSetKey()).Inc()
 	}
+	reason := fmt.Sprintf("round-robin %d/%d (winner)", pos+1, len(rot.plans))
 	if chosen.RouteKey() != winner.RouteKey() {
 		lb.rotatedCount++
 		lb.tel.Active().Counter("qcc.rotations", "").Inc()
+		reason = fmt.Sprintf("round-robin %d/%d (rotated off winner)", pos+1, len(rot.plans))
 	}
+	lb.log.Record(router.Decision{
+		At: now, Query: queryText, Policy: "lb",
+		Route:  chosen.RouteKey(),
+		Reason: reason,
+	})
 	return chosen
 }
 

@@ -1,0 +1,41 @@
+package qcc
+
+import (
+	"repro/internal/metawrapper"
+	"repro/internal/router"
+)
+
+// RouterSignals exposes QCC's learned state as the signal bundle a
+// router.WeightedRouter scores replicas from: calibration and first-row
+// factors (cpu/load), reliability and fence state plus admission queue depth
+// (memory/pressure), and the meta-wrapper's buffer-pool residency estimates
+// (cache locality). The returned funcs read live state — the router always
+// scores current factors, never a snapshot.
+func (q *QCC) RouterSignals() router.Signals {
+	return router.Signals{
+		FragmentFactor: func(serverID, sig string) float64 {
+			return q.Calib.FragmentFactor(metawrapper.FragmentKey{ServerID: serverID, Signature: sig})
+		},
+		FirstRowFactor: func(serverID string) (float64, bool) {
+			return q.Calib.FirstRowFactor(serverID)
+		},
+		Reliability: func(serverID string) float64 {
+			return q.Rel.Factor(serverID)
+		},
+		IsFenced: func(serverID string) bool {
+			return q.Avail.IsDown(serverID)
+		},
+		QueueDepth: func() int {
+			q.demandMu.RLock()
+			src := q.demand
+			q.demandMu.RUnlock()
+			if src == nil {
+				return 0
+			}
+			return src()
+		},
+		CacheResidency: func(serverID string, tables []string) float64 {
+			return q.mw.CacheResidency(serverID, tables)
+		},
+	}
+}

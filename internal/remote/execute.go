@@ -65,7 +65,7 @@ func (s *Server) runPlan(ctx context.Context, p *Plan) (*Result, error) {
 		return &Result{
 			Rel:         col.ToRelation(),
 			Col:         col,
-			ServiceTime: s.Observe(ectx.Res),
+			ServiceTime: s.ObserveAccess(ectx.Res, p.Tables),
 			Resources:   ectx.Res,
 		}, nil
 	}
@@ -76,7 +76,7 @@ func (s *Server) runPlan(ctx context.Context, p *Plan) (*Result, error) {
 	ectx.Res.OutBytes = rel.ByteSize()
 	return &Result{
 		Rel:         rel,
-		ServiceTime: s.Observe(ectx.Res),
+		ServiceTime: s.ObserveAccess(ectx.Res, p.Tables),
 		Resources:   ectx.Res,
 	}, nil
 }

@@ -46,6 +46,9 @@ type Plan struct {
 	Signature string
 	// Est is the optimizer-visible estimate (zero-load).
 	Est CostEstimate
+	// Tables lists the physical tables the plan reads (sorted, deduplicated)
+	// — the cache-residency model's unit of buffer-pool accounting.
+	Tables []string
 }
 
 // String renders the plan header.

@@ -61,6 +61,7 @@ func (s *Server) Explain(stmt *sqlparser.SelectStmt) ([]*Plan, error) {
 		}
 		aliasToTable[tr.EffectiveName()] = tr.Name
 	}
+	physNames := physicalTables(aliasToTable)
 
 	// Per-table access path candidates.
 	accessCands := map[string][]accessChoice{}
@@ -126,6 +127,7 @@ func (s *Server) Explain(stmt *sqlparser.SelectStmt) ([]*Plan, error) {
 			Root:      root,
 			Signature: sig,
 			Est:       ce,
+			Tables:    physNames,
 		})
 	}
 	walk(0, planChoice{})
@@ -140,6 +142,21 @@ func (s *Server) Explain(stmt *sqlparser.SelectStmt) ([]*Plan, error) {
 		s.planCache.insert(cacheKey, plans, versions)
 	}
 	return plans, nil
+}
+
+// physicalTables returns the sorted, deduplicated physical table names from
+// an alias map.
+func physicalTables(aliasToTable map[string]string) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(aliasToTable))
+	for _, t := range aliasToTable {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func copyAccess(m map[string]accessChoice) map[string]accessChoice {

@@ -75,6 +75,52 @@ type Config struct {
 	// the query workload itself places on the server, on top of the
 	// background update load. Zero disables it.
 	InducedLoad InducedLoadProfile
+	// Cache configures per-table buffer-pool residency tracking (replica
+	// cache locality). Zero disables it: execution is then bit-identical to
+	// the residency-less engine.
+	Cache CacheProfile
+}
+
+// CacheProfile models per-table buffer-pool residency: each execution warms
+// the tables it touches toward full residency and cools the rest (churn),
+// and cache-friendly page touches against cold tables spill to random IO.
+// The residency estimate is exposed through CacheResidency so a replica
+// router can score hot fragments toward the servers whose buffer pools
+// already hold them. Like ContentionProfile, none of this is visible to any
+// optimizer — EstimateTime stays residency-blind, so the estimate/observed
+// gap is QCC's to learn. A zero profile disables tracking entirely.
+type CacheProfile struct {
+	// ColdMissFrac is the extra miss fraction a fully-cold table adds to
+	// cache-friendly page touches (scaled by 1-residency). 0 disables the
+	// whole cache model.
+	ColdMissFrac float64
+	// WarmRate moves a touched table's residency toward 1 per execution
+	// (default 0.5 when the model is enabled).
+	WarmRate float64
+	// CoolRate decays untouched tables' residency per execution (default
+	// 0.1 when the model is enabled).
+	CoolRate float64
+	// PoolTables is the buffer pool's capacity in table-equivalents: when
+	// the summed residency exceeds it, every table is evicted
+	// proportionally (default 1.5 when the model is enabled). This is what
+	// makes affinity a real trade-off — a server cannot keep every
+	// replicated table warm at once.
+	PoolTables float64
+}
+
+func (c *CacheProfile) fill() {
+	if c.ColdMissFrac <= 0 {
+		return
+	}
+	if c.WarmRate <= 0 {
+		c.WarmRate = 0.5
+	}
+	if c.CoolRate <= 0 {
+		c.CoolRate = 0.1
+	}
+	if c.PoolTables <= 0 {
+		c.PoolTables = 1.5
+	}
 }
 
 // InducedLoadProfile makes servers heat up under their own query traffic —
@@ -122,6 +168,11 @@ type Server struct {
 	induced InducedLoadProfile
 	clock   *simclock.Clock
 	work    []workSample
+
+	// cache-residency state: per-table buffer-pool residency in [0,1].
+	// Nil/zero profile means the model is disabled and resident stays empty.
+	cache    CacheProfile
+	resident map[string]float64
 }
 
 // workSample is one completed execution's service time.
@@ -135,6 +186,7 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxPlans <= 0 {
 		cfg.MaxPlans = 2
 	}
+	cfg.Cache.fill()
 	return &Server{
 		id:         cfg.ID,
 		hw:         cfg.Hardware,
@@ -143,6 +195,8 @@ func NewServer(cfg Config) *Server {
 		tables:     map[string]*storage.Table{},
 		planCache:  newPlanCache(0),
 		induced:    cfg.InducedLoad,
+		cache:      cfg.Cache,
+		resident:   map[string]float64{},
 	}
 }
 
@@ -176,7 +230,7 @@ func (s *Server) Hardware() HardwareProfile { return s.hw }
 // Config reconstructs the server's configuration — used by the simulated
 // federated system to build statistics-only clones.
 func (s *Server) Config() Config {
-	return Config{ID: s.id, Hardware: s.hw, Contention: s.contention, MaxPlans: s.maxPlans, InducedLoad: s.induced}
+	return Config{ID: s.id, Hardware: s.hw, Contention: s.contention, MaxPlans: s.maxPlans, InducedLoad: s.induced, Cache: s.cache}
 }
 
 // AddTable registers a table.
@@ -335,22 +389,40 @@ func (e *ErrServerFailure) Error() string {
 // serviceTime converts consumed resources into simulated milliseconds under
 // the given load level.
 func (s *Server) serviceTime(res exec.Resources, load float64) simclock.Time {
+	return s.serviceTimeSpill(res, load, 0, 0)
+}
+
+// serviceTimeSpill is serviceTime with the cache-residency model's two
+// adjustments: extraSpill is the cold-table penalty (cache-friendly touches
+// of non-resident tables fall through to random IO, on top of churn) and
+// ioWarm is the warm-table bonus (a resident table serves that fraction of
+// its sequential IO from the buffer pool). Both are zero outside
+// ObserveAccess, so servers without a CacheProfile are untouched.
+func (s *Server) serviceTimeSpill(res exec.Resources, load, extraSpill, ioWarm float64) simclock.Time {
 	hw, c := s.hw, s.contention
 	cpuRate := hw.CPUOpsPerMS / (1 + load*c.CPU)
 	ioRate := hw.IOPagesPerMS / (1 + load*c.IO)
 	// Cache-friendly page touches split between the buffer pool and random
 	// IO. The baseline miss fraction is a known hardware property; the
 	// update-load churn on top of it is NOT visible to any optimizer.
-	spill := hw.CacheMissFrac + load*c.BufferChurn
+	spill := hw.CacheMissFrac + load*c.BufferChurn + extraSpill
 	if spill > 1 {
 		spill = 1
+	}
+	if ioWarm < 0 {
+		ioWarm = 0
+	} else if ioWarm > 1 {
+		ioWarm = 1
 	}
 	t := hw.FixedOverheadMS
 	if cpuRate > 0 {
 		t += res.CPUOps / cpuRate
 	}
 	if ioRate > 0 {
-		t += res.IOPages / ioRate
+		t += res.IOPages * (1 - ioWarm) / ioRate
+	}
+	if hw.CachedPagesPerMS > 0 {
+		t += res.IOPages * ioWarm / hw.CachedPagesPerMS
 	}
 	if hw.CachedPagesPerMS > 0 {
 		t += res.CachedPages * (1 - spill) / hw.CachedPagesPerMS
@@ -377,4 +449,62 @@ func (s *Server) Observe(res exec.Resources) simclock.Time {
 	t := s.serviceTime(res, s.EffectiveLoad())
 	s.recordWork(float64(t))
 	return t
+}
+
+// ObserveAccess is Observe plus the cache-residency model: the execution's
+// cache-friendly page touches pay an extra spill fraction proportional to how
+// cold the touched tables are, the touched tables warm toward full residency,
+// and every other table cools (buffer churn). With a zero CacheProfile it is
+// exactly Observe — no extra spill, no residency state mutated — preserving
+// bit-identity for residency-less configurations.
+func (s *Server) ObserveAccess(res exec.Resources, tables []string) simclock.Time {
+	if s.cache.ColdMissFrac <= 0 || len(tables) == 0 {
+		return s.Observe(res)
+	}
+	s.mu.Lock()
+	load := s.effectiveLoadLocked()
+	var sum float64
+	for _, tbl := range tables {
+		sum += s.resident[tbl]
+	}
+	cold := 1 - sum/float64(len(tables))
+	// Warm the touched tables, cool the rest.
+	touched := map[string]bool{}
+	for _, tbl := range tables {
+		touched[tbl] = true
+		r := s.resident[tbl]
+		s.resident[tbl] = r + (1-r)*s.cache.WarmRate
+	}
+	for tbl, r := range s.resident {
+		if !touched[tbl] {
+			s.resident[tbl] = r * (1 - s.cache.CoolRate)
+		}
+	}
+	// Capacity: the pool holds at most PoolTables table-equivalents; excess
+	// residency evicts every table proportionally.
+	var total float64
+	for _, r := range s.resident {
+		total += r
+	}
+	if total > s.cache.PoolTables {
+		scale := s.cache.PoolTables / total
+		for tbl, r := range s.resident {
+			s.resident[tbl] = r * scale
+		}
+	}
+	s.mu.Unlock()
+	// Cold tables push cache-friendly touches to random IO; warm tables
+	// serve the symmetric fraction of their sequential IO from the pool.
+	t := s.serviceTimeSpill(res, load, s.cache.ColdMissFrac*cold, s.cache.ColdMissFrac*(1-cold))
+	s.recordWork(float64(t))
+	return t
+}
+
+// CacheResidency reports the buffer-pool residency estimate for a table in
+// [0,1]. With the cache model disabled (or the table never touched) it
+// returns 0 — a uniform, non-discriminating signal.
+func (s *Server) CacheResidency(table string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.resident[table]
 }

@@ -194,6 +194,24 @@ func (s *Session) command(line string) {
 		ls := s.Fed.QueryLogStats()
 		fmt.Fprintf(s.Out, "-- patroller: %d retained, %d evicted, %d completions after eviction\n",
 			ls.Retained, ls.Evicted, ls.CompletedAfterEviction)
+	case "\\route":
+		n := 10
+		if len(fields) == 2 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				fmt.Fprintln(s.Out, "usage: \\route [n]")
+				return
+			}
+			n = v
+		}
+		decisions := s.Fed.RouteDecisions(n)
+		if len(decisions) == 0 {
+			fmt.Fprintln(s.Out, "-- no routing decisions recorded (enable QCC or weighted routing, then run queries)")
+			return
+		}
+		for _, d := range decisions {
+			fmt.Fprintf(s.Out, "-- [%s] %-8s %v — %s | %s\n", d.At, d.Policy, d.Route, d.Reason, d.Query)
+		}
 	case "\\metrics":
 		fmt.Fprint(s.Out, fedqcc.FormatMetrics(s.Fed.Telemetry().Metrics()))
 	case "\\timeline":
@@ -215,6 +233,7 @@ const helpText = `commands:
   \replicate <nick> <from> <to>  apply a replication
   \export <server> <table>     dump a table as CSV
   \log                         query patroller log
+  \route [n]                   last n routing decisions (default 10)
   \queue                       admission controller and patroller stats
   \telemetry on|off            toggle trace/metric collection
   \trace                       span tree of the most recent query

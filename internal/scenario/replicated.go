@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/integrator"
+	"repro/internal/metawrapper"
+	"repro/internal/network"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+	"repro/internal/wrapper"
+)
+
+// ReplicatedOptions configures BuildReplicated, the replica-routing hotspot
+// scenario: N uniform mid-range servers, every sample table fully replicated
+// on all of them through catalog.RegisterReplicated, query-induced load
+// (servers heat up under their own traffic) and a buffer-pool residency
+// model (repeatedly hitting the same table on the same server gets cheaper;
+// blindly spraying tables across servers keeps every pool cold). This is the
+// setting where cache-aware weighted routing should beat blind round-robin
+// on tail latency while load awareness keeps the servers balanced.
+type ReplicatedOptions struct {
+	// Servers is the replica count (default 3, IDs S1..SN).
+	Servers int
+	// Scale divides the sample table sizes (default 1).
+	Scale int
+	// Seed drives deterministic data generation; replicas share it.
+	Seed int64
+	// HotTables adds that many identical large single-column-aggregate
+	// targets (hot1..hotN, default 4) — deliberately more tables than one
+	// buffer pool holds, so replica affinity is a real trade-off.
+	HotTables int
+	// InducedLoad is the hot-spotting profile; zero selects
+	// {WindowMS: 1000, Gain: 4} — moderate, so concentration is punished
+	// without pegging every server at the load clamp.
+	InducedLoad remote.InducedLoadProfile
+	// Cache is the buffer-pool residency profile; zero selects
+	// {ColdMissFrac: 0.7, WarmRate: 0.5, CoolRate: 0.05, PoolTables: 1.5}.
+	Cache remote.CacheProfile
+}
+
+func (o *ReplicatedOptions) fill() {
+	if o.Servers <= 0 {
+		o.Servers = 3
+	}
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.HotTables <= 0 {
+		o.HotTables = 4
+	}
+	if o.InducedLoad.WindowMS == 0 {
+		o.InducedLoad = remote.InducedLoadProfile{WindowMS: 1000, Gain: 4}
+	}
+	if o.Cache.ColdMissFrac == 0 {
+		o.Cache = remote.CacheProfile{ColdMissFrac: 0.7, WarmRate: 0.5, CoolRate: 0.05, PoolTables: 1.5}
+	}
+}
+
+// replicaProfile is the hotspot replicas' hardware: commodity boxes with
+// slow disks and generous memory, where a buffer-pool hit is the difference
+// between milliseconds and tens of milliseconds. (The stock profiles are
+// CPU-bound at small scales, which would hide the cache signal entirely.)
+func replicaProfile(id string) remote.Config {
+	return remote.Config{
+		ID: id,
+		Hardware: remote.HardwareProfile{
+			CPUOpsPerMS:      20000,
+			IOPagesPerMS:     3,
+			CachedPagesPerMS: 2000,
+			CacheMissFrac:    0.05,
+			FixedOverheadMS:  1,
+		},
+		Contention: remote.ContentionProfile{CPU: 0.3, IO: 0.3, BufferChurn: 0.05, QueueAmp: 0.4},
+	}
+}
+
+// HotTableGens returns the scenario's hot-table generators (hot1..hotN).
+func HotTableGens(n, scale int) []storage.TableGen {
+	rows := 100000 / scale
+	if rows < 10 {
+		rows = 10
+	}
+	gens := make([]storage.TableGen, n)
+	for i := range gens {
+		name := fmt.Sprintf("hot%d", i+1)
+		gens[i] = storage.TableGen{
+			Name: name,
+			Rows: rows,
+			Columns: []storage.ColumnGen{
+				{Name: "h_id", Type: sqltypes.KindInt, Gen: storage.SeqInt()},
+				{Name: "h_val", Type: sqltypes.KindFloat, Gen: storage.UniformFloat(0, 10000)},
+				{Name: "h_grp", Type: sqltypes.KindInt, Gen: storage.UniformInt(100)},
+			},
+			Indexes: []storage.IndexGen{
+				{Name: name + "_pk", Column: "h_id", Kind: storage.IndexSorted},
+			},
+		}
+	}
+	return gens
+}
+
+// BuildReplicated assembles the hotspot scenario.
+func BuildReplicated(opts ReplicatedOptions) (*Scenario, error) {
+	opts.fill()
+	clock := simclock.New()
+	topo := network.NewTopology()
+	gens := append(storage.SampleSchema(opts.Scale), HotTableGens(opts.HotTables, opts.Scale)...)
+
+	ids := make([]string, opts.Servers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("S%d", i+1)
+	}
+	servers := map[string]*remote.Server{}
+	var wrappers []wrapper.Wrapper
+	for i, id := range ids {
+		cfg := replicaProfile(id)
+		cfg.InducedLoad = opts.InducedLoad
+		cfg.Cache = opts.Cache
+		srv := remote.NewServer(cfg)
+		srv.SetClock(clock)
+		for _, g := range gens {
+			tab, err := g.Generate(opts.Seed) // same seed → identical replicas
+			if err != nil {
+				return nil, fmt.Errorf("scenario: generating %s on %s: %w", g.Name, id, err)
+			}
+			srv.AddTable(tab)
+		}
+		servers[id] = srv
+		topo.AddLink(id, network.NewLink(network.LinkConfig{
+			LatencyMS:     5,
+			BandwidthKBps: 2000,
+			Seed:          opts.Seed + int64(i),
+		}))
+		wrappers = append(wrappers, wrapper.NewRelational(srv, topo))
+	}
+
+	cat := catalog.New()
+	for _, g := range gens {
+		schema := servers[ids[0]].Table(g.Name).Schema()
+		placements := make([]catalog.Placement, len(ids))
+		for i, id := range ids {
+			placements[i] = catalog.Placement{ServerID: id, RemoteTable: g.Name}
+		}
+		if err := cat.RegisterReplicated(g.Name, schema, placements); err != nil {
+			return nil, err
+		}
+	}
+
+	mw := metawrapper.New(wrappers...)
+	iiNode := remote.NewServer(remote.Config{
+		ID: "II",
+		Hardware: remote.HardwareProfile{
+			CPUOpsPerMS:      3000,
+			IOPagesPerMS:     100,
+			CachedPagesPerMS: 3000,
+			FixedOverheadMS:  0.5,
+		},
+		Contention: remote.ContentionProfile{CPU: 0.5, IO: 0.5, BufferChurn: 0.2, QueueAmp: 0.5},
+	})
+	ii := integrator.New(integrator.Config{Catalog: cat, MW: mw, Node: iiNode, Clock: clock})
+	return &Scenario{
+		Clock:   clock,
+		Servers: servers,
+		Topo:    topo,
+		Catalog: cat,
+		MW:      mw,
+		IINode:  iiNode,
+		II:      ii,
+	}, nil
+}

@@ -151,6 +151,13 @@ func (w *Relational) Probe(ctx context.Context) (simclock.Time, error) {
 	return probeOverNetwork(ctx, w.server, w.topo)
 }
 
+// CacheResidency reports the server's buffer-pool residency estimate for a
+// physical table — a replica-routing signal, not part of the Wrapper
+// interface (sources without a cache model simply don't implement it).
+func (w *Relational) CacheResidency(table string) float64 {
+	return w.server.CacheResidency(table)
+}
+
 // executeOverNetwork ships an execution descriptor to the server and the
 // result back, charging request transfer + remote service + result transfer.
 // It honours context cancellation at each hop and enforces the dispatch's
@@ -286,4 +293,10 @@ func (w *File) Open(ctx context.Context, plan *remote.Plan, batchRows int) (Resu
 // Probe implements Wrapper.
 func (w *File) Probe(ctx context.Context) (simclock.Time, error) {
 	return probeOverNetwork(ctx, w.server, w.topo)
+}
+
+// CacheResidency reports the server's buffer-pool residency estimate for a
+// physical table (see Relational.CacheResidency).
+func (w *File) CacheResidency(table string) float64 {
+	return w.server.CacheResidency(table)
 }

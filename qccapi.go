@@ -109,6 +109,11 @@ func (f *Federation) EnableQCC(opts QCCOptions) *Calibrator {
 	// Queued admission demand feeds the II workload factor: pressure is
 	// visible to routing while the backlog is still waiting to execute.
 	f.qcc.SetDemandSource(f.adm.QueueDepth)
+	// Routing decisions from the load balancer land in the federation's
+	// shared decision log (the REPL's \route view).
+	if f.qcc.LB != nil {
+		f.qcc.LB.SetDecisionLog(f.routeLog)
+	}
 	// Align the federated plan cache's staleness bound with the load
 	// balancer's rotation refresh interval: a cached compilation never
 	// outlives the rotation epoch its routing was derived under.

@@ -1,0 +1,90 @@
+package fedqcc
+
+import (
+	"repro/internal/optimizer"
+	"repro/internal/router"
+)
+
+// WeightedRoutingOptions tunes the score-based weighted replica router.
+// All-zero weights select the Milvus RFC defaults (cpu 0.3, memory 0.2,
+// cache locality 0.3, latency 0.2).
+type WeightedRoutingOptions struct {
+	// CPUWeight weights the calibration-inflation (load) sub-score.
+	CPUWeight float64
+	// MemoryWeight weights the reliability/queue-pressure sub-score.
+	MemoryWeight float64
+	// CacheWeight weights the buffer-pool residency sub-score.
+	CacheWeight float64
+	// LatencyWeight weights the normalized calibrated-cost sub-score.
+	LatencyWeight float64
+	// DisableDispatchRescore turns off the dispatch-time re-scoring pass;
+	// the compile-time replica choice still applies.
+	DisableDispatchRescore bool
+}
+
+// WeightedRouting is the public handle on an installed weighted router.
+type WeightedRouting struct {
+	r *router.WeightedRouter
+}
+
+// EnableWeightedRouting replaces the paper's round-robin load distribution
+// with the score-based weighted replica router: every fragment with more
+// than one candidate replica is routed to the server scoring best on
+//
+//	score = cpu·w1 + memory·w2 + cache_locality·w3 + latency·w4
+//
+// fed by QCC's live signals (calibration and first-row factors, reliability
+// and fence state, admission queue depth) and the remote servers'
+// buffer-pool residency estimates. With a single placement per fragment the
+// router never alters a plan, so replication-off federations stay
+// bit-identical. Calling DisableWeightedRouting (or EnableQCC again)
+// restores the round-robin policy.
+func (c *Calibrator) EnableWeightedRouting(opts WeightedRoutingOptions) *WeightedRouting {
+	f := c.fed
+	opt := f.ii.Optimizer()
+	wr := router.New(router.Config{
+		Weights: router.Weights{
+			CPU:           opts.CPUWeight,
+			Memory:        opts.MemoryWeight,
+			CacheLocality: opts.CacheWeight,
+			Latency:       opts.LatencyWeight,
+		},
+		DisableDispatchRescore: opts.DisableDispatchRescore,
+		Signals:                c.q.RouterSignals(),
+		MW:                     f.mw,
+		Assemble: func(winner *optimizer.GlobalPlan, chosen []optimizer.FragmentChoice) *optimizer.GlobalPlan {
+			return opt.AssembleGlobal(winner.Stmt, winner.Decomp, chosen)
+		},
+		Clock: f.clock,
+		Log:   f.routeLog,
+	})
+	wr.SetTelemetry(f.tel)
+	f.ii.SetRoute(wr)
+	f.ii.SetRerouter(wr)
+	return &WeightedRouting{r: wr}
+}
+
+// DisableWeightedRouting restores QCC's round-robin load balancer and
+// rerouter as the integrator's routing policies.
+func (c *Calibrator) DisableWeightedRouting() {
+	f := c.fed
+	if c.q.LB != nil {
+		f.ii.SetRoute(c.q.LB)
+	} else {
+		f.ii.SetRoute(nil)
+	}
+	if c.q.Rerouter != nil {
+		f.ii.SetRerouter(c.q.Rerouter)
+	} else {
+		f.ii.SetRerouter(nil)
+	}
+}
+
+// Rerouted reports dispatch-time replica switches and rescore checks.
+func (w *WeightedRouting) Rerouted() (switched, checked int64) { return w.r.Rerouted() }
+
+// Weights returns the resolved score weights.
+func (w *WeightedRouting) Weights() (cpu, memory, cache, latency float64) {
+	ws := w.r.Weights()
+	return ws.CPU, ws.Memory, ws.CacheLocality, ws.Latency
+}
