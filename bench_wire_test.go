@@ -1,0 +1,121 @@
+// Columnar wire protocol benchmark: the sharded ship-everything query with
+// row shipping vs typed column-batch shipping at 1/2/4/8 shards, plus the
+// pushdown pair (partial-aggregate states as rows vs typed columns). Runs
+// the same study as `qccbench -exp wire`, emits the "wire" key of
+// BENCH_wire.json (bytes-on-wire, virtual response time, min-of-trials wall
+// time per configuration) and backs the WIRE_CHECK=1 CI gate (see
+// TestWireSmoke): columnar shipping must cut wire bytes by >= 3x and win
+// end-to-end against row shipping.
+package fedqcc_test
+
+import (
+	"testing"
+
+	fedqcc "repro"
+)
+
+const wireBenchFile = "BENCH_wire.json"
+
+// wireBenchScale is deliberately finer than shardedBenchScale (Scale divides
+// the paper's table sizes): the wall-time comparison needs per-row costs
+// (boxing vs encoding) to dominate fixed per-query overhead, and
+// sub-millisecond runs drown in scheduler noise.
+const wireBenchScale = 40 // 20000 lineitem rows
+
+// wireByteFloor is the CI floor on the row-ship/col-ship wire byte ratio at
+// every sharded count. The ship-everything fragment is SELECT * over
+// lineitem, whose columns compress to roughly 12 B/row (delta ids, varint
+// keys, dictionary tags) against ~42 B/row under the row model, so 3x has
+// real margin without being trivially satisfied.
+const wireByteFloor = 3.0
+
+// measureWireStudy runs the shared experiment study at the bench scale.
+func measureWireStudy(fatalf func(format string, args ...any)) fedqcc.WireStudyResult {
+	result, err := fedqcc.RunWireStudy(fedqcc.ExperimentOptions{Scale: wireBenchScale})
+	if err != nil {
+		fatalf("wire study: %v", err)
+	}
+	return result
+}
+
+// wireConfigsByKey indexes a study by (mode, shards).
+func wireConfigsByKey(result fedqcc.WireStudyResult) map[string]fedqcc.WireOutcome {
+	byKey := map[string]fedqcc.WireOutcome{}
+	for _, cfg := range result.Outcomes {
+		byKey[cfg.Mode+string(rune('0'+cfg.Shards))] = cfg
+	}
+	return byKey
+}
+
+// requireWireFloors enforces the WIRE_CHECK gate on a measured study:
+// columnar shipping must cut wire bytes by >= wireByteFloor at every sharded
+// count, never lose on (deterministic) virtual response time, beat row
+// shipping on total wall time across the sharded counts, ship fewer
+// partial-aggregate bytes than row-model pushdown, and return the same row
+// counts everywhere.
+func requireWireFloors(t *testing.T, result fedqcc.WireStudyResult) {
+	t.Helper()
+	byKey := wireConfigsByKey(result)
+	for _, cfg := range result.Outcomes {
+		t.Logf("shards=%d mode=%-12s response=%6.1f vms  wire=%7d B  wall=%8.3f ms",
+			cfg.Shards, cfg.Mode, cfg.RespMS, cfg.WireBytes,
+			float64(cfg.WallNS)/1e6)
+		if want := result.Outcomes[0].Rows; cfg.Rows != want {
+			t.Errorf("shards=%d mode=%s returned %d rows, want %d", cfg.Shards, cfg.Mode, cfg.Rows, want)
+		}
+	}
+	var rowWall, colWall int64
+	for _, shards := range []int{2, 4, 8} {
+		k := string(rune('0' + shards))
+		row, col := byKey["row-ship"+k], byKey["col-ship"+k]
+		if ratio := float64(row.WireBytes) / float64(col.WireBytes); ratio < wireByteFloor {
+			t.Errorf("shards=%d: columnar wire ratio %.2fx below the %.1fx floor (row %d B, col %d B)",
+				shards, ratio, wireByteFloor, row.WireBytes, col.WireBytes)
+		}
+		if col.RespMS > row.RespMS {
+			t.Errorf("shards=%d: col-ship virtual response %.2f vms worse than row-ship %.2f vms",
+				shards, col.RespMS, row.RespMS)
+		}
+		rowWall += row.WallNS
+		colWall += col.WallNS
+		push, pushCol := byKey["pushdown"+k], byKey["pushdown-col"+k]
+		if pushCol.WireBytes >= push.WireBytes {
+			t.Errorf("shards=%d: pushdown-col ships %d B, not below row-model pushdown %d B",
+				shards, pushCol.WireBytes, push.WireBytes)
+		}
+	}
+	if colWall >= rowWall {
+		t.Errorf("columnar shipping wall total %.3f ms does not beat row shipping %.3f ms across sharded counts",
+			float64(colWall)/1e6, float64(rowWall)/1e6)
+	} else {
+		t.Logf("wall total across 2/4/8 shards: row-ship %.3f ms, col-ship %.3f ms (%.2fx)",
+			float64(rowWall)/1e6, float64(colWall)/1e6, float64(rowWall)/float64(colWall))
+	}
+}
+
+func writeWireBenchFile(result fedqcc.WireStudyResult) error {
+	return fedqcc.WriteWireStudy(result, wireBenchFile)
+}
+
+// BenchmarkWireProtocol measures the full wire grid once per run and
+// persists it to BENCH_wire.json. As with BenchmarkShardedScaleOut, the
+// headline metrics are virtual (wire bytes) or min-of-trials wall times
+// measured outside the b.N loop; the loop keeps -benchtime=1x CI runs happy.
+func BenchmarkWireProtocol(b *testing.B) {
+	result := measureWireStudy(b.Fatalf)
+	byKey := wireConfigsByKey(result)
+	for _, cfg := range result.Outcomes {
+		b.Logf("shards=%d mode=%-12s response=%6.1f vms  wire=%7d B  wall=%8.3f ms",
+			cfg.Shards, cfg.Mode, cfg.RespMS, cfg.WireBytes,
+			float64(cfg.WallNS)/1e6)
+	}
+	row4, col4 := byKey["row-ship4"], byKey["col-ship4"]
+	b.ReportMetric(float64(row4.WireBytes)/float64(col4.WireBytes), "wire_reduction4_x")
+	b.ReportMetric(float64(row4.WallNS)/float64(col4.WallNS), "wall_speedup4_x")
+	if err := writeWireBenchFile(result); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s (wire)", wireBenchFile)
+	for i := 0; i < b.N; i++ {
+	}
+}

@@ -6,6 +6,7 @@
 //	qccbench -exp table2  # Table 2: fixed vs dynamic assignment
 //	qccbench -exp fig10   # Figure 10: QCC vs fixed assignment 1
 //	qccbench -exp fig11   # Figure 11: QCC vs fixed assignment 2 (always S3)
+//	qccbench -exp wire    # columnar wire protocol grid (also writes BENCH_wire.json)
 //	qccbench -exp all     # everything
 //
 // The -scale flag divides the paper's table sizes (1 = 100k-row large
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig9|table1|table2|fig10|fig11|network|lb|weighted|all")
+	exp := flag.String("exp", "all", "experiment: fig9|table1|table2|fig10|fig11|network|lb|weighted|wire|all")
 	scale := flag.Int("scale", 20, "table-size divisor (1 = paper scale, 100k-row large tables)")
 	instances := flag.Int("instances", 10, "query instances per type")
 	seed := flag.Int64("seed", 42, "data-generation seed")
@@ -61,6 +62,12 @@ func main() {
 		weighted, err = fedqcc.RunWeightedRoutingStudy(opts, 0)
 		fail(err)
 	}
+	var wire fedqcc.WireStudyResult
+	if *exp == "wire" || *exp == "all" {
+		wire, err = fedqcc.RunWireStudy(opts)
+		fail(err)
+		fail(fedqcc.WriteWireStudy(wire, "BENCH_wire.json"))
+	}
 
 	switch *exp {
 	case "fig9":
@@ -79,6 +86,8 @@ func main() {
 		fmt.Print(fedqcc.FormatLoadBalanceStudy(lb))
 	case "weighted":
 		fmt.Print(fedqcc.FormatWeightedRoutingStudy(weighted))
+	case "wire":
+		fmt.Print(fedqcc.FormatWireStudy(wire))
 	case "all":
 		fmt.Print(fedqcc.FormatFigure9(sens))
 		fmt.Print(fedqcc.FormatTable1())
@@ -94,6 +103,8 @@ func main() {
 		fmt.Print(fedqcc.FormatLoadBalanceStudy(lb))
 		fmt.Println()
 		fmt.Print(fedqcc.FormatWeightedRoutingStudy(weighted))
+		fmt.Println()
+		fmt.Print(fedqcc.FormatWireStudy(wire))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -59,6 +59,27 @@ func RunWeightedRoutingStudy(opts ExperimentOptions, burst int) ([]WeightedOutco
 	return experiment.WeightedRoutingStudy(opts, burst)
 }
 
+// WireOutcome is one (shard count, ship mode) measurement of the columnar
+// wire study.
+type WireOutcome = experiment.WireOutcome
+
+// WireStudyResult is the full columnar-wire grid emitted to BENCH_wire.json.
+type WireStudyResult = experiment.WireStudyResult
+
+// RunWireStudy measures the typed columnar wire protocol against row
+// shipping: the sharded aggregate workload at 1/2/4/8 shards in all four
+// ship modes (row-ship, col-ship, pushdown, pushdown-col), reporting wire
+// bytes, virtual response time and min-of-trials wall time.
+func RunWireStudy(opts ExperimentOptions) (WireStudyResult, error) {
+	return experiment.WireStudy(opts)
+}
+
+// WriteWireStudy merges a wire study under the "wire" key of the given JSON
+// file, preserving any other keys already present.
+func WriteWireStudy(result WireStudyResult, path string) error {
+	return experiment.WriteWireStudy(result, path)
+}
+
 // Report formatters for the paper's tables and figures.
 var (
 	// FormatFigure9 renders the sensitivity series.
@@ -77,6 +98,8 @@ var (
 	FormatLoadBalanceStudy = experiment.FormatLoadBalanceStudy
 	// FormatWeightedRoutingStudy renders the replica-routing comparison.
 	FormatWeightedRoutingStudy = experiment.FormatWeightedRoutingStudy
+	// FormatWireStudy renders the columnar wire protocol grid.
+	FormatWireStudy = experiment.FormatWireStudy
 	// AverageGains summarizes a gain study.
 	AverageGains = experiment.AverageGains
 )

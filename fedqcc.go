@@ -206,7 +206,7 @@ func fromScenario(sc *scenario.Scenario) *Federation {
 	// footprint until Admission().SetPolicy imposes caps.
 	adm := admission.New(admission.Config{Clock: sc.Clock, Telemetry: tel})
 	sc.II.SetAdmission(adm)
-	return &Federation{
+	fed := &Federation{
 		clock:    sc.Clock,
 		servers:  sc.Servers,
 		topo:     sc.Topo,
@@ -218,6 +218,29 @@ func fromScenario(sc *scenario.Scenario) *Federation {
 		adm:      adm,
 		routeLog: router.NewDecisionLog(0),
 	}
+	// Fragment ship modes (row-ship / col-ship / pushdown / pushdown-col)
+	// land in the shared decision log under the "ship" policy, alongside the
+	// routing policies' entries.
+	sc.II.SetShipObserver(&shipRecorder{clock: sc.Clock, log: fed.routeLog})
+	return fed
+}
+
+// shipRecorder feeds per-fragment data-shipping modes into the shared
+// routing decision log (policy "ship"), so the row-ship baseline, columnar
+// shipping, and pushdown runs are distinguishable after the fact.
+type shipRecorder struct {
+	clock *simclock.Clock
+	log   *router.DecisionLog
+}
+
+func (r *shipRecorder) ObserveShip(query, fragID, serverID, mode string) {
+	r.log.Record(router.Decision{
+		At:     r.clock.Now(),
+		Query:  query,
+		Policy: "ship",
+		Route:  fragID + "→" + serverID,
+		Reason: mode,
+	})
 }
 
 // Telemetry returns the federation's observability subsystem. It is always
@@ -338,6 +361,29 @@ func (f *Federation) SetVectorized(on bool) {
 
 // Vectorized reports whether the columnar engine is active at the integrator.
 func (f *Federation) Vectorized() bool { return f.ii.Vectorized() }
+
+// SetColumnarWire switches every remote server between shipping streamed
+// fragment results as boxed rows and as typed column batches with the
+// compact colbatch wire encoding (fixed-width packing, delta varints,
+// string dictionaries). Effective only while the federation is also
+// vectorized — the row engine has no columnar result to encode; with the
+// flag off the encoder never runs and the data path is byte-for-byte the
+// row protocol. Network byte accounting, the wrapper's wire charging, and
+// MW's RunLog all observe the encoded sizes when active.
+func (f *Federation) SetColumnarWire(on bool) {
+	for _, srv := range f.servers {
+		srv.SetColumnarWire(on)
+	}
+}
+
+// ColumnarWire reports whether the columnar wire protocol is enabled (it
+// engages only on servers that are also vectorized).
+func (f *Federation) ColumnarWire() bool {
+	for _, srv := range f.servers {
+		return srv.ColumnarWire()
+	}
+	return false
+}
 
 // SetShardPruning toggles predicate-based shard pruning for sharded tables
 // (default on); off scatter-gathers every shard.

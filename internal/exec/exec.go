@@ -87,20 +87,33 @@ type Values struct {
 	Rel *sqltypes.Relation
 	// Col, when non-nil, is the same rows in columnar form; ExecuteVectorized
 	// uses it directly so fragment results shipped as batches never round-trip
-	// through rows. Invariant: Col.ToRelation() row-equals Rel.
+	// through rows. Rel may be nil when the columnar wire protocol delivered
+	// the data (no rows were ever boxed); otherwise Col.ToRelation()
+	// row-equals Rel.
 	Col *colbatch.Batch
 	// Label names the source in EXPLAIN output.
 	Label string
 }
 
 // Schema implements Operator.
-func (v *Values) Schema() *sqltypes.Schema { return v.Rel.Schema }
+func (v *Values) Schema() *sqltypes.Schema {
+	if v.Rel != nil {
+		return v.Rel.Schema
+	}
+	return v.Col.Schema
+}
 
 // Execute implements Operator. It charges one CPU op per row (cursor
-// iteration) and no IO: the data is already local.
+// iteration) and no IO: the data is already local. A columnar-only Values
+// (wire-delivered) materializes rows here — the row engine is the fallback
+// path, and its charge stays one op per row either way.
 func (v *Values) Execute(ctx *Context) (*sqltypes.Relation, error) {
-	ctx.Res.CPUOps += float64(len(v.Rel.Rows))
-	return v.Rel, nil
+	rel := v.Rel
+	if rel == nil {
+		rel = v.Col.ToRelation()
+	}
+	ctx.Res.CPUOps += float64(len(rel.Rows))
+	return rel, nil
 }
 
 // Explain implements Operator.
@@ -109,7 +122,13 @@ func (v *Values) Explain() string {
 	if label == "" {
 		label = "values"
 	}
-	return fmt.Sprintf("VALUES %s [%d rows]", label, len(v.Rel.Rows))
+	n := 0
+	if v.Rel != nil {
+		n = len(v.Rel.Rows)
+	} else if v.Col != nil {
+		n = v.Col.Len()
+	}
+	return fmt.Sprintf("VALUES %s [%d rows]", label, n)
 }
 
 // Children implements Operator.

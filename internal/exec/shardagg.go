@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/exec/colbatch"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
 )
@@ -116,18 +117,38 @@ func (s *ShardAggFinal) Execute(ctx *Context) (*sqltypes.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	k := len(s.GroupBy)
-	width := 0
+	if err := s.checkWidth(in.Schema); err != nil {
+		return nil, err
+	}
+	return s.mergeCells(len(in.Rows), func(r, c int) sqltypes.Value { return in.Rows[r][c] }, ctx)
+}
+
+// checkWidth validates the partial-state input layout (keys then states).
+func (s *ShardAggFinal) checkWidth(schema *sqltypes.Schema) error {
+	width := len(s.GroupBy)
 	for _, a := range s.Aggs {
 		width += PartialStateWidth(a)
 	}
-	if in.Schema.Len() != k+width {
-		return nil, fmt.Errorf("exec: shard merge expects %d partial columns, input has %d", k+width, in.Schema.Len())
+	if schema.Len() != width {
+		return fmt.Errorf("exec: shard merge expects %d partial columns, input has %d", width, schema.Len())
 	}
+	return nil
+}
+
+// mergeCells is the engine-independent merge kernel: it folds n partial
+// rows, read through the cell accessor, into final aggregate values. Both
+// Execute (rows) and the vectorized path (column batches) call it, so the
+// grouping, the fold order, and the CPU charge — one op per row per
+// (cursor + aggregate) — are identical by construction.
+func (s *ShardAggFinal) mergeCells(n int, cell func(row, col int) sqltypes.Value, ctx *Context) (*sqltypes.Relation, error) {
+	k := len(s.GroupBy)
 	groups := map[uint64][]*shardMergeGroup{}
 	var order []*shardMergeGroup
-	for _, row := range in.Rows {
-		keys := row[:k]
+	keys := make(sqltypes.Row, k)
+	for r := 0; r < n; r++ {
+		for c := 0; c < k; c++ {
+			keys[c] = cell(r, c)
+		}
 		h := rowHash(keys)
 		var grp *shardMergeGroup
 		for _, g := range groups[h] {
@@ -145,17 +166,17 @@ func (s *ShardAggFinal) Execute(ctx *Context) (*sqltypes.Relation, error) {
 		for i, a := range s.Aggs {
 			switch a.Func {
 			case sqlparser.AggCount:
-				grp.counts[i] += row[off].Int()
+				grp.counts[i] += cell(r, off).Int()
 			case sqlparser.AggAvg:
-				grp.states[i].add(row[off])
-				grp.counts[i] += row[off+1].Int()
+				grp.states[i].add(cell(r, off))
+				grp.counts[i] += cell(r, off+1).Int()
 			default: // SUM, MIN, MAX: fold the partial value
-				grp.states[i].add(row[off])
+				grp.states[i].add(cell(r, off))
 			}
 			off += PartialStateWidth(a)
 		}
 	}
-	ctx.Res.CPUOps += float64(len(in.Rows)) * float64(1+len(s.Aggs))
+	ctx.Res.CPUOps += float64(n) * float64(1+len(s.Aggs))
 	// Scalar aggregation over no partials still yields one row, mirroring
 	// the plain folder (cannot normally happen: every shard ships one
 	// scalar partial row).
@@ -183,6 +204,16 @@ func (s *ShardAggFinal) Execute(ctx *Context) (*sqltypes.Relation, error) {
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
+}
+
+// mergeBatch is the vectorized entry to the merge kernel: partial states
+// arrive as a typed column batch (the wire-delivered form) and are folded
+// without materializing rows.
+func (s *ShardAggFinal) mergeBatch(in *colbatch.Batch, ctx *Context) (*sqltypes.Relation, error) {
+	if err := s.checkWidth(in.Schema); err != nil {
+		return nil, err
+	}
+	return s.mergeCells(in.Len(), in.Value, ctx)
 }
 
 // Explain implements Operator.

@@ -139,6 +139,17 @@ func ExecuteVectorized(op Operator, ctx *Context) (*colbatch.Batch, error) {
 		}
 		return out, nil
 
+	case *ShardAggFinal:
+		in, err := ExecuteVectorized(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := x.mergeBatch(in, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return colbatch.FromRelation(rel), nil
+
 	default:
 		rel, err := op.Execute(ctx)
 		if err != nil {

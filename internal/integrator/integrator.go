@@ -60,6 +60,14 @@ type RouteAnnotator interface {
 	RouteAttrs(fragID string) map[string]string
 }
 
+// ShipObserver receives each fragment's data-shipping mode after a
+// successful dispatch, so decision logs can distinguish the row-ship
+// baseline from columnar shipping and partial-aggregate pushdown. Nil is
+// allowed.
+type ShipObserver interface {
+	ObserveShip(query, fragID, serverID, mode string)
+}
+
 // Config wires an II instance.
 type Config struct {
 	Catalog *catalog.Catalog
@@ -74,6 +82,8 @@ type Config struct {
 	Route RoutePolicy
 	// MergeObs receives II merge observations (may be nil).
 	MergeObs IIMergeObserver
+	// ShipObs receives per-fragment data-shipping modes (may be nil).
+	ShipObs ShipObserver
 	// Reroute, when non-nil, is consulted before each fragment dispatch
 	// (the long-running-query extension).
 	Reroute RuntimeRerouter
@@ -228,7 +238,12 @@ func (ii *II) SetShardPruning(on bool) {
 func (ii *II) ShardPushdown() bool { return ii.shardPushdown.Load() }
 
 // SetShardPushdown toggles two-phase partial-aggregate pushdown (default
-// on). Off ships whole rows from every shard — the ship-all-rows baseline.
+// on). Off selects the ship-everything baseline: every shard ships its full
+// pre-aggregation result, as boxed rows ("row-ship") or typed column
+// batches ("col-ship") depending on the columnar wire flag. On, shards ship
+// partial-aggregate states instead ("pushdown" / "pushdown-col"). Fragment
+// spans carry the active mode in their "ship" attribute and the decision
+// log records it, so the four modes are distinguishable after the fact.
 // The plan cache is cleared on a change.
 func (ii *II) SetShardPushdown(on bool) {
 	if ii.shardPushdown.Swap(on) != on {
@@ -254,6 +269,9 @@ func (ii *II) SetRoute(r RoutePolicy) { ii.cfg.Route = r }
 
 // SetMergeObserver installs the II merge observer (QCC's §3.2 input).
 func (ii *II) SetMergeObserver(o IIMergeObserver) { ii.cfg.MergeObs = o }
+
+// SetShipObserver installs the per-fragment ship-mode observer.
+func (ii *II) SetShipObserver(o ShipObserver) { ii.cfg.ShipObs = o }
 
 // SetRerouter installs the runtime fragment rerouter.
 func (ii *II) SetRerouter(r RuntimeRerouter) { ii.cfg.Reroute = r }
@@ -620,15 +638,41 @@ func (e *FragmentError) Unwrap() error { return e.Err }
 // the merge always sees fragments in plan order regardless of completion
 // order.
 type fragOutcome struct {
+	// rel holds the fragment rows; nil when the columnar wire protocol
+	// carried the fragment (then col is authoritative and no rows were
+	// boxed anywhere on the path).
 	rel *sqltypes.Relation
 	// col is the same rows in columnar form when the remote executed
 	// vectorized AND every stream batch carried a columnar payload; nil
-	// otherwise. col.ToRelation() row-equals rel.
+	// otherwise. col.ToRelation() row-equals rel when both are set.
 	col      *colbatch.Batch
 	respTime simclock.Time
 	firstRow simclock.Time
 	serverID string
 	fragID   string
+	// wire marks a fragment delivered over the columnar wire protocol.
+	wire bool
+}
+
+// shipMode names how a fragment's data crossed the wire, for spans and the
+// decision log:
+//
+//	"row-ship"     boxed rows of the full (or whole-row baseline) result
+//	"col-ship"     typed column batches of the same rows (columnar wire)
+//	"pushdown"     partial-aggregate states as boxed rows
+//	"pushdown-col" partial-aggregate states as typed column batches
+func shipMode(gp *optimizer.GlobalPlan, f optimizer.FragmentChoice, wire bool) string {
+	pushdown := f.Spec.Shard != nil && gp.Decomp.Sharded != nil && gp.Decomp.Sharded.Partial != nil
+	switch {
+	case pushdown && wire:
+		return "pushdown-col"
+	case pushdown:
+		return "pushdown"
+	case wire:
+		return "col-ship"
+	default:
+		return "row-ship"
+	}
 }
 
 // dispatchFragment runs one fragment through MW, streaming when batchRows is
@@ -647,6 +691,7 @@ func (ii *II) dispatchFragment(ctx context.Context, f optimizer.FragmentChoice, 
 			firstRow: out.ResponseTime,
 			serverID: f.ServerID,
 			fragID:   f.Spec.ID,
+			wire:     out.Result.Rel == nil && out.Result.Col != nil,
 		}, nil
 	}
 	st, err := ii.cfg.MW.OpenFragmentStream(ctx, f.ServerID, f.Spec.Stmt.String(), f.Plan, f.RawEst, batchRows)
@@ -657,7 +702,10 @@ func (ii *II) dispatchFragment(ctx context.Context, f optimizer.FragmentChoice, 
 	// Columnar batches reassemble without a row round trip; one row-only
 	// batch (non-vectorized remote) drops the columnar form for the whole
 	// fragment, since a partial column set would be useless to the merge.
+	// Under the columnar wire protocol batches carry no row form at all —
+	// the fragment stays columnar end to end.
 	acc := colbatch.NewAccumulator(st.Schema())
+	wire := false
 	for {
 		b, err := st.Next(ctx)
 		if err != nil {
@@ -666,7 +714,11 @@ func (ii *II) dispatchFragment(ctx context.Context, f optimizer.FragmentChoice, 
 		if b == nil {
 			break
 		}
-		rel.Rows = append(rel.Rows, b.Rel.Rows...)
+		if b.Rel != nil {
+			rel.Rows = append(rel.Rows, b.Rel.Rows...)
+		} else {
+			wire = true
+		}
 		if acc != nil {
 			if b.Col == nil {
 				acc = nil
@@ -680,6 +732,14 @@ func (ii *II) dispatchFragment(ctx context.Context, f optimizer.FragmentChoice, 
 	if acc != nil {
 		col = acc.Finish()
 	}
+	if wire && col == nil {
+		// Cannot normally happen: wire batches always carry columns. Keep
+		// the (empty) row form rather than returning a dataless fragment.
+		wire = false
+	}
+	if wire {
+		rel = nil
+	}
 	return fragOutcome{
 		rel:      rel,
 		col:      col,
@@ -687,6 +747,7 @@ func (ii *II) dispatchFragment(ctx context.Context, f optimizer.FragmentChoice, 
 		firstRow: out.FirstRowTime,
 		serverID: f.ServerID,
 		fragID:   f.Spec.ID,
+		wire:     wire,
 	}, nil
 }
 
@@ -775,8 +836,13 @@ func (ii *II) ExecuteContext(ctx context.Context, gp *optimizer.GlobalPlan) (*Qu
 				}
 				return
 			}
+			mode := shipMode(gp, f, out.wire)
+			fspan.SetAttr("ship", mode)
 			fspan.End(out.respTime)
 			ii.cfg.Telemetry.Active().Counter("ii.fragments", f.ServerID).Inc()
+			if ii.cfg.ShipObs != nil {
+				ii.cfg.ShipObs.ObserveShip(gp.Stmt.String(), f.Spec.ID, f.ServerID, mode)
+			}
 			outcomes[i] = out
 		}(i, f)
 	}
@@ -856,6 +922,16 @@ func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, fra
 		tel := ii.cfg.Telemetry
 		tel.Active().Counter("exec.vectorized", "ii").Inc()
 	}
+	if !vec {
+		// Correctness fallback: wire-delivered fragments have no row form.
+		// A row merge (II not vectorized, or a row-engine fragment mixed in)
+		// materializes them here; a columnar merge never boxes them at all.
+		for i := range fragRels {
+			if fragRels[i] == nil && fragCols[i] != nil {
+				fragRels[i] = fragCols[i].ToRelation()
+			}
+		}
+	}
 	ctx := &exec.Context{}
 	if gp.Decomp.SingleFragment {
 		if batchRows > 0 {
@@ -876,6 +952,12 @@ func (ii *II) merge(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, fra
 			return rel, ii.cfg.Node.Observe(ctx.Res), "", nil
 		}
 		rel := fragRels[0]
+		if rel == nil {
+			// Monolithic + columnar wire: the single fragment arrived as a
+			// batch; materialize at the very edge, charging the same one op
+			// per row the pass-through merge charges.
+			rel = fragCols[0].ToRelation()
+		}
 		ctx.Res.CPUOps = float64(rel.Cardinality())
 		return rel, ii.cfg.Node.Observe(ctx.Res), "", nil
 	}
@@ -1054,9 +1136,16 @@ func logicalFragments(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, f
 			j = len(ids)
 			pos[key] = j
 			ids = append(ids, key)
-			rel := sqltypes.NewRelation(fragRels[i].Schema)
-			rel.Rows = append(rel.Rows, fragRels[i].Rows...)
-			rels = append(rels, rel)
+			// Wire-delivered fragments have no row form; the folded logical
+			// fragment then stays columnar-only (nil rel) and the merge's
+			// Values leaves read the batch directly.
+			if fragRels[i] == nil {
+				rels = append(rels, nil)
+			} else {
+				rel := sqltypes.NewRelation(fragRels[i].Schema)
+				rel.Rows = append(rel.Rows, fragRels[i].Rows...)
+				rels = append(rels, rel)
+			}
 			if vec {
 				cols = append(cols, fragCols[i])
 			} else {
@@ -1064,7 +1153,11 @@ func logicalFragments(gp *optimizer.GlobalPlan, fragRels []*sqltypes.Relation, f
 			}
 			continue
 		}
-		rels[j].Rows = append(rels[j].Rows, fragRels[i].Rows...)
+		if fragRels[i] == nil {
+			rels[j] = nil
+		} else if rels[j] != nil {
+			rels[j].Rows = append(rels[j].Rows, fragRels[i].Rows...)
+		}
 		if vec {
 			acc := colbatch.NewAccumulator(cols[j].Schema)
 			acc.Append(cols[j])

@@ -300,6 +300,20 @@ func (mw *MetaWrapper) TableVersions(serverID string, tables []string) (map[stri
 	return w.TableVersions(tables)
 }
 
+// resultBytes is the actual result volume a fragment shipped: the encoded
+// wire bytes when the columnar wire protocol carried it, the row-model size
+// otherwise. The estimate side (CostEstimate.OutBytes) stays row-model —
+// QCC's calibration learns the time gap, not the byte gap.
+func resultBytes(res *remote.Result, wireBytes int) int {
+	if wireBytes > 0 {
+		return wireBytes
+	}
+	if res.Rel != nil {
+		return res.Rel.ByteSize()
+	}
+	return 0
+}
+
 // ExecuteFragment forwards an execution descriptor, records the observed
 // response time against the original (uncalibrated) estimate, and reports
 // errors. The context carries the dispatch's cancellation signal and
@@ -329,7 +343,7 @@ func (mw *MetaWrapper) ExecuteFragment(ctx context.Context, serverID, fragSig st
 			PlanSig:  plan.Signature,
 			Est:      rawEst,
 			Observed: out.ResponseTime,
-			OutBytes: out.Result.Rel.ByteSize(),
+			OutBytes: resultBytes(out.Result, out.WireBytes),
 		})
 	}
 	mw.log.addRun(RunLogEntry{
@@ -338,7 +352,7 @@ func (mw *MetaWrapper) ExecuteFragment(ctx context.Context, serverID, fragSig st
 		PlanSig:    plan.Signature,
 		EstMS:      rawEst.TotalMS,
 		ObservedMS: float64(out.ResponseTime),
-		OutBytes:   out.Result.Rel.ByteSize(),
+		OutBytes:   resultBytes(out.Result, out.WireBytes),
 	})
 	return out, nil
 }
@@ -420,7 +434,7 @@ func (s *mwStream) observeOutcome(out *wrapper.StreamOutcome) {
 			Est:      s.rawEst,
 			Observed: out.ResponseTime,
 			FirstRow: out.FirstRowTime,
-			OutBytes: out.Result.Rel.ByteSize(),
+			OutBytes: resultBytes(out.Result, out.WireBytes),
 		})
 	}
 	mw.log.addRun(RunLogEntry{
@@ -429,7 +443,7 @@ func (s *mwStream) observeOutcome(out *wrapper.StreamOutcome) {
 		PlanSig:    s.plan.Signature,
 		EstMS:      s.rawEst.TotalMS,
 		ObservedMS: float64(out.ResponseTime),
-		OutBytes:   out.Result.Rel.ByteSize(),
+		OutBytes:   resultBytes(out.Result, out.WireBytes),
 	})
 }
 

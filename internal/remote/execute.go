@@ -15,7 +15,9 @@ import (
 
 // Result is the outcome of executing a plan at the server.
 type Result struct {
-	// Rel is the materialized fragment result.
+	// Rel is the materialized fragment result. Nil when the columnar wire
+	// protocol carried the result: then Col is authoritative and no row form
+	// was ever boxed on the server.
 	Rel *sqltypes.Relation
 	// Col is the columnar form of the same result when the server executed
 	// vectorized; nil on the row engine. Col.ToRelation() row-equals Rel.
@@ -27,11 +29,36 @@ type Result struct {
 	Resources exec.Resources
 }
 
+// RowCount returns the result cardinality regardless of which form (rows or
+// columns) carries it.
+func (r *Result) RowCount() int {
+	if r.Rel != nil {
+		return len(r.Rel.Rows)
+	}
+	if r.Col != nil {
+		return r.Col.Len()
+	}
+	return 0
+}
+
+// Schema returns the result schema from whichever form carries it.
+func (r *Result) Schema() *sqltypes.Schema {
+	if r.Rel != nil {
+		return r.Rel.Schema
+	}
+	if r.Col != nil {
+		return r.Col.Schema
+	}
+	return nil
+}
+
 // runPlan is the shared execution body behind ExecutePlan and OpenPlan: it
 // fails when the context is cancelled, when the server is down, when failure
 // injection is armed, or when the plan is bound to a different server, then
 // executes the plan and observes its full service time under current load.
-func (s *Server) runPlan(ctx context.Context, p *Plan) (*Result, error) {
+// wire selects the columnar wire protocol: the result then stays columnar
+// (Rel nil) and is never boxed into rows on the server.
+func (s *Server) runPlan(ctx context.Context, p *Plan, wire bool) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -62,12 +89,15 @@ func (s *Server) runPlan(ctx context.Context, p *Plan) (*Result, error) {
 		tel := s.telemetry()
 		tel.Active().Counter("exec.vectorized", s.id).Inc()
 		tel.Active().Histogram("exec.batch_rows", s.id, nil).Observe(float64(col.Len()))
-		return &Result{
-			Rel:         col.ToRelation(),
+		res := &Result{
 			Col:         col,
 			ServiceTime: s.ObserveAccess(ectx.Res, p.Tables),
 			Resources:   ectx.Res,
-		}, nil
+		}
+		if !wire {
+			res.Rel = col.ToRelation()
+		}
+		return res, nil
 	}
 	rel, err := p.Root.Execute(ectx)
 	if err != nil {
@@ -85,7 +115,7 @@ func (s *Server) runPlan(ctx context.Context, p *Plan) (*Result, error) {
 // remote.exec span itself. The streaming path (OpenPlan) leaves span
 // emission to the wrapper, which interleaves it with batch transfers.
 func (s *Server) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
-	res, err := s.runPlan(ctx, p)
+	res, err := s.runPlan(ctx, p, false)
 	if err != nil {
 		return nil, err
 	}

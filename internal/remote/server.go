@@ -164,6 +164,13 @@ type Server struct {
 	// (see exec.ExecuteVectorized); the toggle only changes wall-clock cost.
 	vectorized atomic.Bool
 
+	// wireColumnar ships streamed fragment results as typed column batches
+	// with the compact colbatch wire encoding instead of boxed rows. It only
+	// takes effect when vectorized is also on (the row engine has no columnar
+	// result to encode); when off, no encoder runs and the data path is
+	// byte-for-byte the PR 8 engine.
+	wireColumnar atomic.Bool
+
 	// induced-load state: recent service-time samples within the window.
 	induced InducedLoadProfile
 	clock   *simclock.Clock
@@ -220,6 +227,15 @@ func (s *Server) SetVectorized(on bool) { s.vectorized.Store(on) }
 
 // Vectorized reports whether the columnar engine is active.
 func (s *Server) Vectorized() bool { return s.vectorized.Load() }
+
+// SetColumnarWire switches streamed fragment results between boxed rows and
+// the typed columnar wire encoding. Effective only while the server is also
+// vectorized; the flag is remembered either way.
+func (s *Server) SetColumnarWire(on bool) { s.wireColumnar.Store(on) }
+
+// ColumnarWire reports whether the columnar wire protocol is enabled (it
+// still requires Vectorized() to carry batches).
+func (s *Server) ColumnarWire() bool { return s.wireColumnar.Load() }
 
 // ID returns the server identifier.
 func (s *Server) ID() string { return s.id }

@@ -11,11 +11,16 @@ import (
 
 // Batch is one streamed unit of a fragment result.
 type Batch struct {
-	// Rel holds this batch's rows (a slice view into the full result).
+	// Rel holds this batch's rows (a slice view into the full result). Nil
+	// when the columnar wire protocol carried the batch: then Col + Enc are
+	// authoritative and no rows were boxed.
 	Rel *sqltypes.Relation
 	// Col is the same rows as a columnar view when the server executed
 	// vectorized; nil on the row engine.
 	Col *colbatch.Batch
+	// Enc is the batch in wire form, present only under the columnar wire
+	// protocol. Its byte length is what the network link transfers.
+	Enc *colbatch.Encoded
 	// ServiceTime is the simulated remote compute time attributable to
 	// producing this batch under the first/next-tuple model: the first batch
 	// carries the first-tuple cost, later batches their next-tuple share,
@@ -41,12 +46,13 @@ type Cursor struct {
 // batch carrying the full service time, which reproduces monolithic
 // execution exactly.
 func (s *Server) OpenPlan(ctx context.Context, p *Plan, batchRows int) (*Cursor, error) {
-	res, err := s.runPlan(ctx, p)
+	wire := s.wireColumnar.Load() && s.vectorized.Load()
+	res, err := s.runPlan(ctx, p, wire)
 	if err != nil {
 		return nil, err
 	}
 	cur := &Cursor{result: res, blocking: exec.BlockingStage(p.Root)}
-	n := len(res.Rel.Rows)
+	n := res.RowCount()
 	if batchRows <= 0 || cur.blocking != "" || n <= batchRows {
 		cur.bounds = []int{n}
 		cur.splits = []simclock.Time{res.ServiceTime}
@@ -91,15 +97,22 @@ func (c *Cursor) NextBatch() *Batch {
 		lo, prev = c.bounds[c.pos-1], c.splits[c.pos-1]
 	}
 	hi := c.bounds[c.pos]
-	rel := c.result.Rel
-	if c.pos > 0 || hi < len(rel.Rows) {
-		view := sqltypes.NewRelation(rel.Schema)
-		view.Rows = rel.Rows[lo:hi]
-		rel = view
+	b := &Batch{ServiceTime: c.splits[c.pos] - prev}
+	if rel := c.result.Rel; rel != nil {
+		if c.pos > 0 || hi < len(rel.Rows) {
+			view := sqltypes.NewRelation(rel.Schema)
+			view.Rows = rel.Rows[lo:hi]
+			rel = view
+		}
+		b.Rel = rel
 	}
-	b := &Batch{Rel: rel, ServiceTime: c.splits[c.pos] - prev}
 	if c.result.Col != nil {
 		b.Col = c.result.Col.Slice(lo, hi)
+		if c.result.Rel == nil {
+			// Columnar wire protocol: encode the batch for transfer. The
+			// encoded length is the size every network draw observes.
+			b.Enc = colbatch.Encode(b.Col)
+		}
 	}
 	c.pos++
 	return b

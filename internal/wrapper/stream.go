@@ -2,6 +2,8 @@ package wrapper
 
 import (
 	"context"
+	"strconv"
+	"strings"
 
 	"repro/internal/exec/colbatch"
 	"repro/internal/network"
@@ -43,6 +45,9 @@ type StreamOutcome struct {
 	// FirstRowTime is when the first batch finished arriving — the paper's
 	// first-tuple cost made observable end to end.
 	FirstRowTime simclock.Time
+	// WireBytes is the total encoded bytes the result link carried when the
+	// columnar wire protocol was active; 0 on the row protocol.
+	WireBytes int
 }
 
 // ResultStream is an open fragment result being shipped batch by batch.
@@ -75,6 +80,12 @@ type netStream struct {
 	seen     int
 	done     bool
 	outcome  *StreamOutcome
+
+	// Columnar-wire accounting: encoded vs row-model bytes actually shipped,
+	// and the first batch's per-column encoding labels for the span.
+	wireBytes int
+	rawBytes  int
+	colEnc    []string
 }
 
 // openStream ships the execution descriptor and opens the remote cursor.
@@ -121,7 +132,7 @@ func openStream(ctx context.Context, server *remote.Server, topo *network.Topolo
 }
 
 // Schema implements ResultStream.
-func (s *netStream) Schema() *sqltypes.Schema { return s.cur.Result().Rel.Schema }
+func (s *netStream) Schema() *sqltypes.Schema { return s.cur.Result().Schema() }
 
 // Next implements ResultStream.
 func (s *netStream) Next(ctx context.Context) (*StreamBatch, error) {
@@ -129,12 +140,26 @@ func (s *netStream) Next(ctx context.Context) (*StreamBatch, error) {
 		return nil, nil
 	}
 	b := s.cur.NextBatch()
+	if b != nil && b.Enc != nil {
+		s.wireBytes += b.Enc.WireBytes()
+		s.rawBytes += b.Col.WireSize()
+		if s.colEnc == nil {
+			s.colEnc = b.Enc.ColEnc
+		}
+	}
 	if b == nil {
 		s.done = true
 		s.outcome = &StreamOutcome{
 			Result:       s.cur.Result(),
 			ResponseTime: s.arrive,
 			FirstRowTime: s.firstRow,
+			WireBytes:    s.wireBytes,
+		}
+		if s.wireBytes > 0 {
+			s.wsp.SetAttr("wire", "columnar")
+			s.wsp.SetAttr("wire_bytes", strconv.Itoa(s.wireBytes))
+			s.wsp.SetAttr("wire_raw_bytes", strconv.Itoa(s.rawBytes))
+			s.wsp.SetAttr("wire_enc", strings.Join(s.colEnc, ","))
 		}
 		s.wsp.End(s.outcome.ResponseTime)
 		if err := simclock.CheckDeadline(ctx, s.outcome.ResponseTime); err != nil {
@@ -186,11 +211,16 @@ func (s *netStream) Next(ctx context.Context) (*StreamBatch, error) {
 	return &StreamBatch{Rel: b.Rel, Col: b.Col, ArriveTime: s.arrive}, nil
 }
 
-// batchWireBytes sizes a batch for the network model. The columnar WireSize
-// is computed from per-column sums (O(1) for fixed-width null-free columns)
-// but equals Relation.ByteSize exactly, so every Transfer draw — and with it
-// the whole virtual-time schedule — is identical on both engines.
+// batchWireBytes sizes a batch for the network model. Under the columnar
+// wire protocol the encoded length is authoritative. Otherwise the columnar
+// WireSize is computed from per-column sums (O(1) for fixed-width null-free
+// columns) but equals Relation.ByteSize exactly, so every Transfer draw —
+// and with it the whole virtual-time schedule — is identical on both
+// engines.
 func batchWireBytes(b *remote.Batch) int {
+	if b.Enc != nil {
+		return b.Enc.WireBytes()
+	}
 	if b.Col != nil {
 		return b.Col.WireSize()
 	}

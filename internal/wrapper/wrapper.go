@@ -47,6 +47,10 @@ type ExecOutcome struct {
 	// transfer + remote service + result transfer. This is the "response
 	// time of each query fragment" MW records (§2).
 	ResponseTime simclock.Time
+	// WireBytes is the encoded size that actually crossed the result link
+	// when the columnar wire protocol carried it; 0 on the row protocol
+	// (then Result.Rel.ByteSize() is the transferred size).
+	WireBytes int
 }
 
 // Wrapper adapts one remote source.
@@ -181,7 +185,7 @@ func executeOverNetwork(ctx context.Context, server *remote.Server, topo *networ
 		}
 	}
 	out := st.Outcome()
-	return &ExecOutcome{Result: out.Result, ResponseTime: out.ResponseTime}, nil
+	return &ExecOutcome{Result: out.Result, ResponseTime: out.ResponseTime, WireBytes: out.WireBytes}, nil
 }
 
 // versionSnapshot captures the referenced tables' versions before an

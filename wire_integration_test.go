@@ -1,0 +1,200 @@
+// Columnar wire protocol integration tests: the typed column-batch wire
+// format must be invisible when disabled (bit-identical charges, spans and
+// virtual clock), answer-preserving when enabled, and actually cheaper on
+// the wire for the sharded ship-everything workload.
+package fedqcc_test
+
+import (
+	"os"
+	"testing"
+
+	fedqcc "repro"
+)
+
+// TestWireDisabledIdentity is the CI identity gate for this PR: with the
+// vectorized engine OFF, flipping the columnar-wire flag must change nothing
+// the simulation observes — the flag gates on vectorized, so the encoder
+// never runs and the data path is byte-for-byte the row protocol.
+func TestWireDisabledIdentity(t *testing.T) {
+	sqls := soakStatements(12)
+	base := runVecWorkload(t, sqls, func(fed *fedqcc.Federation) {
+		fed.SetVectorized(false)
+	})
+	wired := runVecWorkload(t, sqls, func(fed *fedqcc.Federation) {
+		fed.SetVectorized(false)
+		fed.SetColumnarWire(true)
+		if !fed.ColumnarWire() {
+			t.Fatal("SetColumnarWire(true) did not take")
+		}
+	})
+	requireVecIdentity(t, sqls, base, wired)
+}
+
+// TestWireRowProtocolUntouched pins the complementary default: a vectorized
+// federation with the wire flag untouched behaves exactly like one with the
+// flag explicitly off.
+func TestWireRowProtocolUntouched(t *testing.T) {
+	sqls := soakStatements(12)
+	def := runVecWorkload(t, sqls, func(fed *fedqcc.Federation) {
+		fed.SetVectorized(true)
+	})
+	off := runVecWorkload(t, sqls, func(fed *fedqcc.Federation) {
+		fed.SetVectorized(true)
+		fed.SetColumnarWire(false)
+	})
+	requireVecIdentity(t, sqls, def, off)
+}
+
+// TestWireSameAnswers: enabling the columnar wire changes what crosses the
+// (simulated) network — encoded bytes instead of row-model bytes — so
+// virtual times legitimately move; the ANSWERS must not. Every query of the
+// soak workload must return cell-for-cell bit-identical rows.
+func TestWireSameAnswers(t *testing.T) {
+	sqls := soakStatements(16)
+	row := runVecWorkload(t, sqls, func(fed *fedqcc.Federation) {
+		fed.SetVectorized(true)
+	})
+	wire := runVecWorkload(t, sqls, func(fed *fedqcc.Federation) {
+		fed.SetVectorized(true)
+		fed.SetColumnarWire(true)
+	})
+	for i := range sqls {
+		r, w := row.results[i], wire.results[i]
+		if len(r.Rows.Rows) != len(w.Rows.Rows) {
+			t.Fatalf("query %d (%s): %d rows (row wire) vs %d (columnar wire)",
+				i, sqls[i], len(r.Rows.Rows), len(w.Rows.Rows))
+		}
+		for ri := range r.Rows.Rows {
+			for ci := range r.Rows.Rows[ri] {
+				if !cellsBitIdentical(r.Rows.Rows[ri][ci], w.Rows.Rows[ri][ci]) {
+					t.Fatalf("query %d (%s): cell (%d,%d) diverged: %#v vs %#v",
+						i, sqls[i], ri, ci, r.Rows.Rows[ri][ci], w.Rows.Rows[ri][ci])
+				}
+			}
+		}
+	}
+}
+
+// wireShardedFed builds a vectorized sharded federation for wire tests.
+func wireShardedFed(t testing.TB, shards int, pushdown, wire bool) *fedqcc.Federation {
+	t.Helper()
+	fed, err := fedqcc.NewShardedFederation(fedqcc.ShardedFederationOptions{
+		Shards: shards,
+		Scale:  shardedBenchScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed.SetVectorized(true)
+	fed.SetShardPushdown(pushdown)
+	fed.SetColumnarWire(wire)
+	return fed
+}
+
+// TestWireShipsFewerBytes: on the sharded ship-everything workload the
+// columnar wire must (a) return the same answers, (b) record strictly fewer
+// bytes in MW's run log, and (c) log "col-ship" decisions where the row
+// protocol logs "row-ship".
+func TestWireShipsFewerBytes(t *testing.T) {
+	rowFed := wireShardedFed(t, 4, false, false)
+	wireFed := wireShardedFed(t, 4, false, true)
+	for _, warm := range []*fedqcc.Federation{rowFed, wireFed} {
+		if _, err := warm.Query(shardedBenchQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rowRes, rowBytes, err := queryWireBytes(rowFed, shardedBenchQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireRes, wireBytes, err := queryWireBytes(wireFed, shardedBenchQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowRes.Rows.Rows) != len(wireRes.Rows.Rows) {
+		t.Fatalf("row wire returned %d rows, columnar wire %d", len(rowRes.Rows.Rows), len(wireRes.Rows.Rows))
+	}
+	for ri := range rowRes.Rows.Rows {
+		for ci := range rowRes.Rows.Rows[ri] {
+			if !cellsBitIdentical(rowRes.Rows.Rows[ri][ci], wireRes.Rows.Rows[ri][ci]) {
+				t.Fatalf("cell (%d,%d) diverged: %#v vs %#v",
+					ri, ci, rowRes.Rows.Rows[ri][ci], wireRes.Rows.Rows[ri][ci])
+			}
+		}
+	}
+	if wireBytes >= rowBytes {
+		t.Errorf("columnar wire shipped %d B, row protocol %d B: no reduction", wireBytes, rowBytes)
+	}
+	t.Logf("ship-everything at 4 shards: row %d B, columnar %d B (%.2fx)",
+		rowBytes, wireBytes, float64(rowBytes)/float64(wireBytes))
+
+	modes := map[string]bool{}
+	for _, d := range rowFed.RouteDecisions(0) {
+		if d.Policy == "ship" {
+			modes[d.Reason] = true
+		}
+	}
+	if !modes["row-ship"] || modes["col-ship"] {
+		t.Errorf("row federation ship modes = %v, want row-ship only", modes)
+	}
+	modes = map[string]bool{}
+	for _, d := range wireFed.RouteDecisions(0) {
+		if d.Policy == "ship" {
+			modes[d.Reason] = true
+		}
+	}
+	if !modes["col-ship"] || modes["row-ship"] {
+		t.Errorf("wire federation ship modes = %v, want col-ship only", modes)
+	}
+}
+
+// TestWirePushdownColumnarStates: with pushdown AND the columnar wire on,
+// partial-aggregate states ship as typed columns ("pushdown-col"), the
+// ShardAggFinal merge runs vectorized, and the final answers match the
+// row-protocol pushdown run bit for bit.
+func TestWirePushdownColumnarStates(t *testing.T) {
+	rowFed := wireShardedFed(t, 4, true, false)
+	wireFed := wireShardedFed(t, 4, true, true)
+	rowRes, err := rowFed.Query(shardedBenchQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireRes, err := wireFed.Query(shardedBenchQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowRes.Rows.Rows) != len(wireRes.Rows.Rows) {
+		t.Fatalf("pushdown returned %d rows, pushdown-col %d", len(rowRes.Rows.Rows), len(wireRes.Rows.Rows))
+	}
+	for ri := range rowRes.Rows.Rows {
+		for ci := range rowRes.Rows.Rows[ri] {
+			if !cellsBitIdentical(rowRes.Rows.Rows[ri][ci], wireRes.Rows.Rows[ri][ci]) {
+				t.Fatalf("cell (%d,%d) diverged: %#v vs %#v",
+					ri, ci, rowRes.Rows.Rows[ri][ci], wireRes.Rows.Rows[ri][ci])
+			}
+		}
+	}
+	seen := map[string]bool{}
+	for _, d := range wireFed.RouteDecisions(0) {
+		if d.Policy == "ship" {
+			seen[d.Reason] = true
+		}
+	}
+	if !seen["pushdown-col"] {
+		t.Errorf("ship modes = %v, want pushdown-col entries", seen)
+	}
+}
+
+// TestWireSmoke is the WIRE_CHECK CI gate entry point — see bench_wire_test.go
+// for the measured floors. This test only guards that the gate is wired: it
+// fails fast if the flag plumbing is broken.
+func TestWireSmoke(t *testing.T) {
+	if os.Getenv("WIRE_CHECK") != "1" {
+		t.Skip("set WIRE_CHECK=1 to enforce the columnar wire floors")
+	}
+	result := measureWireStudy(t.Fatalf)
+	requireWireFloors(t, result)
+	if err := writeWireBenchFile(result); err != nil {
+		t.Fatal(err)
+	}
+}
