@@ -24,6 +24,14 @@ type (
 	AdmissionRejection = admission.Rejection
 	// QueryLogStats snapshots the query patroller's retention accounting.
 	QueryLogStats = integrator.PatrollerStats
+	// QueryLogTenantStats is one tenant's slice of QueryLogStats.
+	QueryLogTenantStats = integrator.PatrollerTenantStats
+	// Tenant configures one registered tenant: its fair-share weight,
+	// optional concurrency/queue quotas, and per-class policy overrides.
+	Tenant = admission.Tenant
+	// TenantStats is a point-in-time snapshot of one tenant's admission
+	// accounting.
+	TenantStats = admission.TenantStats
 )
 
 // Typed admission errors. Every refusal matches ErrAdmissionRejected via
@@ -32,6 +40,10 @@ type (
 var (
 	ErrAdmissionRejected = admission.ErrAdmissionRejected
 	ErrQueueTimeout      = admission.ErrQueueTimeout
+	// ErrTenantQuota additionally matches refusals caused by a tenant's own
+	// quota (queue-bound rejections and quota-blocked deadline sheds), so
+	// callers can tell tenant-level back-pressure from class congestion.
+	ErrTenantQuota = admission.ErrTenantQuota
 )
 
 // Built-in workload class names.
@@ -49,6 +61,14 @@ func DefaultAdmissionPolicy() AdmissionPolicy { return admission.DefaultPolicy()
 // (unknown names fall back to cost classification).
 func WithQueryClass(ctx context.Context, class string) context.Context {
 	return admission.WithClass(ctx, class)
+}
+
+// WithQueryTenant tags a context with the submitting tenant's name: queries
+// submitted under it are scheduled by that tenant's fair-share weight,
+// bounded by its quotas, and attributed to it in the query log and
+// telemetry. Unregistered names get an implicit weight-1 tenant.
+func WithQueryTenant(ctx context.Context, tenant string) context.Context {
+	return admission.WithTenant(ctx, tenant)
 }
 
 // AdmissionHandle is the public control surface on the federation's
@@ -89,3 +109,20 @@ func (h *AdmissionHandle) QueueDepth() int { return h.c.QueueDepth() }
 
 // Running reports how many admitted queries hold slots right now.
 func (h *AdmissionHandle) Running() int { return h.c.Running() }
+
+// RegisterTenant registers (or reconfigures) a tenant. With at least one
+// registered tenant the controller schedules across tenants by weighted fair
+// queuing; with none registered behaviour is bit-identical to a
+// tenant-unaware controller.
+func (h *AdmissionHandle) RegisterTenant(t Tenant) { h.c.RegisterTenant(t) }
+
+// DeregisterTenant removes a registered tenant, reporting whether it was
+// registered. Deregistering the last one restores tenant-unaware behaviour.
+func (h *AdmissionHandle) DeregisterTenant(name string) bool { return h.c.DeregisterTenant(name) }
+
+// Tenants lists the registered tenant configurations sorted by name.
+func (h *AdmissionHandle) Tenants() []Tenant { return h.c.Tenants() }
+
+// TenantStats snapshots per-tenant admission accounting (registered and
+// implicitly created tenants), sorted by served cost descending.
+func (h *AdmissionHandle) TenantStats() []TenantStats { return h.c.TenantStats() }

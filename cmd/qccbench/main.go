@@ -7,6 +7,7 @@
 //	qccbench -exp fig10   # Figure 10: QCC vs fixed assignment 1
 //	qccbench -exp fig11   # Figure 11: QCC vs fixed assignment 2 (always S3)
 //	qccbench -exp wire    # columnar wire protocol grid (also writes BENCH_wire.json)
+//	qccbench -exp multitenant  # multi-tenant overload study (also writes BENCH_multitenant.json)
 //	qccbench -exp all     # everything
 //
 // The -scale flag divides the paper's table sizes (1 = 100k-row large
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig9|table1|table2|fig10|fig11|network|lb|weighted|wire|all")
+	exp := flag.String("exp", "all", "experiment: fig9|table1|table2|fig10|fig11|network|lb|weighted|wire|multitenant|all")
 	scale := flag.Int("scale", 20, "table-size divisor (1 = paper scale, 100k-row large tables)")
 	instances := flag.Int("instances", 10, "query instances per type")
 	seed := flag.Int64("seed", 42, "data-generation seed")
@@ -68,6 +69,12 @@ func main() {
 		fail(err)
 		fail(fedqcc.WriteWireStudy(wire, "BENCH_wire.json"))
 	}
+	var multitenant fedqcc.MultitenantStudyResult
+	if *exp == "multitenant" || *exp == "all" {
+		multitenant, err = fedqcc.RunMultitenantStudy(opts)
+		fail(err)
+		fail(fedqcc.WriteMultitenantStudy(multitenant, "BENCH_multitenant.json"))
+	}
 
 	switch *exp {
 	case "fig9":
@@ -88,6 +95,8 @@ func main() {
 		fmt.Print(fedqcc.FormatWeightedRoutingStudy(weighted))
 	case "wire":
 		fmt.Print(fedqcc.FormatWireStudy(wire))
+	case "multitenant":
+		fmt.Print(fedqcc.FormatMultitenantStudy(multitenant))
 	case "all":
 		fmt.Print(fedqcc.FormatFigure9(sens))
 		fmt.Print(fedqcc.FormatTable1())
@@ -105,6 +114,8 @@ func main() {
 		fmt.Print(fedqcc.FormatWeightedRoutingStudy(weighted))
 		fmt.Println()
 		fmt.Print(fedqcc.FormatWireStudy(wire))
+		fmt.Println()
+		fmt.Print(fedqcc.FormatMultitenantStudy(multitenant))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

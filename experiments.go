@@ -80,6 +80,31 @@ func WriteWireStudy(result WireStudyResult, path string) error {
 	return experiment.WriteWireStudy(result, path)
 }
 
+// MultitenantOutcome is one scenario of the multi-tenant overload study.
+type MultitenantOutcome = experiment.MultitenantOutcome
+
+// MultitenantTenantOutcome is one tenant's slice of a scenario outcome.
+type MultitenantTenantOutcome = experiment.MultitenantTenantOutcome
+
+// MultitenantStudyResult is the full multi-tenant study emitted to
+// BENCH_multitenant.json.
+type MultitenantStudyResult = experiment.MultitenantStudyResult
+
+// RunMultitenantStudy runs the multi-tenant overload scenarios
+// (equal-weights fairness, 3:1 weighted shares, light/heavy isolation) as
+// seeded discrete-event simulations of the weighted-fair admission
+// controller, reporting per-tenant latency percentiles, served-cost shares,
+// Jain's fairness index and shed rates.
+func RunMultitenantStudy(opts ExperimentOptions) (MultitenantStudyResult, error) {
+	return experiment.MultitenantStudy(opts)
+}
+
+// WriteMultitenantStudy merges a multi-tenant study under the "multitenant"
+// key of the given JSON file, preserving any other keys already present.
+func WriteMultitenantStudy(result MultitenantStudyResult, path string) error {
+	return experiment.WriteMultitenantStudy(result, path)
+}
+
 // Report formatters for the paper's tables and figures.
 var (
 	// FormatFigure9 renders the sensitivity series.
@@ -100,6 +125,8 @@ var (
 	FormatWeightedRoutingStudy = experiment.FormatWeightedRoutingStudy
 	// FormatWireStudy renders the columnar wire protocol grid.
 	FormatWireStudy = experiment.FormatWireStudy
+	// FormatMultitenantStudy renders the multi-tenant overload scenarios.
+	FormatMultitenantStudy = experiment.FormatMultitenantStudy
 	// AverageGains summarizes a gain study.
 	AverageGains = experiment.AverageGains
 )

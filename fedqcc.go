@@ -335,6 +335,9 @@ type QueryResult struct {
 	// AdmissionClass is the workload class the query ran under
 	// ("interactive"/"batch" by default).
 	AdmissionClass string
+	// Tenant is the tenant the query was submitted under — set via
+	// WithQueryTenant ("" for untagged submissions).
+	Tenant string
 }
 
 // SetBatchRows changes the streaming fragment data path's batch size at

@@ -55,6 +55,11 @@ type Request struct {
 	// classifying by cost (see WithClass). Unknown names fall back to cost
 	// classification.
 	Class string
+	// Tenant names the tenant submitting the query (see WithTenant). With no
+	// tenants registered it is recorded but has no scheduling effect; with
+	// tenants registered, unknown names run as unregistered tenants with
+	// weight 1 and no quotas, and the empty name is the default tenant.
+	Tenant string
 }
 
 // Config wires a Controller.
@@ -80,6 +85,7 @@ const (
 // waiter is one queued admission request.
 type waiter struct {
 	class      ClassConfig
+	tenant     *tenantState // nil when the controller is untenanted
 	cost       float64
 	seq        int64
 	held       bool
@@ -119,6 +125,14 @@ type Controller struct {
 	seq       int64
 	tallies   map[string]*classTally
 	releases  int64
+
+	// tenanted is true while at least one tenant is registered; it routes
+	// every admission through the fair queue. tenants holds registered and
+	// auto-created tenant states; classVT is the per-class fair-queuing
+	// virtual time (the start tag of the class's most recent grant).
+	tenanted bool
+	tenants  map[string]*tenantState
+	classVT  map[string]float64
 }
 
 // New builds a controller over the given config.
@@ -130,6 +144,8 @@ func New(cfg Config) *Controller {
 		policy:    p,
 		unlimited: p.Unlimited(),
 		tallies:   map[string]*classTally{},
+		tenants:   map[string]*tenantState{},
+		classVT:   map[string]float64{},
 	}
 }
 
@@ -138,6 +154,8 @@ func New(cfg Config) *Controller {
 type Grant struct {
 	c      *Controller
 	class  string
+	tenant string
+	ts     *tenantState
 	wait   simclock.Time
 	queued bool
 	once   sync.Once
@@ -148,7 +166,7 @@ func (g *Grant) Release() {
 	if g == nil {
 		return
 	}
-	g.once.Do(func() { g.c.releaseClass(g.class) })
+	g.once.Do(func() { g.c.release(g.class, g.ts) })
 }
 
 // Class names the workload class the query was admitted under.
@@ -157,6 +175,14 @@ func (g *Grant) Class() string {
 		return ""
 	}
 	return g.class
+}
+
+// Tenant names the tenant the query ran under (empty for untagged queries).
+func (g *Grant) Tenant() string {
+	if g == nil {
+		return ""
+	}
+	return g.tenant
 }
 
 // QueueWait is the virtual time the query spent queued before admission
@@ -179,36 +205,78 @@ func (g *Grant) Queued() bool { return g != nil && g.queued }
 // simclock.ErrDeadline for deadline sheds), or ctx.Err().
 func (c *Controller) Admit(ctx context.Context, req Request) (*Grant, error) {
 	c.mu.Lock()
-	cls := c.policy.classFor(req)
-	t := c.tallyLocked(cls.Name)
-	if c.unlimited {
+	if c.unlimited && !c.tenanted {
 		// Pass-through: one mutex hop, no clock interaction, no queue. This
 		// is the admission-disabled path that must stay behaviourally
 		// identical to an engine without a controller.
+		cls := c.policy.classFor(req)
+		t := c.tallyLocked(cls.Name)
 		c.running++
 		t.running++
 		t.admitted++
 		c.mu.Unlock()
-		return &Grant{c: c, class: cls.Name}, nil
+		return &Grant{c: c, class: cls.Name, tenant: req.Tenant}, nil
 	}
+	var ts *tenantState
+	pol := c.policy
+	if c.tenanted {
+		// Tenanted: every request — tagged or not — runs under a tenant
+		// state, so fair-queue selection and quotas see uniform waiters.
+		// Classification uses the tenant's merged (override-applied) policy.
+		ts = c.tenantStateLocked(req.Tenant)
+		pol = ts.policy
+	}
+	cls := pol.classFor(req)
+	t := c.tallyLocked(cls.Name)
 	held := cls.HoldCostMS > 0 && req.CostMS > cls.HoldCostMS
 	if held && cls.QueueDeadline <= 0 {
 		// A hold with no deadline could never be shed or admitted: reject
 		// immediately instead of parking the query forever.
 		t.rejected++
+		if ts != nil {
+			ts.rejected++
+		}
 		c.mu.Unlock()
 		c.tel.Active().Counter("admission.rejected", cls.Name).Inc()
-		return nil, &Rejection{Class: cls.Name, CostMS: req.CostMS, Reason: ReasonCost}
+		return nil, &Rejection{Class: cls.Name, Tenant: req.Tenant, CostMS: req.CostMS, Reason: ReasonCost}
 	}
-	if cls.MaxQueue > 0 && t.queued >= cls.MaxQueue {
+	// The class-wide queue bound comes from the base policy; a tenant
+	// override's MaxQueue bounds only the tenant's own slice of the queue.
+	classQ := cls.MaxQueue
+	if ts != nil {
+		if bc, ok := c.policy.Class(cls.Name); ok {
+			classQ = bc.MaxQueue
+		}
+	}
+	if classQ > 0 && t.queued >= classQ {
 		t.rejected++
+		if ts != nil {
+			ts.rejected++
+		}
 		c.mu.Unlock()
 		c.tel.Active().Counter("admission.rejected", cls.Name).Inc()
-		return nil, &Rejection{Class: cls.Name, CostMS: req.CostMS, Reason: ReasonQueueFull}
+		return nil, &Rejection{Class: cls.Name, Tenant: req.Tenant, CostMS: req.CostMS, Reason: ReasonQueueFull}
+	}
+	if ts != nil {
+		full := ts.cfg.MaxQueue > 0 && ts.queued >= ts.cfg.MaxQueue
+		if !full {
+			if o, ok := ts.override(cls.Name); ok && o.MaxQueue > 0 && ts.classQueued[cls.Name] >= o.MaxQueue {
+				full = true
+			}
+		}
+		if full {
+			t.rejected++
+			ts.rejected++
+			c.mu.Unlock()
+			c.tel.Active().Counter("admission.rejected", cls.Name).Inc()
+			c.tel.Active().Counter("admission.tenant_rejected", req.Tenant).Inc()
+			return nil, &Rejection{Class: cls.Name, Tenant: req.Tenant, CostMS: req.CostMS, Reason: ReasonTenantQueueFull}
+		}
 	}
 	c.seq++
 	w := &waiter{
 		class:      cls,
+		tenant:     ts,
 		cost:       req.CostMS,
 		seq:        c.seq,
 		held:       held,
@@ -217,14 +285,21 @@ func (c *Controller) Admit(ctx context.Context, req Request) (*Grant, error) {
 	}
 	c.queue = append(c.queue, w)
 	t.queued++
+	if ts != nil {
+		ts.queued++
+		ts.classQueued[cls.Name]++
+	}
 	c.drainLocked()
 	if w.state == stateGranted {
 		// Admitted synchronously: the queue pass was a formality, the query
 		// never waited.
 		c.mu.Unlock()
-		return &Grant{c: c, class: cls.Name}, nil
+		return &Grant{c: c, class: cls.Name, tenant: req.Tenant, ts: ts}, nil
 	}
 	t.queuedTotal++
+	if ts != nil {
+		ts.queuedTotal++
+	}
 	if held {
 		t.held++
 	}
@@ -246,7 +321,7 @@ func (c *Controller) Admit(ctx context.Context, req Request) (*Grant, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Grant{c: c, class: cls.Name, wait: w.wait, queued: true}, nil
+		return &Grant{c: c, class: cls.Name, tenant: req.Tenant, ts: ts, wait: w.wait, queued: true}, nil
 	case <-ctx.Done():
 		if c.abandon(w) {
 			return nil, ctx.Err()
@@ -256,7 +331,7 @@ func (c *Controller) Admit(ctx context.Context, req Request) (*Grant, error) {
 		if err := <-w.ch; err != nil {
 			return nil, err
 		}
-		c.releaseClass(cls.Name)
+		c.release(cls.Name, ts)
 		return nil, ctx.Err()
 	}
 }
@@ -293,12 +368,25 @@ func (c *Controller) SetPolicy(p Policy) {
 	c.mu.Lock()
 	c.policy = p
 	c.unlimited = p.Unlimited()
+	for _, ts := range c.tenants {
+		ts.policy = mergeTenantPolicy(p, ts.cfg)
+	}
 	var doomed []*waiter
 	for _, w := range c.queue {
-		if cls, ok := p.Class(w.class.Name); ok {
-			w.class = cls
+		if w.tenant != nil {
+			// Tenanted waiters re-resolve against their tenant's merged
+			// policy, so overrides survive the base-policy change; tenant
+			// holds bind even when the base policy is unlimited.
+			if cls, ok := w.tenant.policy.Class(w.class.Name); ok {
+				w.class = cls
+			}
+			w.held = w.class.HoldCostMS > 0 && w.cost > w.class.HoldCostMS
+		} else {
+			if cls, ok := p.Class(w.class.Name); ok {
+				w.class = cls
+			}
+			w.held = !c.unlimited && w.class.HoldCostMS > 0 && w.cost > w.class.HoldCostMS
 		}
-		w.held = !c.unlimited && w.class.HoldCostMS > 0 && w.cost > w.class.HoldCostMS
 		if w.held && w.deadlineAt <= 0 {
 			doomed = append(doomed, w)
 		}
@@ -309,7 +397,14 @@ func (c *Controller) SetPolicy(p Policy) {
 		t := c.tallyLocked(w.class.Name)
 		t.queued--
 		t.shed++
-		w.ch <- &Rejection{Class: w.class.Name, CostMS: w.cost, Reason: ReasonCost}
+		tenant := ""
+		if ts := w.tenant; ts != nil {
+			ts.queued--
+			ts.classQueued[w.class.Name]--
+			ts.shed++
+			tenant = ts.cfg.Name
+		}
+		w.ch <- &Rejection{Class: w.class.Name, Tenant: tenant, CostMS: w.cost, Reason: ReasonCost}
 	}
 	c.drainLocked()
 	target, stalled := c.stallTargetLocked()
@@ -346,11 +441,15 @@ func (c *Controller) SetClassCap(name string, cap int) error {
 	return &UnknownClassError{Name: name}
 }
 
-// releaseClass returns one slot and admits the best queued waiter.
-func (c *Controller) releaseClass(name string) {
+// release returns one slot and admits the best queued waiter.
+func (c *Controller) release(name string, ts *tenantState) {
 	c.mu.Lock()
 	c.running--
 	c.tallyLocked(name).running--
+	if ts != nil {
+		ts.running--
+		ts.classRunning[name]--
+	}
 	c.releases++
 	c.drainLocked()
 	target, stalled := c.stallTargetLocked()
@@ -362,16 +461,18 @@ func (c *Controller) releaseClass(name string) {
 }
 
 // drainLocked admits queued waiters while capacity allows, highest priority
-// first (FIFO within a priority level). Held waiters are skipped: they wait
-// for a policy change or their deadline regardless of capacity.
+// first; within a priority level, untenanted controllers drain FIFO, and
+// tenanted ones pick the waiter with the smallest fair-queuing start tag
+// (submission order breaks ties). Held waiters are skipped: they wait for a
+// policy change or their deadline regardless of capacity.
 func (c *Controller) drainLocked() {
 	for {
 		best := -1
 		for i, w := range c.queue {
-			if w.held || !c.admissibleLocked(w.class) {
+			if w.held || !c.admissibleLocked(w) {
 				continue
 			}
-			if best < 0 || beats(w, c.queue[best]) {
+			if best < 0 || c.beatsLocked(w, c.queue[best]) {
 				best = i
 			}
 		}
@@ -398,20 +499,73 @@ func (c *Controller) drainLocked() {
 		if w.wait > 0 {
 			c.tel.Active().Histogram("admission.queue_wait_ms", w.class.Name, nil).Observe(float64(w.wait))
 		}
+		if ts := w.tenant; ts != nil {
+			ts.queued--
+			ts.classQueued[w.class.Name]--
+			ts.running++
+			ts.classRunning[w.class.Name]++
+			ts.admitted++
+			ts.servedCost += w.cost
+			ts.waitTotal += w.wait
+			// Advance the tenant's fair-queuing tag: the grant starts at
+			// max(tenant tag, class virtual time) and finishes cost/weight
+			// later; the class virtual time follows the start tag, so idle
+			// tenants never bank credit against backlogged ones.
+			cost := w.cost
+			if cost < minFairCost {
+				cost = minFairCost
+			}
+			start := ts.tag[w.class.Name]
+			if vt := c.classVT[w.class.Name]; vt > start {
+				start = vt
+			}
+			c.classVT[w.class.Name] = start
+			ts.tag[w.class.Name] = start + cost/ts.cfg.weight()
+			if c.tenanted {
+				c.tel.Active().Histogram("admission.tenant_served_cost_ms", ts.cfg.Name, nil).Observe(w.cost)
+			}
+		}
 		w.ch <- nil
 	}
 }
 
-// beats orders waiters for admission: higher class priority first, then
-// submission order.
-func beats(a, b *waiter) bool {
+// beatsLocked orders waiters for admission: higher class priority first,
+// then (when tenanted) smaller fair-queuing start tag, then submission order.
+func (c *Controller) beatsLocked(a, b *waiter) bool {
 	if a.class.Priority != b.class.Priority {
 		return a.class.Priority > b.class.Priority
+	}
+	if c.tenanted {
+		at, bt := c.startTagLocked(a), c.startTagLocked(b)
+		if at != bt {
+			return at < bt
+		}
 	}
 	return a.seq < b.seq
 }
 
-func (c *Controller) admissibleLocked(cls ClassConfig) bool {
+// startTagLocked is a waiter's prospective fair-queuing start tag: its
+// tenant's tag in the waiter's class, floored at the class virtual time so a
+// tenant returning from idle competes from "now", not from the past.
+func (c *Controller) startTagLocked(w *waiter) float64 {
+	vt := c.classVT[w.class.Name]
+	if w.tenant == nil {
+		return vt
+	}
+	if t := w.tenant.tag[w.class.Name]; t > vt {
+		return t
+	}
+	return vt
+}
+
+func (c *Controller) admissibleLocked(w *waiter) bool {
+	if ts := w.tenant; ts != nil && ts.overQuotaLocked(w.class.Name) {
+		// Tenant quotas bind even under an unlimited policy. A quota can only
+		// block while the tenant has at least one query running, so the
+		// stall-advance invariant (idle machine => only held waiters remain)
+		// is preserved.
+		return false
+	}
 	if c.unlimited {
 		// An unlimited policy admits everything regardless of stale class
 		// configs carried by waiters queued under an earlier policy.
@@ -420,13 +574,23 @@ func (c *Controller) admissibleLocked(cls ClassConfig) bool {
 	if c.policy.MaxConcurrent > 0 && c.running >= c.policy.MaxConcurrent {
 		return false
 	}
-	if cls.MaxConcurrent > 0 && c.tallyLocked(cls.Name).running >= cls.MaxConcurrent {
+	// The class-wide cap comes from the base policy for tenanted waiters
+	// (their own config may carry a per-tenant override cap instead).
+	classMax := w.class.MaxConcurrent
+	if w.tenant != nil {
+		if bc, ok := c.policy.Class(w.class.Name); ok {
+			classMax = bc.MaxConcurrent
+		}
+	}
+	if classMax > 0 && c.tallyLocked(w.class.Name).running >= classMax {
 		return false
 	}
 	return true
 }
 
-// expire sheds a waiter whose virtual queue deadline has passed.
+// expire sheds a waiter whose virtual queue deadline has passed. A shed
+// while the waiter's tenant is over its own quota is typed as a tenant-quota
+// shed (matching ErrTenantQuota) rather than a class-queue timeout.
 func (c *Controller) expire(w *waiter, at simclock.Time) {
 	c.mu.Lock()
 	if w.state != stateQueued {
@@ -438,12 +602,26 @@ func (c *Controller) expire(w *waiter, at simclock.Time) {
 	t := c.tallyLocked(w.class.Name)
 	t.queued--
 	t.shed++
+	reason := ReasonQueueTimeout
+	tenant := ""
+	if ts := w.tenant; ts != nil {
+		ts.queued--
+		ts.classQueued[w.class.Name]--
+		ts.shed++
+		tenant = ts.cfg.Name
+		if !w.held && ts.overQuotaLocked(w.class.Name) {
+			reason = ReasonTenantQuotaTimeout
+		}
+	}
 	wait := at - w.enqueuedAt
 	target, stalled := c.stallTargetLocked()
 	c.publishGaugesLocked()
 	c.mu.Unlock()
 	c.tel.Active().Counter("admission.shed", w.class.Name).Inc()
-	w.ch <- &Rejection{Class: w.class.Name, CostMS: w.cost, Reason: ReasonQueueTimeout, Wait: wait}
+	if w.tenant != nil && c.tenanted {
+		c.tel.Active().Counter("admission.tenant_shed", tenant).Inc()
+	}
+	w.ch <- &Rejection{Class: w.class.Name, Tenant: tenant, CostMS: w.cost, Reason: reason, Wait: wait}
 	if stalled {
 		// More held waiters with later deadlines may remain on an otherwise
 		// idle machine; keep virtual time moving so their sheds fire too.
@@ -464,6 +642,11 @@ func (c *Controller) abandon(w *waiter) bool {
 	t := c.tallyLocked(w.class.Name)
 	t.queued--
 	t.cancelled++
+	if ts := w.tenant; ts != nil {
+		ts.queued--
+		ts.classQueued[w.class.Name]--
+		ts.cancelled++
+	}
 	if w.cancelDL != nil {
 		w.cancelDL()
 		w.cancelDL = nil
@@ -525,4 +708,10 @@ func (c *Controller) publishGaugesLocked() {
 	}
 	reg.Gauge("admission.queue_depth", "").Set(float64(len(c.queue)))
 	reg.Gauge("admission.running", "").Set(float64(c.running))
+	if c.tenanted {
+		for name, ts := range c.tenants {
+			reg.Gauge("admission.tenant_queue_depth", name).Set(float64(ts.queued))
+			reg.Gauge("admission.tenant_running", name).Set(float64(ts.running))
+		}
+	}
 }

@@ -20,3 +20,21 @@ func ClassFromContext(ctx context.Context) string {
 	class, _ := ctx.Value(classKey{}).(string)
 	return class
 }
+
+type tenantKey struct{}
+
+// WithTenant tags a context with the tenant submitting queries under it. The
+// tag flows through Session/Federation into admission requests and the query
+// log; with no tenants registered it is carried but has no scheduling effect.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFromContext extracts the tenant tag, if any.
+func TenantFromContext(ctx context.Context) string {
+	tenant, _ := ctx.Value(tenantKey{}).(string)
+	return tenant
+}

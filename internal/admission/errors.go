@@ -18,6 +18,14 @@ var ErrAdmissionRejected = errors.New("admission: query rejected")
 // virtual-time deadline expiry like any other).
 var ErrQueueTimeout = errors.New("admission: queue deadline exceeded")
 
+// ErrTenantQuota is the sentinel for tenant-quota refusals: a query bounced
+// off its tenant's queue bound, or shed on a queue deadline while its tenant
+// was still over its concurrency quota. Both also match ErrAdmissionRejected;
+// the deadline variant additionally matches ErrQueueTimeout and
+// simclock.ErrDeadline, so callers can tell "the class queue timed me out"
+// from "my tenant's quota kept me from ever starting" with errors.Is alone.
+var ErrTenantQuota = errors.New("admission: tenant quota exceeded")
+
 // Rejection reasons.
 const (
 	// ReasonCost marks a query held on cost with no queue deadline to ever
@@ -27,12 +35,22 @@ const (
 	ReasonQueueFull = "queue_full"
 	// ReasonQueueTimeout marks a queued query shed at its QueueDeadline.
 	ReasonQueueTimeout = "queue_timeout"
+	// ReasonTenantQueueFull marks a query bounced off its tenant's queue
+	// bound (tenant-wide MaxQueue or a per-class override's MaxQueue).
+	ReasonTenantQueueFull = "tenant_queue_full"
+	// ReasonTenantQuotaTimeout marks a queued query shed at its QueueDeadline
+	// while its tenant was over quota — the wait was the tenant's own doing,
+	// not class congestion.
+	ReasonTenantQuotaTimeout = "tenant_quota_timeout"
 )
 
 // Rejection is the typed error a refused query receives.
 type Rejection struct {
 	// Class is the workload class the query was classified into.
 	Class string
+	// Tenant names the tenant the query ran under (empty when the controller
+	// is untenanted or the query was untagged).
+	Tenant string
 	// CostMS is the calibrated estimate the decision keyed on.
 	CostMS float64
 	// Reason is one of the Reason* constants.
@@ -49,16 +67,26 @@ func (r *Rejection) Error() string {
 		return fmt.Sprintf("admission: %s query shed after queueing %s (est %.3fms)", r.Class, r.Wait, r.CostMS)
 	case ReasonQueueFull:
 		return fmt.Sprintf("admission: %s queue full (est %.3fms)", r.Class, r.CostMS)
+	case ReasonTenantQueueFull:
+		return fmt.Sprintf("admission: tenant %q queue full (%s, est %.3fms)", r.Tenant, r.Class, r.CostMS)
+	case ReasonTenantQuotaTimeout:
+		return fmt.Sprintf("admission: tenant %q over quota, %s query shed after queueing %s (est %.3fms)", r.Tenant, r.Class, r.Wait, r.CostMS)
 	default:
 		return fmt.Sprintf("admission: %s query held on cost with no queue deadline (est %.3fms)", r.Class, r.CostMS)
 	}
 }
 
-// Unwrap makes every rejection errors.Is-match ErrAdmissionRejected, and
-// deadline sheds additionally match ErrQueueTimeout and simclock.ErrDeadline.
+// Unwrap makes every rejection errors.Is-match ErrAdmissionRejected; deadline
+// sheds additionally match ErrQueueTimeout and simclock.ErrDeadline, and
+// tenant-quota refusals additionally match ErrTenantQuota.
 func (r *Rejection) Unwrap() []error {
-	if r.Reason == ReasonQueueTimeout {
+	switch r.Reason {
+	case ReasonQueueTimeout:
 		return []error{ErrAdmissionRejected, ErrQueueTimeout, simclock.ErrDeadline}
+	case ReasonTenantQuotaTimeout:
+		return []error{ErrAdmissionRejected, ErrQueueTimeout, ErrTenantQuota, simclock.ErrDeadline}
+	case ReasonTenantQueueFull:
+		return []error{ErrAdmissionRejected, ErrTenantQuota}
 	}
 	return []error{ErrAdmissionRejected}
 }

@@ -41,6 +41,70 @@ type Stats struct {
 	Classes []ClassStats
 }
 
+// TenantStats is one tenant's slice of the controller's accounting.
+type TenantStats struct {
+	// Name identifies the tenant ("" is the default tenant untagged queries
+	// run under once tenancy is enabled).
+	Name string
+	// Weight is the effective fair-share weight; MaxConcurrent and MaxQueue
+	// echo the tenant's quotas (0 = unlimited).
+	Weight        float64
+	MaxConcurrent int
+	MaxQueue      int
+	// Registered distinguishes RegisterTenant-ed tenants from states
+	// auto-created for unregistered context tags.
+	Registered bool
+	// Running and Queued are instantaneous occupancy.
+	Running int
+	Queued  int
+	// Admitted counts grants; QueuedTotal how many of those actually waited.
+	Admitted    int64
+	QueuedTotal int64
+	// Shed counts queue-deadline expiries (including tenant-quota sheds),
+	// Rejected immediate refusals, Cancelled context cancellations.
+	Shed      int64
+	Rejected  int64
+	Cancelled int64
+	// ServedCostMS accumulates the calibrated cost of every grant — the
+	// quantity weighted-fair scheduling divides between backlogged tenants.
+	ServedCostMS float64
+	// TotalQueueWait accumulates virtual queue wait across all grants.
+	TotalQueueWait simclock.Time
+}
+
+// TenantStats snapshots per-tenant accounting, sorted by descending served
+// cost, then name. It is empty until a tenant is registered.
+func (c *Controller) TenantStats() []TenantStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TenantStats, 0, len(c.tenants))
+	for name, ts := range c.tenants {
+		out = append(out, TenantStats{
+			Name:           name,
+			Weight:         ts.cfg.weight(),
+			MaxConcurrent:  ts.cfg.MaxConcurrent,
+			MaxQueue:       ts.cfg.MaxQueue,
+			Registered:     !ts.auto,
+			Running:        ts.running,
+			Queued:         ts.queued,
+			Admitted:       ts.admitted,
+			QueuedTotal:    ts.queuedTotal,
+			Shed:           ts.shed,
+			Rejected:       ts.rejected,
+			Cancelled:      ts.cancelled,
+			ServedCostMS:   ts.servedCost,
+			TotalQueueWait: ts.waitTotal,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ServedCostMS != out[j].ServedCostMS {
+			return out[i].ServedCostMS > out[j].ServedCostMS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
 // Stats snapshots the controller's counters.
 func (c *Controller) Stats() Stats {
 	c.mu.Lock()

@@ -1,0 +1,218 @@
+package admission
+
+import (
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// Tenant configures one tenant of the federation: a named traffic source
+// with a fair-share weight, optional tenant-wide quotas, and optional
+// workload-class overrides. Registering at least one tenant switches the
+// controller into tenanted scheduling; with none registered the controller
+// behaves bit-for-bit as before tenancy existed.
+type Tenant struct {
+	// Name identifies the tenant; context tags (WithTenant), stats and log
+	// entries key on it. The empty name configures the default tenant that
+	// untagged queries run under.
+	Name string
+	// Weight is the tenant's fair share. Under saturation, two backlogged
+	// tenants with weights 3 and 1 are served cost in a ~3:1 ratio. Zero or
+	// negative means 1.
+	Weight float64
+	// MaxConcurrent caps how many of this tenant's queries run at once,
+	// across all classes (0 = unlimited). A query blocked on this quota
+	// stays queued; if its queue deadline fires while the tenant is still
+	// over quota, the shed matches ErrTenantQuota.
+	MaxConcurrent int
+	// MaxQueue caps how many of this tenant's queries may wait, across all
+	// classes; arrivals beyond it are rejected immediately with a rejection
+	// matching ErrTenantQuota (0 = unbounded).
+	MaxQueue int
+	// Classes overrides same-named policy classes for this tenant's queries:
+	// classification ceilings, priorities, holds and queue deadlines come
+	// from the override, and an override's MaxConcurrent/MaxQueue bound the
+	// tenant's own per-class occupancy (the base policy's caps keep applying
+	// class-wide). Classes absent from the base policy are ignored.
+	Classes []ClassConfig
+}
+
+// weight is the effective fair-share weight.
+func (t Tenant) weight() float64 {
+	if t.Weight <= 0 {
+		return 1
+	}
+	return t.Weight
+}
+
+// minFairCost floors the cost a grant charges against its tenant's fair-share
+// tag, so zero-cost estimates still advance virtual time.
+const minFairCost = 1.0
+
+// tenantState is the controller's per-tenant accounting: configuration, the
+// merged per-tenant policy, start-time-fair-queuing tags, and counters.
+type tenantState struct {
+	cfg    Tenant
+	policy Policy // base policy with this tenant's overrides merged
+	auto   bool   // lazily created for an unregistered tag, not via RegisterTenant
+
+	// tag is the tenant's next fair-queuing start tag per class: each grant
+	// sets tag = max(tag, class virtual time) + cost/weight.
+	tag map[string]float64
+
+	running      int
+	queued       int
+	classRunning map[string]int
+	classQueued  map[string]int
+
+	admitted    int64
+	queuedTotal int64
+	shed        int64
+	rejected    int64
+	cancelled   int64
+	servedCost  float64
+	waitTotal   simclock.Time
+}
+
+func newTenantState(cfg Tenant, base Policy, auto bool) *tenantState {
+	return &tenantState{
+		cfg:          cfg,
+		policy:       mergeTenantPolicy(base, cfg),
+		auto:         auto,
+		tag:          map[string]float64{},
+		classRunning: map[string]int{},
+		classQueued:  map[string]int{},
+	}
+}
+
+// mergeTenantPolicy replaces same-named base classes with the tenant's
+// overrides and re-normalizes for classification order.
+func mergeTenantPolicy(base Policy, cfg Tenant) Policy {
+	if len(cfg.Classes) == 0 {
+		return base
+	}
+	out := base.clone()
+	for i, c := range out.Classes {
+		for _, o := range cfg.Classes {
+			if o.Name == c.Name {
+				out.Classes[i] = o
+			}
+		}
+	}
+	return out.normalized()
+}
+
+// override finds the tenant's class override by name.
+func (ts *tenantState) override(class string) (ClassConfig, bool) {
+	for _, o := range ts.cfg.Classes {
+		if o.Name == class {
+			return o, true
+		}
+	}
+	return ClassConfig{}, false
+}
+
+// overQuotaLocked reports whether a waiter of the given class is currently
+// blocked by this tenant's quotas (tenant-wide or per-class override cap) —
+// the signal that turns a deadline shed into a tenant-quota shed.
+func (ts *tenantState) overQuotaLocked(class string) bool {
+	if ts.cfg.MaxConcurrent > 0 && ts.running >= ts.cfg.MaxConcurrent {
+		return true
+	}
+	if o, ok := ts.override(class); ok && o.MaxConcurrent > 0 && ts.classRunning[class] >= o.MaxConcurrent {
+		return true
+	}
+	return false
+}
+
+// RegisterTenant adds (or reconfigures) a tenant. The first registration
+// switches the controller into tenanted scheduling: every admission flows
+// through the fair queue, untagged queries run under the default tenant, and
+// quotas and weights take effect. Re-registering an existing name replaces
+// its configuration but keeps its counters and fair-queue position.
+func (c *Controller) RegisterTenant(t Tenant) {
+	c.mu.Lock()
+	wasTenanted := c.tenanted
+	ts := c.tenants[t.Name]
+	if ts == nil {
+		ts = newTenantState(t, c.policy, false)
+		c.tenants[t.Name] = ts
+	} else {
+		ts.cfg = t
+		ts.policy = mergeTenantPolicy(c.policy, t)
+		ts.auto = false
+	}
+	c.tenanted = true
+	if !wasTenanted {
+		// Waiters queued before tenancy was enabled join the default tenant
+		// so fair-queue selection sees a tenant on every waiter.
+		for _, w := range c.queue {
+			if w.tenant == nil {
+				w.tenant = c.tenantStateLocked("")
+				w.tenant.queued++
+				w.tenant.classQueued[w.class.Name]++
+			}
+		}
+	}
+	c.drainLocked()
+	target, stalled := c.stallTargetLocked()
+	c.publishGaugesLocked()
+	c.mu.Unlock()
+	if stalled {
+		c.clock.AdvanceTo(target)
+	}
+}
+
+// DeregisterTenant removes a tenant from the registry, reporting whether it
+// was registered. Its queued and running queries keep their accounting.
+// Removing the last registered tenant returns the controller to untenanted
+// scheduling (and, under an unlimited policy, the pure pass-through path).
+func (c *Controller) DeregisterTenant(name string) bool {
+	c.mu.Lock()
+	ts, ok := c.tenants[name]
+	if ok && !ts.auto {
+		delete(c.tenants, name)
+	} else {
+		ok = false
+	}
+	registered := false
+	for _, t := range c.tenants {
+		if !t.auto {
+			registered = true
+			break
+		}
+	}
+	if !registered {
+		c.tenanted = false
+	}
+	c.drainLocked()
+	c.publishGaugesLocked()
+	c.mu.Unlock()
+	return ok
+}
+
+// Tenants lists the registered tenant configurations, sorted by name.
+func (c *Controller) Tenants() []Tenant {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Tenant, 0, len(c.tenants))
+	for _, ts := range c.tenants {
+		if !ts.auto {
+			out = append(out, ts.cfg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// tenantStateLocked resolves (lazily creating) the state for a tenant name.
+// Unregistered names — including the blank default — get an auto state with
+// weight 1 and no quotas, so scheduling stays uniform across all waiters.
+func (c *Controller) tenantStateLocked(name string) *tenantState {
+	ts := c.tenants[name]
+	if ts == nil {
+		ts = newTenantState(Tenant{Name: name}, c.policy, true)
+		c.tenants[name] = ts
+	}
+	return ts
+}

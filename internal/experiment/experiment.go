@@ -213,7 +213,7 @@ func runQCCPhase(opts Options, phase workload.Phase) (avgMS float64, perType map
 	q.ProbeNow()
 	q.PublishNow()
 
-	items := workload.Mix(opts.Instances)
+	items := workload.UniformMix(opts.Instances)
 	perTypeSum := map[string]float64{}
 	perTypeN := map[string]int{}
 	routed := map[string]map[string]int{}
@@ -279,7 +279,7 @@ func runFixedPhase(opts Options, phase workload.Phase, assignment map[string]str
 	if err := workload.ApplyPhase(sc, phase, opts.BurstRows, opts.Seed); err != nil {
 		return 0, nil, err
 	}
-	items := workload.Mix(opts.Instances)
+	items := workload.UniformMix(opts.Instances)
 	perTypeSum := map[string]float64{}
 	perTypeN := map[string]int{}
 	total := 0.0

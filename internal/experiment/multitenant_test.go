@@ -1,0 +1,45 @@
+package experiment
+
+import "testing"
+
+// TestMultitenantStudy runs the full study once and checks its structural
+// invariants: every scenario accounted for all arrivals (none lost), the
+// contended fairness metrics are populated, and sheds appear only where a
+// quota exists.
+func TestMultitenantStudy(t *testing.T) {
+	res, err := MultitenantStudy(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 3 {
+		t.Fatalf("want 3 scenarios, got %d", len(res.Scenarios))
+	}
+	for _, sc := range res.Scenarios {
+		if sc.Arrivals == 0 {
+			t.Fatalf("%s: no arrivals", sc.Scenario)
+		}
+		if sc.Lost != 0 {
+			t.Fatalf("%s: %d queries lost", sc.Scenario, sc.Lost)
+		}
+		if sc.Completed+sc.Shed != sc.Arrivals {
+			t.Fatalf("%s: completed %d + shed %d != arrivals %d",
+				sc.Scenario, sc.Completed, sc.Shed, sc.Arrivals)
+		}
+	}
+	equal, weighted, iso := res.Scenarios[0], res.Scenarios[1], res.Scenarios[2]
+	if equal.JainIndex < 0.9 {
+		t.Fatalf("equal-weights Jain %.3f < 0.9", equal.JainIndex)
+	}
+	if weighted.ServedRatio < 2.3 || weighted.ServedRatio > 3.7 {
+		t.Fatalf("weighted served ratio %.2f outside [2.3,3.7]", weighted.ServedRatio)
+	}
+	if weighted.Shed != 0 {
+		t.Fatalf("weighted scenario shed %d queries with no quota", weighted.Shed)
+	}
+	if iso.IsolationP95Ratio <= 0 || iso.IsolationP95Ratio > 1.5 {
+		t.Fatalf("isolation p95 ratio %.2f outside (0,1.5]", iso.IsolationP95Ratio)
+	}
+	if iso.Shed == 0 {
+		t.Fatalf("isolation heavy tenant shed nothing despite its queue quota")
+	}
+}

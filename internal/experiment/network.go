@@ -67,7 +67,7 @@ func NetworkStudy(opts Options, congestions []float64) ([]NetworkOutcome, error)
 }
 
 func networkItems(opts Options) []workload.Item {
-	return workload.Mix(opts.Instances)
+	return workload.UniformMix(opts.Instances)
 }
 
 func runNetworkFixed(opts Options, pinned string, congestion float64) (float64, error) {

@@ -343,6 +343,8 @@ type QueryResult struct {
 	// AdmissionClass is the workload class the query ran under ("" when no
 	// admission controller is installed).
 	AdmissionClass string
+	// Tenant is the tenant the query was submitted under ("" when untagged).
+	Tenant string
 }
 
 // Query compiles and executes a federated SQL statement.
@@ -357,7 +359,7 @@ func (ii *II) Query(sql string) (*QueryResult, error) {
 // virtual-time intervals (the final clock value is the sum of all response
 // times, independent of goroutine interleaving).
 func (ii *II) QueryContext(ctx context.Context, sql string) (*QueryResult, error) {
-	logID := ii.patroller.Submit(sql, ii.cfg.Clock.Now())
+	logID := ii.patroller.SubmitTenant(sql, ii.cfg.Clock.Now(), admission.TenantFromContext(ctx))
 	tel := ii.cfg.Telemetry
 	trace := tel.StartTrace(sql, ii.cfg.Clock.Now())
 	if trace != nil {
@@ -375,6 +377,7 @@ func (ii *II) QueryContext(ctx context.Context, sql string) (*QueryResult, error
 	wait := grant.QueueWait()
 	res.QueueWait = wait
 	res.AdmissionClass = grant.Class()
+	res.Tenant = grant.Tenant()
 	if trace != nil {
 		// The root span covers queue wait plus execution; with admission
 		// disabled the wait is zero and the duration is exactly the
@@ -570,6 +573,7 @@ func (ii *II) run(ctx context.Context, sql string) (*QueryResult, *admission.Gra
 				Query:  sql,
 				CostMS: gp.TotalEstMS,
 				Class:  admission.ClassFromContext(ctx),
+				Tenant: admission.TenantFromContext(ctx),
 			})
 			if err != nil {
 				return nil, nil, err
@@ -581,6 +585,9 @@ func (ii *II) run(ctx context.Context, sql string) (*QueryResult, *admission.Gra
 				// sequence identical to an engine without admission.
 				ws := telemetry.SpanFrom(ctx).Emit("admission.wait", telemetry.LayerII, "", grant.QueueWait())
 				ws.SetAttr("class", grant.Class())
+				if t := grant.Tenant(); t != "" {
+					ws.SetAttr("tenant", t)
+				}
 			}
 		}
 		res, err := ii.ExecuteContext(ctx, gp)

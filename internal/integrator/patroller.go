@@ -1,8 +1,11 @@
 package integrator
 
 import (
+	"errors"
+	"sort"
 	"sync"
 
+	"repro/internal/admission"
 	"repro/internal/simclock"
 )
 
@@ -26,6 +29,8 @@ type LogEntry struct {
 	// was admitted immediately). It is excluded from ResponseTime, so QCC's
 	// calibration observations stay pure execution time.
 	QueueWait simclock.Time
+	// Tenant names the tenant that submitted the query ("" when untagged).
+	Tenant string
 }
 
 // DefaultPatrollerCapacity is the retention bound used when no explicit
@@ -52,6 +57,26 @@ type Patroller struct {
 	// retention bound had already dropped; without the counter those
 	// completions would vanish silently.
 	completedAfterEviction int64
+	// tenants tallies per-tenant outcomes across the log's whole lifetime
+	// (evictions do not erase them). The map is bounded by maxTenantTallies:
+	// outcomes for tenants beyond the bound are counted only in
+	// tenantsDropped, so a tenant-name cardinality explosion cannot grow the
+	// patroller without limit.
+	tenants        map[string]*tenantTally
+	tenantsDropped int64
+}
+
+// maxTenantTallies bounds the per-tenant accounting map; Stats reports the
+// top entries by served cost.
+const maxTenantTallies = 32
+
+// tenantTally is one tenant's lifetime outcome counters.
+type tenantTally struct {
+	completed int64
+	failed    int64
+	shed      int64
+	served    simclock.Time
+	wait      simclock.Time
 }
 
 // NewPatroller returns an empty patroller with the default retention bound.
@@ -66,16 +91,22 @@ func NewPatrollerWithCapacity(capacity int) *Patroller {
 	if capacity == 0 {
 		capacity = DefaultPatrollerCapacity
 	}
-	return &Patroller{entries: map[int64]*LogEntry{}, capacity: capacity}
+	return &Patroller{entries: map[int64]*LogEntry{}, capacity: capacity, tenants: map[string]*tenantTally{}}
 }
 
 // Submit records a query submission and returns its log ID.
 func (p *Patroller) Submit(query string, at simclock.Time) int64 {
+	return p.SubmitTenant(query, at, "")
+}
+
+// SubmitTenant records a submission tagged with the submitting tenant (""
+// for untagged queries, equivalent to Submit).
+func (p *Patroller) SubmitTenant(query string, at simclock.Time, tenant string) int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.nextID++
 	id := p.nextID
-	p.entries[id] = &LogEntry{ID: id, Query: query, SubmitAt: at}
+	p.entries[id] = &LogEntry{ID: id, Query: query, SubmitAt: at, Tenant: tenant}
 	p.order = append(p.order, id)
 	if p.capacity > 0 {
 		for len(p.order)-p.head > p.capacity {
@@ -140,6 +171,37 @@ func (p *Patroller) complete(id int64, at, responseTime, queueWait simclock.Time
 	if err != nil {
 		e.Err = err.Error()
 	}
+	if tt := p.tenantTallyLocked(e.Tenant); tt != nil {
+		if err != nil {
+			tt.failed++
+			if errors.Is(err, admission.ErrAdmissionRejected) {
+				tt.shed++
+			}
+		} else {
+			tt.completed++
+			tt.served += e.ResponseTime
+			tt.wait += queueWait
+		}
+	}
+}
+
+// tenantTallyLocked resolves (or creates) the tally for a tenant, honouring
+// the cardinality bound: once maxTenantTallies distinct tenants are tracked,
+// outcomes for new names only bump tenantsDropped.
+func (p *Patroller) tenantTallyLocked(tenant string) *tenantTally {
+	if tenant == "" {
+		return nil
+	}
+	if tt, ok := p.tenants[tenant]; ok {
+		return tt
+	}
+	if len(p.tenants) >= maxTenantTallies {
+		p.tenantsDropped++
+		return nil
+	}
+	tt := &tenantTally{}
+	p.tenants[tenant] = tt
+	return tt
 }
 
 // Log returns a snapshot of the retained entries in submission order.
@@ -183,15 +245,54 @@ type PatrollerStats struct {
 	// CompletedAfterEviction counts completions that arrived after their
 	// entry had been evicted (the completion itself was not recorded).
 	CompletedAfterEviction int64
+	// Tenants is the per-tenant outcome accounting, sorted by served cost
+	// descending (ties by name). It covers the log's whole lifetime, not just
+	// the retained window, and is bounded: at most maxTenantTallies tenants
+	// are tracked, with overflow counted in TenantsDropped.
+	Tenants []PatrollerTenantStats
+	// TenantsDropped counts completions whose tenant could not be tallied
+	// because the per-tenant map was already at its cardinality bound.
+	TenantsDropped int64
+}
+
+// PatrollerTenantStats is one tenant's slice of the query log accounting.
+type PatrollerTenantStats struct {
+	Name      string
+	Completed int64
+	Failed    int64
+	// Shed is the subset of Failed that were typed admission refusals.
+	Shed int64
+	// ServedCostMS sums the response times of the tenant's completed queries.
+	ServedCostMS simclock.Time
+	// TotalQueueWait sums the admission queue waits of completed queries.
+	TotalQueueWait simclock.Time
 }
 
 // Stats snapshots the retention counters.
 func (p *Patroller) Stats() PatrollerStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PatrollerStats{
+	st := PatrollerStats{
 		Retained:               len(p.order) - p.head,
 		Evicted:                p.evicted,
 		CompletedAfterEviction: p.completedAfterEviction,
+		TenantsDropped:         p.tenantsDropped,
 	}
+	for name, tt := range p.tenants {
+		st.Tenants = append(st.Tenants, PatrollerTenantStats{
+			Name:           name,
+			Completed:      tt.completed,
+			Failed:         tt.failed,
+			Shed:           tt.shed,
+			ServedCostMS:   tt.served,
+			TotalQueueWait: tt.wait,
+		})
+	}
+	sort.Slice(st.Tenants, func(i, j int) bool {
+		if st.Tenants[i].ServedCostMS != st.Tenants[j].ServedCostMS {
+			return st.Tenants[i].ServedCostMS > st.Tenants[j].ServedCostMS
+		}
+		return st.Tenants[i].Name < st.Tenants[j].Name
+	})
+	return st
 }

@@ -194,6 +194,34 @@ func (s *Session) command(line string) {
 		ls := s.Fed.QueryLogStats()
 		fmt.Fprintf(s.Out, "-- patroller: %d retained, %d evicted, %d completions after eviction\n",
 			ls.Retained, ls.Evicted, ls.CompletedAfterEviction)
+	case "\\tenants":
+		adm := s.Fed.Admission()
+		regs := adm.Tenants()
+		if len(regs) == 0 {
+			fmt.Fprintln(s.Out, "-- no tenants registered (scheduling is tenant-unaware)")
+		}
+		for _, t := range regs {
+			fmt.Fprintf(s.Out, "-- %s: weight %.1f, max concurrent %d, max queue %d (0 = unlimited)\n",
+				t.Name, t.Weight, t.MaxConcurrent, t.MaxQueue)
+		}
+		for _, ts := range adm.TenantStats() {
+			reg := ""
+			if !ts.Registered {
+				reg = " (implicit)"
+			}
+			fmt.Fprintf(s.Out, "-- %s%s: running %d queued %d | admitted %d waited %d shed %d rejected %d cancelled %d | served %.2fms wait %.2fms\n",
+				ts.Name, reg, ts.Running, ts.Queued,
+				ts.Admitted, ts.QueuedTotal, ts.Shed, ts.Rejected, ts.Cancelled,
+				ts.ServedCostMS, float64(ts.TotalQueueWait))
+		}
+		ls := s.Fed.QueryLogStats()
+		for _, t := range ls.Tenants {
+			fmt.Fprintf(s.Out, "-- log %s: completed %d failed %d shed %d | served %.2fms\n",
+				t.Name, t.Completed, t.Failed, t.Shed, float64(t.ServedCostMS))
+		}
+		if ls.TenantsDropped > 0 {
+			fmt.Fprintf(s.Out, "-- log: %d completions beyond the per-tenant accounting bound\n", ls.TenantsDropped)
+		}
 	case "\\route":
 		n := 10
 		if len(fields) == 2 {
@@ -235,6 +263,7 @@ const helpText = `commands:
   \log                         query patroller log
   \route [n]                   last n routing decisions (default 10)
   \queue                       admission controller and patroller stats
+  \tenants                     tenant registry, fair-share and quota stats
   \telemetry on|off            toggle trace/metric collection
   \trace                       span tree of the most recent query
   \metrics                     metrics registry dump

@@ -186,6 +186,21 @@ func (c *Clock) AdvanceTo(target Time) {
 	}
 }
 
+// NextEvent reports the earliest pending event's time, discarding cancelled
+// events at the head of the queue. Drivers that own the clock use it to step
+// a simulation from event to event instead of guessing a tick size.
+func (c *Clock) NextEvent() (Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.events) > 0 && *c.events[0].cancelled {
+		heap.Pop(&c.events)
+	}
+	if len(c.events) == 0 {
+		return 0, false
+	}
+	return c.events[0].at, true
+}
+
 // Pending returns the number of queued events (including cancelled ones not
 // yet reaped); for tests.
 func (c *Clock) Pending() int {

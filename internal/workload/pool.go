@@ -2,6 +2,7 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/admission"
@@ -24,13 +25,29 @@ type PoolResult struct {
 	Skipped bool
 }
 
+// PoolClassStats is one admission-class slice of a pool run, keyed by the
+// item's Class tag ("" for untagged items).
+type PoolClassStats struct {
+	Completed int
+	Failed    int
+	// Shed counts failures that were typed admission sheds or rejections
+	// (errors.Is ErrAdmissionRejected) — a subset of Failed.
+	Shed          int
+	TotalResponse simclock.Time
+}
+
 // PoolStats aggregates one pool run.
 type PoolStats struct {
-	Completed     int
-	Failed        int
+	Completed int
+	Failed    int
+	// Shed counts the subset of Failed that were typed admission refusals,
+	// so shed-rate reports need no log scraping.
+	Shed          int
 	Skipped       int
 	TotalResponse simclock.Time
 	MaxResponse   simclock.Time
+	// ByClass breaks completions, failures and sheds out per item class.
+	ByClass map[string]PoolClassStats
 }
 
 // RunPool drives items through exec with at most `workers` concurrent
@@ -60,7 +77,10 @@ func RunPool(ctx context.Context, workers int, items []Item, exec Exec) ([]PoolR
 			for idx := range feed {
 				ictx := ctx
 				if items[idx].Class != "" {
-					ictx = admission.WithClass(ctx, items[idx].Class)
+					ictx = admission.WithClass(ictx, items[idx].Class)
+				}
+				if items[idx].Tenant != "" {
+					ictx = admission.WithTenant(ictx, items[idx].Tenant)
 				}
 				// Each worker owns a disjoint set of result slots, so no lock
 				// is needed around the write.
@@ -86,20 +106,35 @@ dispatch:
 	close(feed)
 	wg.Wait()
 
-	var stats PoolStats
+	return results, tallyPool(results)
+}
+
+// tallyPool aggregates pool results, classifying typed admission refusals as
+// sheds both overall and per item class.
+func tallyPool(results []PoolResult) PoolStats {
+	stats := PoolStats{ByClass: map[string]PoolClassStats{}}
 	for _, r := range results {
+		cs := stats.ByClass[r.Item.Class]
 		switch {
 		case r.Skipped:
 			stats.Skipped++
 		case r.Err != nil:
 			stats.Failed++
+			cs.Failed++
+			if errors.Is(r.Err, admission.ErrAdmissionRejected) {
+				stats.Shed++
+				cs.Shed++
+			}
 		default:
 			stats.Completed++
+			cs.Completed++
 			stats.TotalResponse += r.ResponseTime
+			cs.TotalResponse += r.ResponseTime
 			if r.ResponseTime > stats.MaxResponse {
 				stats.MaxResponse = r.ResponseTime
 			}
 		}
+		stats.ByClass[r.Item.Class] = cs
 	}
-	return results, stats
+	return stats
 }

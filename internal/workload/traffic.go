@@ -1,0 +1,370 @@
+// traffic.go is the production traffic simulator: arrival-process generators
+// on virtual time (open-loop Poisson, bursty on/off MMPP, heavy-tailed Pareto
+// think times, diurnal rate curves) composed into replayable seeded tenant
+// mixes that drive the same executors the pool runner uses.
+package workload
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/admission"
+	"repro/internal/simclock"
+)
+
+// ArrivalProcess generates the arrival instants of one traffic stream: an
+// increasing sequence of virtual-millisecond times in [0, horizon). Every
+// draw comes from the supplied rng, so a stream replays identically for the
+// same seed.
+type ArrivalProcess interface {
+	Times(r *rand.Rand, horizon simclock.Time) []simclock.Time
+}
+
+// Poisson is an open-loop Poisson arrival process: independent exponential
+// gaps with mean 1000/RatePerSec virtual milliseconds.
+type Poisson struct {
+	// RatePerSec is the arrival rate in queries per virtual second.
+	RatePerSec float64
+}
+
+// Times implements ArrivalProcess.
+func (p Poisson) Times(r *rand.Rand, horizon simclock.Time) []simclock.Time {
+	if p.RatePerSec <= 0 {
+		return nil
+	}
+	mean := 1000 / p.RatePerSec
+	var out []simclock.Time
+	t := 0.0
+	for {
+		t += r.ExpFloat64() * mean
+		if t >= float64(horizon) {
+			return out
+		}
+		out = append(out, simclock.Time(t))
+	}
+}
+
+// OnOff is a two-state Markov-modulated Poisson process (MMPP): the stream
+// alternates between an ON state emitting at BurstRatePerSec and an OFF state
+// emitting at BaseRatePerSec, with exponentially distributed holding times.
+// It models bursty tenants — batch jobs, retry storms, fan-out spikes.
+type OnOff struct {
+	// BurstRatePerSec is the arrival rate while ON.
+	BurstRatePerSec float64
+	// BaseRatePerSec is the arrival rate while OFF (zero silences the stream
+	// between bursts).
+	BaseRatePerSec float64
+	// MeanOnMS and MeanOffMS are the mean holding times of the two states in
+	// virtual milliseconds.
+	MeanOnMS  float64
+	MeanOffMS float64
+}
+
+// Times implements ArrivalProcess. The stream starts OFF, so the first burst
+// arrives after one exponential OFF period.
+func (p OnOff) Times(r *rand.Rand, horizon simclock.Time) []simclock.Time {
+	var out []simclock.Time
+	now, on := 0.0, false
+	for now < float64(horizon) {
+		hold, rate := p.MeanOffMS, p.BaseRatePerSec
+		if on {
+			hold, rate = p.MeanOnMS, p.BurstRatePerSec
+		}
+		end := now + r.ExpFloat64()*hold
+		if rate > 0 {
+			mean := 1000 / rate
+			for t := now + r.ExpFloat64()*mean; t < end && t < float64(horizon); t += r.ExpFloat64() * mean {
+				out = append(out, simclock.Time(t))
+			}
+		}
+		now = end
+		on = !on
+	}
+	return out
+}
+
+// Pareto is a heavy-tailed renewal process: gaps are Pareto(Alpha) with
+// scale MinGapMS, so most arrivals cluster tightly while occasional think
+// times stretch far into the tail — the classic shape of human sessions.
+type Pareto struct {
+	// Alpha is the tail index; values in (1, 2] give a finite mean with an
+	// infinite variance. Zero or negative defaults to 1.5.
+	Alpha float64
+	// MinGapMS is the scale parameter: the minimum gap between arrivals.
+	MinGapMS float64
+}
+
+// Times implements ArrivalProcess.
+func (p Pareto) Times(r *rand.Rand, horizon simclock.Time) []simclock.Time {
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	min := p.MinGapMS
+	if min <= 0 {
+		min = 1
+	}
+	var out []simclock.Time
+	t := 0.0
+	for {
+		// Inverse-CDF: gap = x_m · U^(-1/α).
+		t += min * math.Pow(r.Float64(), -1/alpha)
+		if t >= float64(horizon) {
+			return out
+		}
+		out = append(out, simclock.Time(t))
+	}
+}
+
+// Diurnal is a non-homogeneous Poisson process whose rate follows a cosine
+// day curve: TroughRatePerSec at time zero rising to PeakRatePerSec half a
+// period later and back. Arrivals are drawn by Lewis-Shedler thinning against
+// the peak rate.
+type Diurnal struct {
+	PeakRatePerSec   float64
+	TroughRatePerSec float64
+	// PeriodMS is the length of one simulated "day" in virtual milliseconds.
+	PeriodMS float64
+}
+
+func (d Diurnal) rateAt(t float64) float64 {
+	if d.PeriodMS <= 0 {
+		return d.PeakRatePerSec
+	}
+	u := (1 - math.Cos(2*math.Pi*t/d.PeriodMS)) / 2
+	return d.TroughRatePerSec + (d.PeakRatePerSec-d.TroughRatePerSec)*u
+}
+
+// Times implements ArrivalProcess.
+func (d Diurnal) Times(r *rand.Rand, horizon simclock.Time) []simclock.Time {
+	peak := d.PeakRatePerSec
+	if d.TroughRatePerSec > peak {
+		peak = d.TroughRatePerSec
+	}
+	if peak <= 0 {
+		return nil
+	}
+	mean := 1000 / peak
+	var out []simclock.Time
+	t := 0.0
+	for {
+		t += r.ExpFloat64() * mean
+		if t >= float64(horizon) {
+			return out
+		}
+		if r.Float64()*peak <= d.rateAt(t) {
+			out = append(out, simclock.Time(t))
+		}
+	}
+}
+
+// TenantStream is one tenant's traffic in a Mix: an arrival process paired
+// with the queries it cycles through and the admission tags they carry.
+type TenantStream struct {
+	// Tenant and Class tag every query's context (admission.WithTenant /
+	// WithClass).
+	Tenant string
+	Class  string
+	// Label names the stream in results (Item.Type); defaults to Tenant.
+	Label string
+	// Queries is cycled round-robin across the stream's arrivals.
+	Queries []string
+	// Arrivals generates the stream's arrival instants.
+	Arrivals ArrivalProcess
+	// MaxQueries truncates the stream (0 = bounded only by the horizon).
+	MaxQueries int
+}
+
+// Arrival is one scheduled query of a Mix.
+type Arrival struct {
+	// At is the virtual arrival instant.
+	At simclock.Time
+	// Stream is the index of the TenantStream that emitted the query.
+	Stream int
+	Item   Item
+}
+
+// Mix is a replayable multi-tenant traffic scenario: seeded tenant streams
+// over a common virtual-time horizon. The same Seed always expands to the
+// identical arrival sequence.
+type Mix struct {
+	// Seed derives every stream's private rng; streams are independent, so
+	// editing one stream never perturbs another's arrivals.
+	Seed int64
+	// Horizon bounds arrival instants in virtual milliseconds.
+	Horizon simclock.Time
+	Streams []TenantStream
+}
+
+// streamSeed derives stream i's rng seed from the mix seed (splitmix64
+// finalizer, so neighbouring streams get uncorrelated sequences).
+func streamSeed(seed int64, i int) int64 {
+	x := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// Schedule expands the mix into its merged, time-ordered arrival sequence.
+// Ties preserve stream declaration order, then emission order, so the
+// expansion is fully deterministic.
+func (m Mix) Schedule() []Arrival {
+	var out []Arrival
+	for i, s := range m.Streams {
+		if s.Arrivals == nil || len(s.Queries) == 0 {
+			continue
+		}
+		r := rand.New(rand.NewSource(streamSeed(m.Seed, i)))
+		times := s.Arrivals.Times(r, m.Horizon)
+		if s.MaxQueries > 0 && len(times) > s.MaxQueries {
+			times = times[:s.MaxQueries]
+		}
+		label := s.Label
+		if label == "" {
+			label = s.Tenant
+		}
+		for k, at := range times {
+			out = append(out, Arrival{
+				At:     at,
+				Stream: i,
+				Item: Item{
+					Type:   label,
+					SQL:    s.Queries[k%len(s.Queries)],
+					Class:  s.Class,
+					Tenant: s.Tenant,
+				},
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// MixResult is one Mix replay: the expanded schedule, per-arrival outcomes
+// (indexed like the schedule), and the aggregate pool statistics.
+type MixResult struct {
+	Arrivals []Arrival
+	Results  []PoolResult
+	Stats    PoolStats
+}
+
+// RunMix replays the mix against exec as an open-loop generator: virtual time
+// advances to each arrival instant and the query is dispatched on its own
+// goroutine — arrivals never wait for earlier responses, which is exactly
+// what lets overload build real queues. The call returns when every arrival
+// has resolved (completed, typed shed, or error), so no query is ever lost.
+//
+// settle, when non-nil, reports how many in-flight queries the backend can
+// currently see (for an admission-gated executor: queue depth + running
+// count). RunMix uses it as a barrier between arrivals: the next arrival is
+// only released once every earlier one is visible to the backend or already
+// resolved, and after the last arrival the driver keeps stepping virtual
+// time to the next pending clock event until every query resolves. That
+// makes the replay a faithful discrete-event simulation for executors whose
+// service occupies virtual time (blocking on scheduled completion events) —
+// backlog builds exactly as the arrival process dictates instead of
+// depending on goroutine scheduling. With settle nil, dispatch simply
+// outpaces execution in wall time, and queues form only where execution
+// genuinely blocks — the right mode for executors that charge the clock
+// themselves, where saturation comes from wall-time pile-up.
+func RunMix(ctx context.Context, clk *simclock.Clock, m Mix, exec Exec, settle func() int) MixResult {
+	arrivals := m.Schedule()
+	results := make([]PoolResult, len(arrivals))
+	var wg sync.WaitGroup
+	var finished atomic.Int64
+	spawned := 0
+	// settleWait blocks (wall time only — virtual time stands still) until
+	// every dispatched query has either resolved or reached the backend.
+	settleWait := func() {
+		for ctx.Err() == nil && settle() < spawned-int(finished.Load()) {
+			runtime.Gosched()
+		}
+	}
+	// quiesce yields until the simulation stops moving at the current
+	// virtual instant: every dispatched query is backend-visible or
+	// resolved, and two consecutive yield rounds see no new completions and
+	// no new scheduled events. Completion events only close a channel — the
+	// released slot, the next grant, and the granted query's own completion
+	// event all need worker-goroutine CPU — so the driver must not advance
+	// the clock again until that cascade lands, or grants would be stamped
+	// at a later virtual time than the release that enabled them.
+	quiesce := func() {
+		stable := 0
+		for ctx.Err() == nil && stable < 2 {
+			settleWait()
+			f, p := finished.Load(), clk.Pending()
+			runtime.Gosched()
+			if finished.Load() == f && clk.Pending() == p {
+				stable++
+			} else {
+				stable = 0
+			}
+		}
+	}
+	for i, a := range arrivals {
+		if ctx.Err() != nil {
+			results[i] = PoolResult{Index: i, Item: a.Item, Skipped: true}
+			continue
+		}
+		if settle != nil {
+			// Step event-to-event up to the arrival instant, quiescing after
+			// each event so releases and grants happen at the virtual time
+			// their triggering event fired — one big AdvanceTo would stamp
+			// them all at the arrival time instead.
+			for ctx.Err() == nil {
+				at, ok := clk.NextEvent()
+				if !ok || at > a.At {
+					break
+				}
+				clk.AdvanceTo(at)
+				quiesce()
+			}
+		}
+		clk.AdvanceTo(a.At)
+		ictx := ctx
+		if a.Item.Class != "" {
+			ictx = admission.WithClass(ictx, a.Item.Class)
+		}
+		if a.Item.Tenant != "" {
+			ictx = admission.WithTenant(ictx, a.Item.Tenant)
+		}
+		wg.Add(1)
+		spawned++
+		go func(i int, item Item, ictx context.Context) {
+			rt, err := exec(ictx, i, item)
+			results[i] = PoolResult{Index: i, Item: item, ResponseTime: rt, Err: err}
+			finished.Add(1)
+			wg.Done()
+		}(i, a.Item, ictx)
+		if settle != nil {
+			quiesce()
+		}
+	}
+	if settle != nil {
+		// Arrivals are exhausted but queries may still be queued or mid
+		// virtual service; step the clock event-to-event until all resolve,
+		// quiescing between steps so each event's release/grant cascade
+		// lands before time moves again.
+		for ctx.Err() == nil && int(finished.Load()) < spawned {
+			quiesce()
+			if int(finished.Load()) >= spawned {
+				break
+			}
+			if at, ok := clk.NextEvent(); ok {
+				clk.AdvanceTo(at)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+	wg.Wait()
+	return MixResult{Arrivals: arrivals, Results: results, Stats: tallyPool(results)}
+}

@@ -96,9 +96,10 @@ func Instances(qt QueryType, n int) []string {
 	return out
 }
 
-// Mix builds the uniform workload of §5.3: n instances of each type,
-// interleaved round-robin so the types are uniformly distributed.
-func Mix(n int) []Item {
+// UniformMix builds the uniform workload of §5.3: n instances of each type,
+// interleaved round-robin so the types are uniformly distributed. (The Mix
+// type composes arrival processes into tenant traffic instead.)
+func UniformMix(n int) []Item {
 	types := Types()
 	var out []Item
 	for i := 0; i < n; i++ {
@@ -117,6 +118,9 @@ type Item struct {
 	// "batch" for report traffic) instead of cost classification; the pool
 	// runner tags each execution context with it.
 	Class string
+	// Tenant, when non-empty, names the tenant submitting the query; the pool
+	// runner tags each execution context with it (admission.WithTenant).
+	Tenant string
 }
 
 // HeavyLoad is the load level "Load" phases put on a server; Base phases

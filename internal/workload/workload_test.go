@@ -54,7 +54,7 @@ func TestInstancesAndMix(t *testing.T) {
 	if len(inst) != 10 || inst[0] == inst[9] {
 		t.Fatalf("instances: %d", len(inst))
 	}
-	mix := Mix(10)
+	mix := UniformMix(10)
 	if len(mix) != 40 {
 		t.Fatalf("mix size: %d", len(mix))
 	}

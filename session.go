@@ -33,6 +33,7 @@ func (f *Federation) QueryContext(ctx context.Context, sql string) (*QueryResult
 		Retried:        res.Retried,
 		QueueWait:      res.QueueWait,
 		AdmissionClass: res.AdmissionClass,
+		Tenant:         res.Tenant,
 	}, nil
 }
 
